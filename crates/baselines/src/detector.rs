@@ -1,0 +1,81 @@
+//! Common interface for shot-boundary detectors.
+//!
+//! The paper's comparison point (§1, citing Lienhart's study \[2\]) is that
+//! histogram detectors "need at least three threshold values", edge-change-
+//! ratio detectors "at least six", and accuracy swings wildly with those
+//! choices — while the camera-tracking cascade has three mild ones. Every
+//! detector here reports its tunable-threshold count so the comparison
+//! tables can print it.
+
+use vdb_core::frame::Video;
+
+/// A shot boundary detector: video in, boundary frame indices out.
+pub trait ShotDetector {
+    /// Human-readable name for report tables.
+    fn name(&self) -> &'static str;
+
+    /// Number of tunable thresholds the technique requires (the paper's
+    /// practicality metric).
+    fn threshold_count(&self) -> usize;
+
+    /// Detect boundaries: the returned indices are the first frame of each
+    /// new shot (ascending, no duplicates, never 0).
+    fn detect(&self, video: &Video) -> Vec<usize>;
+}
+
+/// Adapter: the paper's camera-tracking detector behind the common trait.
+#[derive(Debug, Clone, Default)]
+pub struct CameraTracking {
+    inner: vdb_core::sbd::CameraTrackingDetector,
+}
+
+impl CameraTracking {
+    /// With default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// With explicit configuration.
+    pub fn with_config(config: vdb_core::sbd::SbdConfig) -> Self {
+        CameraTracking {
+            inner: vdb_core::sbd::CameraTrackingDetector::with_config(config),
+        }
+    }
+}
+
+impl ShotDetector for CameraTracking {
+    fn name(&self) -> &'static str {
+        "camera-tracking"
+    }
+
+    fn threshold_count(&self) -> usize {
+        // sign_same_max_diff, signature_same_max_diff, track_min_score.
+        // (track_tolerance is a pixel-match definition, counted to be fair.)
+        3
+    }
+
+    fn detect(&self, video: &Video) -> Vec<usize> {
+        match self.inner.segment_video(video) {
+            Ok((_, seg)) => seg.boundaries,
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::frame::FrameBuf;
+    use vdb_core::pixel::Rgb;
+
+    #[test]
+    fn camera_tracking_adapter_detects_cut() {
+        let mut frames = vec![FrameBuf::filled(80, 60, Rgb::gray(20)); 5];
+        frames.extend(vec![FrameBuf::filled(80, 60, Rgb::gray(220)); 5]);
+        let v = Video::new(frames, 3.0).unwrap();
+        let d = CameraTracking::new();
+        assert_eq!(d.detect(&v), vec![5]);
+        assert_eq!(d.name(), "camera-tracking");
+        assert_eq!(d.threshold_count(), 3);
+    }
+}

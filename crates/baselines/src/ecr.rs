@@ -1,0 +1,285 @@
+//! Edge change ratio (ECR) shot boundary detection — Zabih, Miller & Mai
+//! (\[7\] in the paper).
+//!
+//! Frames are reduced to edge maps (Sobel magnitude over luma); between
+//! consecutive frames the *entering* edge fraction (new edges far from any
+//! old edge) and *exiting* edge fraction (old edges far from any new edge)
+//! are combined as `ECR = max(in, out)`. Cuts spike the ECR; dissolves and
+//! fades raise it over a window.
+//!
+//! Faithful to the paper's critique, this technique needs **six** tunable
+//! values: the Sobel edge threshold, the dilation radius, the hard-cut ECR
+//! threshold, the gradual ECR threshold, the gradual window length, and the
+//! minimum edge-pixel count below which frames are deemed featureless.
+
+use crate::detector::ShotDetector;
+use vdb_core::frame::{FrameBuf, Video};
+
+/// A binary edge map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeMap {
+    width: u32,
+    height: u32,
+    edges: Vec<bool>,
+}
+
+impl EdgeMap {
+    /// Sobel edge map of a frame: luma gradient magnitude over `threshold`.
+    pub fn of(frame: &FrameBuf, threshold: u16) -> Self {
+        let (w, h) = frame.dims();
+        let luma = |x: i64, y: i64| -> i32 { i32::from(frame.get_clamped(x, y).luma()) };
+        let mut edges = vec![false; (w as usize) * (h as usize)];
+        for y in 0..i64::from(h) {
+            for x in 0..i64::from(w) {
+                let gx = -luma(x - 1, y - 1) - 2 * luma(x - 1, y) - luma(x - 1, y + 1)
+                    + luma(x + 1, y - 1)
+                    + 2 * luma(x + 1, y)
+                    + luma(x + 1, y + 1);
+                let gy = -luma(x - 1, y - 1) - 2 * luma(x, y - 1) - luma(x + 1, y - 1)
+                    + luma(x - 1, y + 1)
+                    + 2 * luma(x, y + 1)
+                    + luma(x + 1, y + 1);
+                let mag = gx.unsigned_abs() + gy.unsigned_abs();
+                if mag > u32::from(threshold) {
+                    edges[(y as usize) * (w as usize) + (x as usize)] = true;
+                }
+            }
+        }
+        EdgeMap {
+            width: w,
+            height: h,
+            edges,
+        }
+    }
+
+    /// Number of edge pixels.
+    pub fn count(&self) -> usize {
+        self.edges.iter().filter(|&&e| e).count()
+    }
+
+    /// Box dilation by `radius` pixels.
+    pub fn dilated(&self, radius: u32) -> EdgeMap {
+        if radius == 0 {
+            return self.clone();
+        }
+        let (w, h) = (self.width as i64, self.height as i64);
+        let r = i64::from(radius);
+        let mut out = vec![false; self.edges.len()];
+        for y in 0..h {
+            for x in 0..w {
+                if !self.edges[(y * w + x) as usize] {
+                    continue;
+                }
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let (nx, ny) = (x + dx, y + dy);
+                        if nx >= 0 && nx < w && ny >= 0 && ny < h {
+                            out[(ny * w + nx) as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        EdgeMap {
+            width: self.width,
+            height: self.height,
+            edges: out,
+        }
+    }
+
+    /// Fraction of this map's edge pixels that fall *outside* `other`
+    /// (typically a dilated map). Returns 0 for an empty map.
+    pub fn fraction_outside(&self, other: &EdgeMap) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let outside = self
+            .edges
+            .iter()
+            .zip(&other.edges)
+            .filter(|(&a, &b)| a && !b)
+            .count();
+        outside as f64 / total as f64
+    }
+}
+
+/// Edge change ratio between two frames' edge maps.
+pub fn edge_change_ratio(prev: &EdgeMap, next: &EdgeMap, radius: u32) -> f64 {
+    let prev_dilated = prev.dilated(radius);
+    let next_dilated = next.dilated(radius);
+    let entering = next.fraction_outside(&prev_dilated);
+    let exiting = prev.fraction_outside(&next_dilated);
+    entering.max(exiting)
+}
+
+/// The six-parameter ECR detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcrDetector {
+    /// Sobel magnitude threshold for edge pixels.
+    pub edge_threshold: u16,
+    /// Dilation radius when testing edge correspondence.
+    pub dilate_radius: u32,
+    /// Hard cut when pair ECR exceeds this.
+    pub t_cut: f64,
+    /// Gradual-transition evidence when pair ECR exceeds this.
+    pub t_gradual: f64,
+    /// A gradual transition is declared when `window` consecutive pairs
+    /// exceed `t_gradual`.
+    pub window: usize,
+    /// Frames with fewer edge pixels than this are featureless (fade
+    /// bottoms); pairs involving them are skipped.
+    pub min_edge_pixels: usize,
+}
+
+impl Default for EcrDetector {
+    fn default() -> Self {
+        EcrDetector {
+            edge_threshold: 50,
+            dilate_radius: 1,
+            t_cut: 0.55,
+            t_gradual: 0.30,
+            window: 3,
+            min_edge_pixels: 16,
+        }
+    }
+}
+
+impl ShotDetector for EcrDetector {
+    fn name(&self) -> &'static str {
+        "edge-change-ratio"
+    }
+
+    fn threshold_count(&self) -> usize {
+        6
+    }
+
+    fn detect(&self, video: &Video) -> Vec<usize> {
+        let maps: Vec<EdgeMap> = video
+            .frames()
+            .iter()
+            .map(|f| EdgeMap::of(f, self.edge_threshold))
+            .collect();
+        let mut boundaries = Vec::new();
+        let mut streak = 0usize;
+        for i in 1..maps.len() {
+            if maps[i - 1].count() < self.min_edge_pixels || maps[i].count() < self.min_edge_pixels
+            {
+                streak = 0;
+                continue;
+            }
+            let ecr = edge_change_ratio(&maps[i - 1], &maps[i], self.dilate_radius);
+            if ecr > self.t_cut {
+                // Suppress the double report when a cut ends a gradual streak.
+                if boundaries.last().map_or(true, |&b: &usize| b + 1 < i) {
+                    boundaries.push(i);
+                }
+                streak = 0;
+            } else if ecr > self.t_gradual {
+                streak += 1;
+                if streak == self.window {
+                    boundaries.push(i + 1 - self.window / 2);
+                    streak = 0;
+                }
+            } else {
+                streak = 0;
+            }
+        }
+        boundaries.dedup();
+        boundaries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::pixel::Rgb;
+
+    /// A frame with a vertical bar whose position encodes the "scene".
+    fn bar_frame(pos: u32) -> FrameBuf {
+        FrameBuf::from_fn(48, 36, |x, _| {
+            if x >= pos && x < pos + 6 {
+                Rgb::gray(255)
+            } else {
+                Rgb::gray(0)
+            }
+        })
+    }
+
+    #[test]
+    fn edge_map_finds_bar_edges() {
+        let m = EdgeMap::of(&bar_frame(10), 160);
+        assert!(m.count() > 0);
+        // Uniform frame has no edges.
+        let flat = EdgeMap::of(&FrameBuf::filled(48, 36, Rgb::gray(80)), 160);
+        assert_eq!(flat.count(), 0);
+    }
+
+    #[test]
+    fn dilation_grows_edges() {
+        let m = EdgeMap::of(&bar_frame(10), 160);
+        assert!(m.dilated(2).count() > m.count());
+        assert_eq!(m.dilated(0), m);
+    }
+
+    #[test]
+    fn ecr_zero_for_identical_frames() {
+        let m = EdgeMap::of(&bar_frame(10), 160);
+        assert_eq!(edge_change_ratio(&m, &m, 1), 0.0);
+    }
+
+    #[test]
+    fn ecr_high_for_displaced_structure() {
+        let a = EdgeMap::of(&bar_frame(6), 160);
+        let b = EdgeMap::of(&bar_frame(30), 160);
+        assert!(edge_change_ratio(&a, &b, 1) > 0.9);
+    }
+
+    #[test]
+    fn detects_structural_cut() {
+        let mut frames = vec![bar_frame(8); 4];
+        frames.extend(vec![bar_frame(32); 4]);
+        let v = Video::new(frames, 3.0).unwrap();
+        assert_eq!(EcrDetector::default().detect(&v), vec![4]);
+    }
+
+    #[test]
+    fn tolerates_small_motion_within_dilation() {
+        // 1 px/frame motion with dilation radius 1: edges stay within reach.
+        let frames: Vec<FrameBuf> = (0..6).map(|t| bar_frame(8 + t)).collect();
+        let v = Video::new(frames, 3.0).unwrap();
+        assert!(EcrDetector::default().detect(&v).is_empty());
+    }
+
+    #[test]
+    fn fast_motion_breaks_it() {
+        // 8 px/frame motion outruns the dilation radius: false boundaries —
+        // the sensitivity the paper criticizes.
+        let frames: Vec<FrameBuf> = (0..6).map(|t| bar_frame(4 + t * 8)).collect();
+        let v = Video::new(frames, 3.0).unwrap();
+        assert!(
+            !EcrDetector::default().detect(&v).is_empty(),
+            "fast motion should fool the default ECR detector"
+        );
+    }
+
+    #[test]
+    fn featureless_frames_skipped() {
+        // Fades pass through black (no edges): with the min-edge guard the
+        // black frames produce no spurious boundaries.
+        let mut frames = vec![bar_frame(8); 3];
+        frames.extend(vec![FrameBuf::filled(48, 36, Rgb::gray(0)); 3]);
+        frames.extend(vec![bar_frame(8); 3]);
+        let v = Video::new(frames, 3.0).unwrap();
+        let b = EcrDetector::default().detect(&v);
+        assert!(
+            b.is_empty(),
+            "min-edge guard must suppress fade frames: {b:?}"
+        );
+    }
+
+    #[test]
+    fn six_thresholds() {
+        assert_eq!(EcrDetector::default().threshold_count(), 6);
+    }
+}

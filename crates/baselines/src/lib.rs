@@ -1,0 +1,33 @@
+//! # vdb-baselines
+//!
+//! The comparison algorithms the paper positions itself against:
+//!
+//! * [`pixelwise::PixelwiseDetector`] — pairwise pixel differencing
+//!   (1 threshold, fragile to any motion);
+//! * [`histogram::HistogramDetector`] — twin-threshold color histograms
+//!   (\[3–6\] in the paper; "at least three threshold values" \[2\]);
+//! * [`ecr::EcrDetector`] — edge change ratio (\[7\]; "at least six different
+//!   threshold values" \[2\]);
+//! * [`hierarchy::BrowseTree`] — the time-based \[18\] and fixed four-level
+//!   \[22\] browsing hierarchies, plus a conversion from the paper's scene
+//!   tree so all three can be compared on shape and location purity.
+//!
+//! All detectors implement [`detector::ShotDetector`]; the paper's own
+//! camera-tracking method is adapted to the same trait
+//! ([`detector::CameraTracking`]) so the evaluation harness treats every
+//! technique uniformly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod detector;
+pub mod ecr;
+pub mod hierarchy;
+pub mod histogram;
+pub mod pixelwise;
+
+pub use detector::{CameraTracking, ShotDetector};
+pub use ecr::EcrDetector;
+pub use hierarchy::BrowseTree;
+pub use histogram::HistogramDetector;
+pub use pixelwise::PixelwiseDetector;

@@ -1,0 +1,101 @@
+//! Pairwise pixel comparison — the oldest SBD baseline.
+//!
+//! Declares a boundary whenever the mean absolute per-channel difference
+//! between consecutive frames exceeds a threshold. One threshold, extremely
+//! cheap, and notoriously fragile: any camera or object motion inflates the
+//! difference, so a threshold low enough to catch cuts between similar
+//! scenes fires constantly during pans.
+
+use crate::detector::ShotDetector;
+use vdb_core::frame::Video;
+
+/// Pairwise pixel difference detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelwiseDetector {
+    /// Boundary when the mean absolute channel difference exceeds this
+    /// (gray levels).
+    pub threshold: f64,
+}
+
+impl Default for PixelwiseDetector {
+    fn default() -> Self {
+        // Calibrated on the synthetic corpus alongside the other detectors.
+        PixelwiseDetector { threshold: 22.0 }
+    }
+}
+
+impl ShotDetector for PixelwiseDetector {
+    fn name(&self) -> &'static str {
+        "pairwise-pixel"
+    }
+
+    fn threshold_count(&self) -> usize {
+        1
+    }
+
+    fn detect(&self, video: &Video) -> Vec<usize> {
+        video
+            .frames()
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[0].mean_abs_diff(&w[1]) > self.threshold)
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::frame::FrameBuf;
+    use vdb_core::pixel::Rgb;
+
+    #[test]
+    fn detects_hard_cut() {
+        let mut frames = vec![FrameBuf::filled(40, 30, Rgb::gray(10)); 4];
+        frames.extend(vec![FrameBuf::filled(40, 30, Rgb::gray(200)); 4]);
+        let v = Video::new(frames, 3.0).unwrap();
+        assert_eq!(PixelwiseDetector::default().detect(&v), vec![4]);
+    }
+
+    #[test]
+    fn static_video_no_boundaries() {
+        let v = Video::new(vec![FrameBuf::filled(40, 30, Rgb::gray(99)); 6], 3.0).unwrap();
+        assert!(PixelwiseDetector::default().detect(&v).is_empty());
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        // A 15-level global change: default threshold rides over it, a tiny
+        // threshold fires.
+        let mut frames = vec![FrameBuf::filled(40, 30, Rgb::gray(100)); 3];
+        frames.extend(vec![FrameBuf::filled(40, 30, Rgb::gray(115)); 3]);
+        let v = Video::new(frames, 3.0).unwrap();
+        assert!(PixelwiseDetector::default().detect(&v).is_empty());
+        let strict = PixelwiseDetector { threshold: 5.0 };
+        assert_eq!(strict.detect(&v), vec![3]);
+    }
+
+    #[test]
+    fn motion_fragility_demonstrated() {
+        // A moving high-contrast pattern splits constantly under a strict
+        // threshold — the fragility the paper criticizes.
+        let frames: Vec<FrameBuf> = (0..6)
+            .map(|t| {
+                FrameBuf::from_fn(40, 30, |x, _| {
+                    if (x + t * 7) % 16 < 8 {
+                        Rgb::gray(0)
+                    } else {
+                        Rgb::gray(255)
+                    }
+                })
+            })
+            .collect();
+        let v = Video::new(frames, 3.0).unwrap();
+        let strict = PixelwiseDetector { threshold: 10.0 };
+        assert!(
+            strict.detect(&v).len() >= 4,
+            "in-shot motion must overwhelm the pixel detector"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Detector throughput comparison: camera tracking vs the literature
+//! baselines, frames/second over one genre clip. Accuracy lives in the
+//! `tables` binary (`baseline-compare`); this bench isolates cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_baselines::detector::ShotDetector;
+use vdb_baselines::{CameraTracking, EcrDetector, HistogramDetector, PixelwiseDetector};
+use vdb_synth::script::generate;
+use vdb_synth::{build_script, Genre};
+
+fn bench_detectors(c: &mut Criterion) {
+    let script = build_script(Genre::Movie, 14, Some(9.0), (80, 60), 5);
+    let g = generate(&script);
+    let frames = g.video.len() as u64;
+    let detectors: Vec<Box<dyn ShotDetector>> = vec![
+        Box::new(CameraTracking::new()),
+        Box::new(HistogramDetector::default()),
+        Box::new(EcrDetector::default()),
+        Box::new(PixelwiseDetector::default()),
+    ];
+    let mut group = c.benchmark_group("detectors/throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(frames));
+    for d in detectors {
+        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &g.video, |b, v| {
+            b.iter(|| black_box(d.detect(black_box(v))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

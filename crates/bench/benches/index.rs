@@ -1,0 +1,140 @@
+//! Variance-index benchmarks: the "cost-effective indexing" claim (§4).
+//!
+//! * `query/*` — sorted-index range query vs linear scan vs quantized grid
+//!   over growing table sizes: the ablation for the index-structure choice;
+//! * `build` — index construction cost;
+//! * `insert` — incremental ingest cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_core::index::{IndexEntry, QuantizedIndex, ShotKey, VarianceIndex, VarianceQuery};
+
+fn synthetic_entries(n: usize) -> Vec<IndexEntry> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            IndexEntry {
+                key: ShotKey {
+                    video: (i % 97) as u64,
+                    shot: i as u32,
+                },
+                var_ba: (x * 0.613) % 64.0,
+                var_oa: (x * 0.271) % 48.0,
+            }
+        })
+        .collect()
+}
+
+fn queries() -> Vec<VarianceQuery> {
+    (0..32)
+        .map(|i| VarianceQuery::new(f64::from(i) * 2.0 % 64.0, f64::from(i) * 1.4 % 48.0))
+        .collect()
+}
+
+fn bench_query(c: &mut Criterion) {
+    let qs = queries();
+    for n in [1_000usize, 10_000, 100_000] {
+        let entries = synthetic_entries(n);
+        let sorted = VarianceIndex::build(entries.clone());
+        let quantized = QuantizedIndex::build(&entries, 1.0, 1.0);
+        let mut group = c.benchmark_group(format!("index/query/n={n}"));
+        group.throughput(Throughput::Elements(qs.len() as u64));
+        group.bench_function("sorted", |b| {
+            b.iter(|| {
+                for q in &qs {
+                    black_box(sorted.query(black_box(q)));
+                }
+            });
+        });
+        group.bench_function("scan", |b| {
+            b.iter(|| {
+                for q in &qs {
+                    black_box(sorted.query_scan(black_box(q)));
+                }
+            });
+        });
+        group.bench_function("quantized", |b| {
+            b.iter(|| {
+                for q in &qs {
+                    black_box(quantized.query(black_box(q)));
+                }
+            });
+        });
+        group.finish();
+    }
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index/build");
+    for n in [1_000usize, 100_000] {
+        let entries = synthetic_entries(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &entries, |b, entries| {
+            b.iter(|| VarianceIndex::build(black_box(entries.clone())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let base = synthetic_entries(10_000);
+    c.bench_function("index/insert_into_10k", |b| {
+        let idx = VarianceIndex::build(base.clone());
+        let fresh = IndexEntry {
+            key: ShotKey {
+                video: 999,
+                shot: 0,
+            },
+            var_ba: 31.0,
+            var_oa: 7.0,
+        };
+        b.iter_batched(
+            || idx.clone(),
+            |mut idx| idx.insert(black_box(fresh)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_extended(c: &mut Criterion) {
+    use vdb_core::index::{ExtendedEntry, ExtendedIndex, ExtendedQuery};
+    use vdb_core::variance::ExtendedShotFeature;
+    let entries: Vec<ExtendedEntry> = (0..10_000)
+        .map(|i| {
+            let v = f64::from(i);
+            ExtendedEntry {
+                key: ShotKey {
+                    video: (i % 31) as u64,
+                    shot: i as u32,
+                },
+                feature: ExtendedShotFeature {
+                    var_ba: [(v * 0.61) % 64.0, (v * 0.37) % 64.0, (v * 0.19) % 64.0],
+                    var_oa: [(v * 0.27) % 48.0, (v * 0.47) % 48.0, (v * 0.09) % 48.0],
+                },
+            }
+        })
+        .collect();
+    let idx = ExtendedIndex::build(entries.clone());
+    let queries: Vec<ExtendedQuery> = (0..32usize)
+        .map(|i| ExtendedQuery::by_example(entries[i * 311].feature))
+        .collect();
+    let mut group = c.benchmark_group("index/extended_query/n=10000");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("per_channel", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(idx.query(black_box(q)));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query,
+    bench_build,
+    bench_insert,
+    bench_extended
+);
+criterion_main!(benches);

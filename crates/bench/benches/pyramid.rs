@@ -1,0 +1,72 @@
+//! Pyramid/feature-extraction benchmarks: the §2.1 `O(m)` complexity claim.
+//!
+//! `reduce_line` is timed across size-set lengths; linear growth in `m`
+//! confirms the claim. `extract_frame` times the full per-frame feature
+//! extraction (TBA + FOA carve-out, both pyramids) at the paper's 160×120
+//! and the corpus's 80×60 frame sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_core::features::FeatureExtractor;
+use vdb_core::frame::FrameBuf;
+use vdb_core::geometry::PixelGrid;
+use vdb_core::pixel::Rgb;
+use vdb_core::pyramid::{reduce_grid_to_signature, reduce_line_to_sign};
+use vdb_core::sizeset::size_set;
+
+fn bench_reduce_line(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pyramid/reduce_line");
+    for j in 3..=8u32 {
+        let n = size_set(j);
+        let line: Vec<Rgb> = (0..n).map(|i| Rgb::gray((i * 13 % 251) as u8)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &line, |b, line| {
+            b.iter(|| reduce_line_to_sign(black_box(line)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_signature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pyramid/grid_to_signature");
+    // The real TBA shapes: 5x125 (80x60 frames) and 13x253 (160x120 frames).
+    for (rows, cols) in [(5usize, 125usize), (13, 253)] {
+        let grid = PixelGrid::from_fn(rows, cols, |r, q| Rgb::gray(((r * 31 + q * 7) % 256) as u8));
+        group.throughput(Throughput::Elements((rows * cols) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &grid,
+            |b, grid| {
+                b.iter(|| reduce_grid_to_signature(black_box(grid)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_extract_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pyramid/extract_frame");
+    for (w, h) in [(80u32, 60u32), (160, 120)] {
+        let frame = FrameBuf::from_fn(w, h, |x, y| {
+            Rgb::new((x % 256) as u8, (y % 256) as u8, ((x + y) % 256) as u8)
+        });
+        let ex = FeatureExtractor::new(w, h).unwrap();
+        group.throughput(Throughput::Elements(u64::from(w) * u64::from(h)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}")),
+            &frame,
+            |b, frame| {
+                b.iter(|| ex.extract(black_box(frame)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reduce_line,
+    bench_grid_signature,
+    bench_extract_frame
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Shot-boundary-detection benchmarks: the Figure 4 cascade.
+//!
+//! * `decide_pair/*` — per-pair cost of each cascade outcome: a stage-1
+//!   accept is hundreds of times cheaper than a stage-3 track, which is the
+//!   whole point of the quick-elimination design;
+//! * `segment/*` — end-to-end frames/second over a genre clip;
+//! * `track/shift_search` — the stage-3 shift-and-match in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_core::features::extract_features;
+use vdb_core::sbd::CameraTrackingDetector;
+use vdb_synth::script::generate;
+use vdb_synth::{build_script, Genre};
+
+fn bench_decide_pair(c: &mut Criterion) {
+    // Build feature pairs that exercise each cascade stage.
+    let script = build_script(Genre::Movie, 12, Some(10.0), (80, 60), 99);
+    let g = generate(&script);
+    let feats = extract_features(&g.video).unwrap();
+    let det = CameraTrackingDetector::new();
+    let mut by_stage: std::collections::HashMap<String, (usize, usize)> = Default::default();
+    for i in 1..feats.len() {
+        let d = det.decide_pair(&feats[i - 1], &feats[i]);
+        by_stage.entry(format!("{d:?}")).or_insert((i - 1, i));
+    }
+    let mut group = c.benchmark_group("sbd/decide_pair");
+    for (stage, (i, j)) in by_stage {
+        group.bench_with_input(BenchmarkId::from_parameter(stage), &(i, j), |b, &(i, j)| {
+            b.iter(|| det.decide_pair(black_box(&feats[i]), black_box(&feats[j])));
+        });
+    }
+    group.finish();
+}
+
+fn bench_segment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbd/segment");
+    group.sample_size(10);
+    for genre in [Genre::Sitcom, Genre::Sports, Genre::Commercials] {
+        let script = build_script(genre, 20, None, (80, 60), 7);
+        let g = generate(&script);
+        let frames = g.video.len() as u64;
+        group.throughput(Throughput::Elements(frames));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{genre}")),
+            &g.video,
+            |b, video| {
+                let det = CameraTrackingDetector::new();
+                b.iter(|| det.segment_video(black_box(video)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_track(c: &mut Criterion) {
+    let script = build_script(Genre::Movie, 4, Some(8.0), (160, 120), 3);
+    let g = generate(&script);
+    let feats = extract_features(&g.video).unwrap();
+    let (a, b) = (&feats[0], &feats[feats.len() - 1]);
+    let n = a.signature_ba.len();
+    let target = (0.45 * n as f64).ceil() as usize;
+    let mut group = c.benchmark_group("sbd/track");
+    group.bench_function("shift_search_full", |bch| {
+        bch.iter(|| black_box(&a.signature_ba).track(black_box(&b.signature_ba), 14, n));
+    });
+    group.bench_function("shift_search_quarter", |bch| {
+        bch.iter(|| black_box(&a.signature_ba).track(black_box(&b.signature_ba), 14, n / 4));
+    });
+    // The §6 speed-up ablation: early exit vs exhaustive, on a same-shot
+    // pair (early exit pays off) and the cross-cut pair above (pruning
+    // pays off).
+    let (s0, s1) = (&feats[0], &feats[1]);
+    group.bench_function("early_exit_same_shot_pair", |bch| {
+        bch.iter(|| {
+            black_box(&s0.signature_ba).track_until(black_box(&s1.signature_ba), 14, n, target)
+        });
+    });
+    group.bench_function("early_exit_cut_pair", |bch| {
+        bch.iter(|| {
+            black_box(&a.signature_ba).track_until(black_box(&b.signature_ba), 14, n, target)
+        });
+    });
+    group.finish();
+}
+
+fn bench_segment_early_exit_ablation(c: &mut Criterion) {
+    let script = build_script(Genre::Movie, 16, Some(9.0), (80, 60), 11);
+    let g = generate(&script);
+    let feats = extract_features(&g.video).unwrap();
+    let mut group = c.benchmark_group("sbd/early_exit_ablation");
+    group.sample_size(10);
+    for (name, early) in [("early_exit", true), ("exhaustive", false)] {
+        let det = CameraTrackingDetector::with_config(vdb_core::sbd::SbdConfig {
+            early_exit: early,
+            ..vdb_core::sbd::SbdConfig::default()
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| det.segment_features(black_box(&feats)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decide_pair,
+    bench_segment,
+    bench_track,
+    bench_segment_early_exit_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Scene-tree construction benchmarks: the §3.1 `O(f²·n)` claim.
+//!
+//! Construction time is swept over the number of shots `n` (with fixed
+//! frames per shot, so `f` grows with `n`): the measured growth should stay
+//! at or below the paper's quadratic-in-f bound — in practice far below,
+//! because RELATIONSHIP stops at the first related pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_core::pixel::Rgb;
+use vdb_core::scenetree::build_scene_tree;
+use vdb_core::shot::Shot;
+
+/// A dialogue-heavy label pattern: locations cycle with occasional fresh
+/// scenes, which is the realistic mix of related and unrelated shots.
+fn scripted(n_shots: usize, frames_per_shot: usize) -> (Vec<Shot>, Vec<Rgb>) {
+    let mut shots = Vec::with_capacity(n_shots);
+    let mut signs = Vec::with_capacity(n_shots * frames_per_shot);
+    let mut start = 0usize;
+    for i in 0..n_shots {
+        let label = if i % 7 == 6 {
+            (i / 7 + 4) as u8
+        } else {
+            (i % 3) as u8
+        };
+        shots.push(Shot {
+            id: i,
+            start,
+            end: start + frames_per_shot - 1,
+        });
+        // Within a shot, the sign wobbles a little (as real shots do).
+        for f in 0..frames_per_shot {
+            signs.push(Rgb::gray(
+                label.wrapping_mul(37).wrapping_add((f % 3) as u8),
+            ));
+        }
+        start += frames_per_shot;
+    }
+    (shots, signs)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenetree/build");
+    for n in [16usize, 64, 256, 1024] {
+        let (shots, signs) = scripted(n, 12);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| build_scene_tree(black_box(&shots), black_box(&signs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_largest_scene(c: &mut Criterion) {
+    let (shots, signs) = scripted(512, 12);
+    let tree = build_scene_tree(&shots, &signs);
+    c.bench_function("scenetree/largest_scene_lookup", |b| {
+        b.iter(|| {
+            for s in (0..shots.len()).step_by(17) {
+                black_box(tree.largest_scene_for_shot(black_box(s)));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_build, bench_largest_scene);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Database-layer benchmarks: ingest, query, and persistence round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_core::index::VarianceQuery;
+use vdb_store::VideoDatabase;
+use vdb_synth::script::generate;
+use vdb_synth::{build_script, Genre};
+
+fn sample_video(seed: u64) -> vdb_core::frame::Video {
+    generate(&build_script(Genre::News, 8, Some(8.0), (80, 60), seed)).video
+}
+
+fn populated_db(videos: usize) -> VideoDatabase {
+    let mut db = VideoDatabase::new();
+    for i in 0..videos {
+        db.ingest(format!("clip-{i}"), &sample_video(i as u64), vec![], vec![])
+            .unwrap();
+    }
+    db
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let video = sample_video(42);
+    let mut group = c.benchmark_group("store/ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(video.len() as u64));
+    group.bench_function("one_clip", |b| {
+        b.iter_batched(
+            VideoDatabase::new,
+            |mut db| {
+                db.ingest("clip", black_box(&video), vec![], vec![])
+                    .unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let db = populated_db(12);
+    c.bench_function("store/query_scene_nodes", |b| {
+        b.iter(|| {
+            for i in 0..16 {
+                let q = VarianceQuery::new(f64::from(i) * 3.0, f64::from(i));
+                black_box(db.query(black_box(&q)));
+            }
+        });
+    });
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let db = populated_db(6);
+    let dir = std::env::temp_dir().join(format!("vdb-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.vdbs");
+    let mut group = c.benchmark_group("store/persistence");
+    group.sample_size(10);
+    group.bench_function("save", |b| {
+        b.iter(|| db.save(black_box(&path)).unwrap());
+    });
+    db.save(&path).unwrap();
+    group.bench_function("load", |b| {
+        b.iter(|| {
+            VideoDatabase::load(
+                black_box(&path),
+                vdb_core::analyzer::AnalyzerConfig::default(),
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_ingest, bench_query, bench_persistence);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Substrate benchmarks: frame generation cost — the budget everything
+//! else fits into (a corpus experiment is generation + analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_synth::script::{generate, ShotSpec, VideoScript};
+use vdb_synth::texture::World;
+use vdb_synth::NoiseProfile;
+
+fn bench_world_sampling(c: &mut Criterion) {
+    let world = World::new(7, 2);
+    c.bench_function("synth/world_color_at", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1_000i64 {
+                let p = world.color_at(black_box(i as f64 * 1.7), black_box(i as f64 * 0.9));
+                acc = acc.wrapping_add(u32::from(p.r()));
+            }
+            acc
+        });
+    });
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth/generate");
+    group.sample_size(10);
+    for (name, noise) in [
+        ("clean", NoiseProfile::CLEAN),
+        ("rough", NoiseProfile::rough()),
+    ] {
+        let mut script = VideoScript::small(3);
+        script.noise = noise;
+        for loc in 0..6u32 {
+            script.push_shot(ShotSpec::fixed(loc, 12));
+        }
+        let frames = script.total_frames() as u64;
+        group.throughput(Throughput::Elements(frames));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &script, |b, s| {
+            b.iter(|| generate(black_box(s)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_sampling, bench_generate);
+criterion_main!(benches);

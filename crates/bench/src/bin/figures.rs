@@ -1,0 +1,64 @@
+//! Regenerate the paper's figures (as text) on the synthetic corpus.
+//!
+//! ```text
+//! cargo run -p vdb-bench --release --bin figures [--scale F] [--seed N] [fig4|fig6|fig7|fig8-10|hierarchy|all]
+//! ```
+
+use vdb_core::sbd::SbdConfig;
+use vdb_eval::corpus::{build_corpus_parallel, CORPUS_DIMS};
+use vdb_eval::experiments::run_stage_stats;
+use vdb_eval::retrieval::{
+    run_figure6, run_figure7, run_hierarchy_comparison, run_table4, FIGURE5_SEED, FIGURE7_SEED,
+};
+use vdb_synth::Scale;
+
+fn main() {
+    let mut scale = 0.25f64;
+    let mut seed = 1234u64;
+    let mut which: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).expect("--scale"),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).expect("--seed"),
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".into());
+    }
+    let wants = |name: &str| which.iter().any(|w| w == name || w == "all");
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    if wants("fig4") {
+        println!("== Figure 4: the three-stage cascade, in numbers ==\n");
+        let clips = build_corpus_parallel(Scale::Fraction(scale), CORPUS_DIMS, seed, workers);
+        let report = run_stage_stats(&clips, SbdConfig::default(), workers);
+        println!("{}", report.render());
+    }
+    if wants("fig6") {
+        println!("== Figure 6: scene tree of the ten-shot worked example ==\n");
+        let exp = run_figure6(FIGURE5_SEED);
+        println!(
+            "detected {} shots at boundaries {:?}\n",
+            exp.analysis.shots().len(),
+            exp.analysis.segmentation.boundaries
+        );
+        println!("{}", exp.render_tree());
+    }
+    if wants("fig7") {
+        println!("== Figure 7: scene tree of the synthetic 'Friends' segment ==\n");
+        let (_, rendered) = run_figure7(FIGURE7_SEED);
+        println!("{rendered}");
+    }
+    if wants("fig8-10") {
+        println!("== Figures 8-10: variance-similarity retrieval ==\n");
+        let exp = run_table4(4004);
+        let outcomes = exp.run_figures_8_to_10();
+        println!("{}", exp.render_retrieval(&outcomes));
+    }
+    if wants("hierarchy") {
+        println!("== Browsing-hierarchy comparison (scene tree vs [18]/[22]) ==\n");
+        println!("{}", run_hierarchy_comparison(31337));
+    }
+}

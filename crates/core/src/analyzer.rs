@@ -1,0 +1,186 @@
+//! End-to-end analysis facade: Steps 1–3 of the paper's methodology in one
+//! call.
+//!
+//! * **Step 1** — segment the video into shots with the camera-tracking SBD
+//!   and extract the per-frame signs;
+//! * **Step 2** — build the scene tree from the shots;
+//! * **Step 3** — compute each shot's `(Var^BA, Var^OA)` feature vector,
+//!   ready to be inserted into a [`crate::index::VarianceIndex`].
+
+use crate::error::Result;
+use crate::frame::Video;
+use crate::pixel::Rgb;
+use crate::sbd::{CameraTrackingDetector, SbdConfig, Segmentation};
+use crate::scenetree::{build_scene_tree_with_config, SceneTree, SceneTreeConfig};
+use crate::shot::Shot;
+use crate::variance::ShotFeature;
+use serde::{Deserialize, Serialize};
+
+/// Combined configuration for the full pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerConfig {
+    /// Shot boundary detection thresholds.
+    pub sbd: SbdConfig,
+    /// Scene-tree construction parameters.
+    pub scene_tree: SceneTreeConfig,
+}
+
+/// Everything the pipeline derives from one video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoAnalysis {
+    /// Per-frame background signs (`Sign_i^BA`).
+    pub signs_ba: Vec<Rgb>,
+    /// Per-frame object-area signs (`Sign_i^OA`).
+    pub signs_oa: Vec<Rgb>,
+    /// The segmentation (shots, boundaries, cascade statistics).
+    pub segmentation: Segmentation,
+    /// The browsing hierarchy.
+    pub scene_tree: SceneTree,
+    /// Per-shot feature vectors, aligned with `segmentation.shots`.
+    pub features: Vec<ShotFeature>,
+}
+
+impl VideoAnalysis {
+    /// The shots.
+    pub fn shots(&self) -> &[Shot] {
+        &self.segmentation.shots
+    }
+
+    /// `(Var^BA, Var^OA)` of one shot.
+    pub fn feature_of(&self, shot: usize) -> Option<ShotFeature> {
+        self.features.get(shot).copied()
+    }
+
+    /// The per-frame `Sign^BA` slice of one shot.
+    pub fn shot_signs_ba(&self, shot: usize) -> Option<&[Rgb]> {
+        let s = self.segmentation.shots.get(shot)?;
+        Some(&self.signs_ba[s.start..=s.end])
+    }
+
+    /// Number of frames analyzed.
+    pub fn frame_count(&self) -> usize {
+        self.signs_ba.len()
+    }
+}
+
+/// The full Steps 1–3 pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct VideoAnalyzer {
+    config: AnalyzerConfig,
+}
+
+impl VideoAnalyzer {
+    /// Analyzer with default (paper-calibrated) thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Analyzer with explicit configuration.
+    pub fn with_config(config: AnalyzerConfig) -> Self {
+        VideoAnalyzer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Run Steps 1–3 on a video.
+    pub fn analyze(&self, video: &Video) -> Result<VideoAnalysis> {
+        let detector = CameraTrackingDetector::with_config(self.config.sbd);
+        let (frame_features, segmentation) = detector.segment_video(video)?;
+        let signs_ba: Vec<Rgb> = frame_features.iter().map(|f| f.sign_ba).collect();
+        let signs_oa: Vec<Rgb> = frame_features.iter().map(|f| f.sign_oa).collect();
+        let scene_tree =
+            build_scene_tree_with_config(&segmentation.shots, &signs_ba, self.config.scene_tree);
+        let features = segmentation
+            .shots
+            .iter()
+            .map(|s| {
+                ShotFeature::from_signs(&signs_ba[s.start..=s.end], &signs_oa[s.start..=s.end])
+            })
+            .collect();
+        Ok(VideoAnalysis {
+            signs_ba,
+            signs_oa,
+            segmentation,
+            scene_tree,
+            features,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBuf;
+
+    fn two_scene_video() -> Video {
+        let mut frames = Vec::new();
+        // Two palettes far apart, each with mild texture: the cut between
+        // them is unambiguous at every cascade stage.
+        let tex = |base: Rgb, x: u32, y: u32| {
+            let n = ((x * 7 + y * 13) % 16) as u8;
+            Rgb::new(
+                base.r().saturating_add(n),
+                base.g().saturating_add(n),
+                base.b().saturating_add(n),
+            )
+        };
+        for _ in 0..6 {
+            frames.push(FrameBuf::from_fn(80, 60, |x, y| {
+                tex(Rgb::new(200, 60, 40), x, y)
+            }));
+        }
+        for _ in 0..6 {
+            frames.push(FrameBuf::from_fn(80, 60, |x, y| {
+                tex(Rgb::new(30, 90, 210), x, y)
+            }));
+        }
+        Video::new(frames, 3.0).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_produces_consistent_artifacts() {
+        let analysis = VideoAnalyzer::new().analyze(&two_scene_video()).unwrap();
+        assert_eq!(analysis.frame_count(), 12);
+        assert_eq!(analysis.shots().len(), 2);
+        assert_eq!(analysis.features.len(), 2);
+        assert_eq!(analysis.scene_tree.shot_count(), 2);
+        analysis.scene_tree.check_invariants().unwrap();
+        // Static shots: zero variance in both areas.
+        for f in &analysis.features {
+            assert_eq!(f.var_ba, 0.0);
+            assert_eq!(f.var_oa, 0.0);
+        }
+        // Per-shot sign slices line up with shots.
+        let s0 = analysis.shot_signs_ba(0).unwrap();
+        assert_eq!(s0.len(), analysis.shots()[0].len());
+        assert!(analysis.shot_signs_ba(5).is_none());
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let v = two_scene_video();
+        let a = VideoAnalyzer::new().analyze(&v).unwrap();
+        let b = VideoAnalyzer::new().analyze(&v).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_plumbs_through() {
+        let cfg = AnalyzerConfig {
+            sbd: SbdConfig {
+                track_min_score: 0.5,
+                ..SbdConfig::default()
+            },
+            scene_tree: SceneTreeConfig {
+                relationship_threshold_percent: 5.0,
+            },
+        };
+        let an = VideoAnalyzer::with_config(cfg);
+        assert_eq!(an.config().sbd.track_min_score, 0.5);
+        assert_eq!(an.config().scene_tree.relationship_threshold_percent, 5.0);
+        an.analyze(&two_scene_video()).unwrap();
+    }
+}

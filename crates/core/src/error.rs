@@ -1,0 +1,130 @@
+//! Error types for the core analysis pipeline.
+
+use std::fmt;
+
+/// Errors produced by the core analysis pipeline.
+///
+/// The pipeline is deliberately strict about geometry: every stage of the
+/// modified Gaussian pyramid assumes its input length is a member of the
+/// size set `{1, 5, 13, 29, 61, 125, ...}` (Eq. 1 of the paper), and the
+/// frame must be large enough for the ⊓-shaped background area to exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The frame is too small to carve out the background/object areas.
+    ///
+    /// Holds the offending `(width, height)`.
+    FrameTooSmall {
+        /// Frame width in pixels (`c` in the paper).
+        width: u32,
+        /// Frame height in pixels (`r` in the paper).
+        height: u32,
+    },
+    /// A pyramid input length was not a member of the size set.
+    NotInSizeSet {
+        /// The offending length.
+        len: usize,
+    },
+    /// A frame buffer's data length does not match `width * height`.
+    FrameDataMismatch {
+        /// Expected number of pixels.
+        expected: usize,
+        /// Actual number of pixels supplied.
+        actual: usize,
+    },
+    /// The video contains no frames.
+    EmptyVideo,
+    /// Frames within one video must share dimensions.
+    InconsistentDimensions {
+        /// Dimensions of the first frame.
+        first: (u32, u32),
+        /// Dimensions of the offending frame.
+        other: (u32, u32),
+        /// Index of the offending frame.
+        frame: usize,
+    },
+    /// A shot id referenced a shot that does not exist.
+    UnknownShot {
+        /// The offending shot id.
+        shot: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::FrameTooSmall { width, height } => write!(
+                f,
+                "frame {width}x{height} is too small for background-area extraction"
+            ),
+            CoreError::NotInSizeSet { len } => write!(
+                f,
+                "length {len} is not in the Gaussian-pyramid size set {{1, 5, 13, 29, 61, ...}}"
+            ),
+            CoreError::FrameDataMismatch { expected, actual } => write!(
+                f,
+                "frame buffer holds {actual} pixels but dimensions imply {expected}"
+            ),
+            CoreError::EmptyVideo => write!(f, "video contains no frames"),
+            CoreError::InconsistentDimensions {
+                first,
+                other,
+                frame,
+            } => write!(
+                f,
+                "frame {frame} has dimensions {}x{} but the video started at {}x{}",
+                other.0, other.1, first.0, first.1
+            ),
+            CoreError::UnknownShot { shot } => write!(f, "unknown shot id {shot}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenient result alias for the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_frame_too_small() {
+        let e = CoreError::FrameTooSmall {
+            width: 4,
+            height: 3,
+        };
+        assert!(e.to_string().contains("4x3"));
+    }
+
+    #[test]
+    fn display_not_in_size_set() {
+        let e = CoreError::NotInSizeSet { len: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn display_inconsistent_dimensions_names_frame() {
+        let e = CoreError::InconsistentDimensions {
+            first: (160, 120),
+            other: (80, 60),
+            frame: 17,
+        };
+        let s = e.to_string();
+        assert!(s.contains("frame 17"));
+        assert!(s.contains("80x60"));
+        assert!(s.contains("160x120"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CoreError::EmptyVideo);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CoreError::EmptyVideo, CoreError::EmptyVideo);
+        assert_ne!(CoreError::EmptyVideo, CoreError::UnknownShot { shot: 0 });
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-frame feature extraction: `Sign^BA`, `Sign^OA`, and the background
+//! signature (§2.1–§2.2).
+//!
+//! For every frame `i` the extractor computes:
+//!
+//! * `signature_ba` — the one-row pyramid reduction of the frame's TBA;
+//! * `sign_ba` (`Sign_i^BA`) — the single-pixel reduction of the TBA, used
+//!   by the stage-1 quick test, by RELATIONSHIP (Eq. 2), and by `Var^BA`;
+//! * `sign_oa` (`Sign_i^OA`) — the single-pixel reduction of the FOA, used
+//!   by `Var^OA`.
+
+use crate::error::Result;
+use crate::frame::{FrameBuf, Video};
+use crate::geometry::AreaLayout;
+use crate::pixel::Rgb;
+use crate::pyramid::{reduce_grid_to_signature, reduce_line_to_sign};
+use crate::signature::Signature;
+use serde::{Deserialize, Serialize};
+
+/// The features extracted from one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameFeatures {
+    /// `Sign_i^BA`: the background area reduced to one pixel.
+    pub sign_ba: Rgb,
+    /// `Sign_i^OA`: the object area reduced to one pixel.
+    pub sign_oa: Rgb,
+    /// The TBA's one-row signature (kept for the SBD tracker; dropped from
+    /// persistent storage once shots are formed).
+    pub signature_ba: Signature,
+}
+
+/// Extracts [`FrameFeatures`] for frames of one fixed size.
+///
+/// Construct once per video; the [`AreaLayout`] (and hence all pyramid
+/// shapes) is fixed by the frame dimensions.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    layout: AreaLayout,
+}
+
+impl FeatureExtractor {
+    /// Create an extractor for `width × height` frames.
+    pub fn new(width: u32, height: u32) -> Result<Self> {
+        Ok(FeatureExtractor {
+            layout: AreaLayout::for_frame(width, height)?,
+        })
+    }
+
+    /// The geometry in use.
+    pub fn layout(&self) -> &AreaLayout {
+        &self.layout
+    }
+
+    /// Extract features for a single frame.
+    ///
+    /// # Panics
+    /// Debug-asserts that the frame matches the extractor's dimensions; the
+    /// video-level APIs validate this up front.
+    pub fn extract(&self, frame: &FrameBuf) -> Result<FrameFeatures> {
+        let tba = self.layout.extract_tba(frame);
+        let signature = reduce_grid_to_signature(&tba)?;
+        let sign_ba = reduce_line_to_sign(&signature)?;
+        let foa = self.layout.extract_foa(frame);
+        let sig_oa = reduce_grid_to_signature(&foa)?;
+        let sign_oa = reduce_line_to_sign(&sig_oa)?;
+        Ok(FrameFeatures {
+            sign_ba,
+            sign_oa,
+            signature_ba: Signature::new(signature),
+        })
+    }
+
+    /// Extract features for every frame of a video.
+    pub fn extract_video(&self, video: &Video) -> Result<Vec<FrameFeatures>> {
+        video.frames().iter().map(|f| self.extract(f)).collect()
+    }
+}
+
+/// Convenience: build the extractor from the video itself and run it.
+pub fn extract_features(video: &Video) -> Result<Vec<FrameFeatures>> {
+    let (w, h) = video.dims();
+    FeatureExtractor::new(w, h)?.extract_video(video)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+
+    fn uniform_video(n: usize, color: Rgb) -> Video {
+        Video::new(vec![FrameBuf::filled(80, 60, color); n], 3.0).unwrap()
+    }
+
+    #[test]
+    fn uniform_frame_signs_equal_color() {
+        let ex = FeatureExtractor::new(80, 60).unwrap();
+        let f = ex
+            .extract(&FrameBuf::filled(80, 60, Rgb::new(9, 90, 200)))
+            .unwrap();
+        assert_eq!(f.sign_ba, Rgb::new(9, 90, 200));
+        assert_eq!(f.sign_oa, Rgb::new(9, 90, 200));
+        assert!(f
+            .signature_ba
+            .pixels()
+            .iter()
+            .all(|&p| p == Rgb::new(9, 90, 200)));
+    }
+
+    #[test]
+    fn signature_length_matches_layout() {
+        let ex = FeatureExtractor::new(160, 120).unwrap();
+        let f = ex.extract(&FrameBuf::black(160, 120)).unwrap();
+        assert_eq!(f.signature_ba.len(), ex.layout().l);
+        assert_eq!(f.signature_ba.len(), 253);
+    }
+
+    #[test]
+    fn background_and_object_are_independent() {
+        // Change only the FOA: sign_oa must move, sign_ba must not.
+        let ex = FeatureExtractor::new(160, 120).unwrap();
+        let lay = *ex.layout();
+        let (w, h) = (lay.w_raw as u32, lay.h_raw as u32);
+        let frame_with_center = |center: Rgb| {
+            FrameBuf::from_fn(160, 120, move |x, y| {
+                let in_foa = y >= w && x >= w && x < 160 - w && y < w + h;
+                if in_foa {
+                    center
+                } else {
+                    Rgb::gray(128)
+                }
+            })
+        };
+        let fa = ex.extract(&frame_with_center(Rgb::gray(0))).unwrap();
+        let fb = ex.extract(&frame_with_center(Rgb::gray(255))).unwrap();
+        assert_eq!(
+            fa.sign_ba, fb.sign_ba,
+            "background sign must ignore the FOA"
+        );
+        assert!(
+            fa.sign_oa.max_channel_diff(fb.sign_oa) > 200,
+            "object sign must follow the FOA"
+        );
+    }
+
+    #[test]
+    fn extract_video_returns_one_feature_per_frame() {
+        let v = uniform_video(7, Rgb::gray(10));
+        let feats = extract_features(&v).unwrap();
+        assert_eq!(feats.len(), 7);
+        assert!(feats.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn too_small_video_fails() {
+        let v = Video::new(vec![FrameBuf::black(8, 8)], 3.0).unwrap();
+        assert!(matches!(
+            extract_features(&v),
+            Err(CoreError::FrameTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_extraction() {
+        let frame = FrameBuf::from_fn(80, 60, |x, y| {
+            Rgb::new((x * 3) as u8, (y * 5) as u8, ((x + y) * 2) as u8)
+        });
+        let ex = FeatureExtractor::new(80, 60).unwrap();
+        let a = ex.extract(&frame).unwrap();
+        let b = ex.extract(&frame).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,276 @@
+//! Incremental analysis: frames pushed one at a time.
+//!
+//! [`crate::analyzer::VideoAnalyzer`] wants the whole video in memory —
+//! fine for the paper's ten-minute clips, wrong for "large video
+//! databases". [`StreamingAnalyzer`] consumes frames as they arrive and
+//! keeps only O(signs) state: the previous frame's features (one signature,
+//! two signs) plus the per-frame sign history the scene tree and variance
+//! features need (6 bytes per frame — 4.7 MB for a 24-hour broadcast day).
+//! Frames themselves are never retained.
+//!
+//! `finish()` produces exactly what the batch analyzer produces; the
+//! equivalence is tested property-style against
+//! [`crate::analyzer::VideoAnalyzer`].
+
+use crate::analyzer::{AnalyzerConfig, VideoAnalysis};
+use crate::error::Result;
+use crate::features::{FeatureExtractor, FrameFeatures};
+use crate::frame::FrameBuf;
+use crate::pixel::Rgb;
+use crate::sbd::{CameraTrackingDetector, SbdStats, Segmentation, StageDecision};
+use crate::scenetree::build_scene_tree_with_config;
+use crate::shot::Shot;
+use crate::variance::ShotFeature;
+
+/// What [`StreamingAnalyzer::push`] reports about the newest frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// First frame of the stream.
+    First,
+    /// Same shot as the previous frame (with the deciding stage).
+    Same(StageDecision),
+    /// This frame starts a new shot.
+    Boundary,
+}
+
+/// Frame-at-a-time analyzer.
+#[derive(Debug)]
+pub struct StreamingAnalyzer {
+    config: AnalyzerConfig,
+    detector: CameraTrackingDetector,
+    extractor: Option<FeatureExtractor>,
+    prev: Option<FrameFeatures>,
+    signs_ba: Vec<Rgb>,
+    signs_oa: Vec<Rgb>,
+    decisions: Vec<StageDecision>,
+    stats: SbdStats,
+    boundaries: Vec<usize>,
+    shot_start: usize,
+    shots: Vec<Shot>,
+}
+
+impl Default for StreamingAnalyzer {
+    fn default() -> Self {
+        Self::new(AnalyzerConfig::default())
+    }
+}
+
+impl StreamingAnalyzer {
+    /// Analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        StreamingAnalyzer {
+            detector: CameraTrackingDetector::with_config(config.sbd),
+            config,
+            extractor: None,
+            prev: None,
+            signs_ba: Vec::new(),
+            signs_oa: Vec::new(),
+            decisions: Vec::new(),
+            stats: SbdStats::default(),
+            boundaries: Vec::new(),
+            shot_start: 0,
+            shots: Vec::new(),
+        }
+    }
+
+    /// Frames consumed so far.
+    pub fn frame_count(&self) -> usize {
+        self.signs_ba.len()
+    }
+
+    /// Boundaries confirmed so far (final: streaming decisions never
+    /// change retroactively).
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Consume the next frame. All frames must share dimensions (enforced
+    /// by the extractor construction on the first frame).
+    pub fn push(&mut self, frame: &FrameBuf) -> Result<PushOutcome> {
+        if self.extractor.is_none() {
+            let (w, h) = frame.dims();
+            self.extractor = Some(FeatureExtractor::new(w, h)?);
+        }
+        let features = self
+            .extractor
+            .as_ref()
+            .expect("created above")
+            .extract(frame)?;
+        let outcome = match &self.prev {
+            None => PushOutcome::First,
+            Some(prev) => {
+                let d = self.detector.decide_pair(prev, &features);
+                self.stats.pairs += 1;
+                match d {
+                    StageDecision::SameBySign => self.stats.stage1_same += 1,
+                    StageDecision::SameBySignature => self.stats.stage2_same += 1,
+                    StageDecision::SameByTracking => self.stats.stage3_same += 1,
+                    StageDecision::Boundary => self.stats.boundaries += 1,
+                }
+                self.decisions.push(d);
+                if d == StageDecision::Boundary {
+                    let boundary_frame = self.signs_ba.len();
+                    self.shots.push(Shot {
+                        id: self.shots.len(),
+                        start: self.shot_start,
+                        end: boundary_frame - 1,
+                    });
+                    self.boundaries.push(boundary_frame);
+                    self.shot_start = boundary_frame;
+                    PushOutcome::Boundary
+                } else {
+                    PushOutcome::Same(d)
+                }
+            }
+        };
+        self.signs_ba.push(features.sign_ba);
+        self.signs_oa.push(features.sign_oa);
+        self.prev = Some(features);
+        Ok(outcome)
+    }
+
+    /// Close the stream: finalize the last shot, build the scene tree and
+    /// per-shot features. Returns `None` if no frame was ever pushed.
+    pub fn finish(mut self) -> Option<VideoAnalysis> {
+        if self.signs_ba.is_empty() {
+            return None;
+        }
+        self.shots.push(Shot {
+            id: self.shots.len(),
+            start: self.shot_start,
+            end: self.signs_ba.len() - 1,
+        });
+        let segmentation = Segmentation {
+            shots: self.shots,
+            boundaries: self.boundaries,
+            decisions: self.decisions,
+            stats: self.stats,
+        };
+        let scene_tree = build_scene_tree_with_config(
+            &segmentation.shots,
+            &self.signs_ba,
+            self.config.scene_tree,
+        );
+        let features = segmentation
+            .shots
+            .iter()
+            .map(|s| {
+                ShotFeature::from_signs(
+                    &self.signs_ba[s.start..=s.end],
+                    &self.signs_oa[s.start..=s.end],
+                )
+            })
+            .collect();
+        Some(VideoAnalysis {
+            signs_ba: self.signs_ba,
+            signs_oa: self.signs_oa,
+            segmentation,
+            scene_tree,
+            features,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::VideoAnalyzer;
+    use crate::frame::Video;
+
+    fn frames_with_cuts() -> Vec<FrameBuf> {
+        let mut frames = Vec::new();
+        for (base, n) in [(30u8, 6usize), (140, 5), (220, 7)] {
+            for i in 0..n {
+                frames.push(FrameBuf::from_fn(80, 60, |x, y| {
+                    Rgb::new(
+                        base.saturating_add(((x + y) % 12) as u8),
+                        base / 2,
+                        255 - base,
+                    )
+                    .lerp(Rgb::gray(base), (i % 2) as f64 * 0.02)
+                }));
+            }
+        }
+        frames
+    }
+
+    #[test]
+    fn streaming_equals_batch() {
+        let frames = frames_with_cuts();
+        let video = Video::new(frames.clone(), 3.0).unwrap();
+        let batch = VideoAnalyzer::new().analyze(&video).unwrap();
+
+        let mut s = StreamingAnalyzer::default();
+        for f in &frames {
+            s.push(f).unwrap();
+        }
+        let streamed = s.finish().unwrap();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn push_outcomes_report_boundaries_live() {
+        let frames = frames_with_cuts();
+        let mut s = StreamingAnalyzer::default();
+        let mut outcomes = Vec::new();
+        for f in &frames {
+            outcomes.push(s.push(f).unwrap());
+        }
+        assert_eq!(outcomes[0], PushOutcome::First);
+        let live_boundaries: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == PushOutcome::Boundary)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(live_boundaries, vec![6, 11]);
+        assert_eq!(s.boundaries(), &[6, 11]);
+        assert_eq!(s.frame_count(), frames.len());
+    }
+
+    #[test]
+    fn empty_stream_yields_none() {
+        assert!(StreamingAnalyzer::default().finish().is_none());
+    }
+
+    #[test]
+    fn single_frame_stream() {
+        let mut s = StreamingAnalyzer::default();
+        s.push(&FrameBuf::filled(80, 60, Rgb::gray(77))).unwrap();
+        let a = s.finish().unwrap();
+        assert_eq!(a.shots().len(), 1);
+        assert_eq!(a.frame_count(), 1);
+        a.scene_tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tiny_frames_rejected_on_first_push() {
+        let mut s = StreamingAnalyzer::default();
+        assert!(s.push(&FrameBuf::black(8, 8)).is_err());
+    }
+
+    #[test]
+    fn streaming_equals_batch_on_synthetic_genre_clip() {
+        // A richer equivalence check via the synth substrate is in the
+        // end-to-end integration tests; here a deterministic textured clip.
+        let frames: Vec<FrameBuf> = (0..20)
+            .map(|t| {
+                let world = t / 7; // cuts at 7 and 14
+                FrameBuf::from_fn(80, 60, move |x, y| {
+                    Rgb::new(
+                        ((x * (world + 2) as u32) % 200) as u8,
+                        ((y * (world + 3) as u32) % 180) as u8,
+                        (40 * world) as u8,
+                    )
+                })
+            })
+            .collect();
+        let video = Video::new(frames.clone(), 3.0).unwrap();
+        let batch = VideoAnalyzer::new().analyze(&video).unwrap();
+        let mut s = StreamingAnalyzer::default();
+        for f in &frames {
+            s.push(f).unwrap();
+        }
+        assert_eq!(s.finish().unwrap(), batch);
+    }
+}

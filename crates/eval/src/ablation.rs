@@ -1,0 +1,737 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! * **FBA shape** (§2.1's rationale for the ⊓): run the *same* cascade
+//!   with features extracted from (a) the paper's ⊓-shaped background
+//!   area, (b) the full frame, and (c) the central object area only. The
+//!   ⊓ exists so that foreground motion does not perturb the background
+//!   features; the ablation measures what that is worth.
+//! * **Extended similarity model** (§6): retrieval with the per-channel
+//!   six-value feature vector vs the paper's two-value one.
+
+use crate::corpus::{map_corpus, CorpusClip};
+use crate::metrics::{evaluate_boundaries, DetectionEval};
+use crate::report::{ratio, Table};
+use crate::retrieval::{label_for, motion_class, RetrievalExperiment};
+use vdb_core::features::FrameFeatures;
+use vdb_core::frame::FrameBuf;
+use vdb_core::geometry::{AreaLayout, PixelGrid};
+use vdb_core::pyramid::{reduce_grid_to_signature, reduce_line_to_sign};
+use vdb_core::sbd::{CameraTrackingDetector, SbdConfig};
+use vdb_core::signature::Signature;
+use vdb_synth::ShotArchetype;
+
+/// Which region the detector's features are computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FbaShape {
+    /// The paper's ⊓-shaped background area (top bar + rotated columns).
+    PaperHat,
+    /// The whole frame, resampled to the same grid shape.
+    FullFrame,
+    /// The central fixed object area only.
+    CenterOnly,
+}
+
+impl FbaShape {
+    /// All variants in presentation order.
+    pub fn all() -> &'static [FbaShape] {
+        &[
+            FbaShape::PaperHat,
+            FbaShape::FullFrame,
+            FbaShape::CenterOnly,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FbaShape::PaperHat => "paper ⊓ background",
+            FbaShape::FullFrame => "full frame",
+            FbaShape::CenterOnly => "center (FOA) only",
+        }
+    }
+
+    /// Extract the variant's grid from a frame: always `layout.w × layout.l`
+    /// so the downstream pyramid/cascade is identical across variants.
+    fn grid(&self, frame: &FrameBuf, layout: &AreaLayout) -> PixelGrid {
+        match self {
+            FbaShape::PaperHat => layout.extract_tba(frame),
+            FbaShape::FullFrame => {
+                let (w, h) = frame.dims();
+                PixelGrid::from_fn(layout.w, layout.l, |r, c| {
+                    let y = ((r as f64 + 0.5) * f64::from(h) / layout.w as f64) as i64;
+                    let x = ((c as f64 + 0.5) * f64::from(w) / layout.l as f64) as i64;
+                    frame.get_clamped(x, y)
+                })
+            }
+            FbaShape::CenterOnly => {
+                // The FOA region, resampled to the strip shape.
+                let (w0, h0) = (layout.w_raw as f64, layout.h_raw as f64);
+                let b0 = layout.b_raw as f64;
+                PixelGrid::from_fn(layout.w, layout.l, |r, c| {
+                    let y = w0 + (r as f64 + 0.5) * h0 / layout.w as f64;
+                    let x = w0 + (c as f64 + 0.5) * b0 / layout.l as f64;
+                    frame.get_clamped(x as i64, y as i64)
+                })
+            }
+        }
+    }
+
+    /// Per-frame features under this variant, shaped like the real
+    /// pipeline's so [`CameraTrackingDetector`] runs unmodified.
+    pub fn extract(&self, frame: &FrameBuf, layout: &AreaLayout) -> FrameFeatures {
+        let grid = self.grid(frame, layout);
+        let sig = reduce_grid_to_signature(&grid).expect("layout dims are size-set members");
+        let sign = reduce_line_to_sign(&sig).expect("signature length in size set");
+        FrameFeatures {
+            sign_ba: sign,
+            sign_oa: sign,
+            signature_ba: Signature::new(sig),
+        }
+    }
+}
+
+/// A corpus built to probe the FBA-shape question directly: static
+/// cameras, hard cuts, and *large* foreground objects moving through the
+/// frame center ("the bottom part of a frame is usually part of some
+/// object(s)", §2.1). A background-area detector sails through the object
+/// motion; features contaminated by the center do not.
+pub fn foreground_heavy_corpus(seed: u64, clips: usize) -> Vec<CorpusClip> {
+    use vdb_synth::object::{Sprite, SpriteMotion, SpriteShape};
+    use vdb_synth::rng::Srng;
+    use vdb_synth::script::{generate, ShotSpec, VideoScript};
+    use vdb_synth::{table5_clips, Camera};
+
+    let template = table5_clips()[0]; // spec metadata only (name unused)
+    let mut out = Vec::with_capacity(clips);
+    for c in 0..clips {
+        let mut rng = Srng::new(seed ^ ((c as u64) << 17));
+        let mut script = VideoScript::small(seed ^ ((c as u64) * 7919));
+        let (w, h) = (f64::from(script.width), f64::from(script.height));
+        for shot_idx in 0..8u32 {
+            let location = c as u32 * 100 + shot_idx;
+            let frames = rng.range_usize(10, 18);
+            let mut spec = ShotSpec::fixed(location, frames).with_camera(Camera::fixed(
+                f64::from(location) * 211.0,
+                f64::from(location) * 97.0,
+            ));
+            for k in 0..rng.range_usize(1, 2) {
+                let dir = if rng.chance(0.5) { 1.0 } else { -1.0 };
+                spec = spec.with_sprite(Sprite {
+                    shape: if rng.chance(0.5) {
+                        SpriteShape::Ellipse
+                    } else {
+                        SpriteShape::Rect
+                    },
+                    center: (w * rng.range_f64(0.3, 0.7), h * rng.range_f64(0.5, 0.7)),
+                    half_size: (w * 0.18, h * rng.range_f64(0.18, 0.28)),
+                    color: vdb_core::pixel::Rgb::new(
+                        rng.range_usize(60, 230) as u8,
+                        rng.range_usize(60, 230) as u8,
+                        rng.range_usize(60, 230) as u8,
+                    ),
+                    motion: SpriteMotion::Linear {
+                        vx: dir * rng.range_f64(2.0, 4.0),
+                        vy: rng.range_f64(-0.5, 0.5),
+                    },
+                    flutter: rng.range_f64(4.0, 9.0) + k as f64,
+                    seed: rng.next_u64(),
+                    visible: None,
+                });
+            }
+            // Half the shots carry a subtitle that appears mid-shot — a
+            // full-frame feature sees a spurious change, the ⊓ does not.
+            if shot_idx % 2 == 0 && frames > 6 {
+                spec = spec.with_sprite(Sprite::caption(
+                    script.width,
+                    script.height,
+                    (frames / 3, frames - 2),
+                    rng.next_u64(),
+                ));
+            }
+            script.push_shot(spec);
+        }
+        let g = generate(&script);
+        out.push(CorpusClip {
+            spec: template,
+            video: g.video,
+            truth: g.truth,
+        });
+    }
+    out
+}
+
+/// One variant's corpus-wide detection result.
+#[derive(Debug, Clone)]
+pub struct FbaAblationRow {
+    /// The variant.
+    pub shape: FbaShape,
+    /// Pooled outcome.
+    pub eval: DetectionEval,
+}
+
+/// Run the FBA-shape ablation over a corpus.
+pub fn run_fba_ablation(
+    clips: &[CorpusClip],
+    config: SbdConfig,
+    workers: usize,
+) -> Vec<FbaAblationRow> {
+    FbaShape::all()
+        .iter()
+        .map(|&shape| {
+            let evals = map_corpus(clips, workers, |clip| {
+                let (w, h) = clip.video.dims();
+                let layout = AreaLayout::for_frame(w, h).expect("corpus frames analyzable");
+                let feats: Vec<FrameFeatures> = clip
+                    .video
+                    .frames()
+                    .iter()
+                    .map(|f| shape.extract(f, &layout))
+                    .collect();
+                let seg = CameraTrackingDetector::with_config(config).segment_features(&feats);
+                evaluate_boundaries(
+                    &clip.truth.boundaries,
+                    &seg.boundaries,
+                    crate::experiments::BOUNDARY_TOLERANCE,
+                )
+            });
+            let mut total = DetectionEval::default();
+            for e in evals {
+                total.merge(e);
+            }
+            FbaAblationRow { shape, eval: total }
+        })
+        .collect()
+}
+
+/// Render the FBA ablation.
+pub fn render_fba_ablation(rows: &[FbaAblationRow]) -> String {
+    let mut t = Table::new(vec!["Feature region", "Recall", "Precision", "F1"]);
+    for r in rows {
+        t.row(vec![
+            r.shape.name().to_string(),
+            ratio(r.eval.recall()),
+            ratio(r.eval.precision()),
+            ratio(r.eval.f1()),
+        ]);
+    }
+    t.render()
+}
+
+/// Retrieval-model ablation: basic two-value vs extended six-value
+/// similarity. Agreement is averaged over the queries a model *answered*
+/// (the extended model is stricter, so it answers fewer queries — that
+/// trade-off is reported as coverage, not punished as disagreement).
+#[derive(Debug, Clone)]
+pub struct ModelAblation {
+    /// `(archetype agreement, motion-class agreement)` of the basic model,
+    /// over answered queries.
+    pub basic: (f64, f64),
+    /// Same for the extended model.
+    pub extended: (f64, f64),
+    /// Queries the basic model answered (of `queries`).
+    pub basic_answered: usize,
+    /// Queries the extended model answered.
+    pub extended_answered: usize,
+    /// Queries actually run.
+    pub queries: usize,
+}
+
+/// Run the basic-vs-extended retrieval ablation on the Table 4 movies.
+pub fn run_model_ablation(exp: &RetrievalExperiment) -> ModelAblation {
+    use vdb_core::index::{ExtendedEntry, ExtendedIndex, ExtendedQuery, ShotKey};
+    use vdb_core::variance::ExtendedShotFeature;
+
+    // Extended features computed from the stored per-frame signs.
+    let mut ext_index = ExtendedIndex::default();
+    let mut ext_features: Vec<Vec<ExtendedShotFeature>> = Vec::new();
+    for (m, (_, analysis)) in exp.movies.iter().enumerate() {
+        let mut per_movie = Vec::new();
+        for shot in analysis.shots() {
+            let f = ExtendedShotFeature::from_signs(
+                &analysis.signs_ba[shot.start..=shot.end],
+                &analysis.signs_oa[shot.start..=shot.end],
+            );
+            ext_index.insert(ExtendedEntry {
+                key: ShotKey {
+                    video: m as u64,
+                    shot: shot.id as u32,
+                },
+                feature: f,
+            });
+            per_movie.push(f);
+        }
+        ext_features.push(per_movie);
+    }
+
+    let mut basic_arch = 0.0;
+    let mut basic_class = 0.0;
+    let mut ext_arch = 0.0;
+    let mut ext_class = 0.0;
+    let mut queries = 0usize;
+    let mut basic_answered = 0usize;
+    let mut extended_answered = 0usize;
+    for &archetype in ShotArchetype::all() {
+        let Some(outcome) = exp.retrieve(archetype, 3) else {
+            continue;
+        };
+        queries += 1;
+        if !outcome.answers.is_empty() {
+            basic_answered += 1;
+            basic_arch += outcome.agreement;
+            basic_class += outcome.class_agreement;
+        }
+
+        // Extended retrieval with the same query shot.
+        let (truth0, analysis0) = &exp.movies[0];
+        let (_, qshot) = outcome.query;
+        let q = ExtendedQuery::by_example(ext_features[0][qshot]);
+        let mut answers = Vec::new();
+        for (e, _) in ext_index.query(&q) {
+            let (mv, sid) = (e.key.video as usize, e.key.shot as usize);
+            if (mv, sid) == (0, qshot) {
+                continue;
+            }
+            let (truth, analysis) = &exp.movies[mv];
+            let label = label_for(truth, &analysis.shots()[sid]).unwrap_or_default();
+            answers.push(label);
+            if answers.len() == 3 {
+                break;
+            }
+        }
+        let _ = (truth0, analysis0);
+        if !answers.is_empty() {
+            extended_answered += 1;
+            let a = answers.iter().filter(|l| *l == archetype.label()).count() as f64
+                / answers.len() as f64;
+            let c = answers
+                .iter()
+                .filter(|l| motion_class(l) == motion_class(archetype.label()))
+                .count() as f64
+                / answers.len() as f64;
+            ext_arch += a;
+            ext_class += c;
+        }
+    }
+    let nb = basic_answered.max(1) as f64;
+    let ne = extended_answered.max(1) as f64;
+    ModelAblation {
+        basic: (basic_arch / nb, basic_class / nb),
+        extended: (ext_arch / ne, ext_class / ne),
+        basic_answered,
+        extended_answered,
+        queries,
+    }
+}
+
+/// FBA-thickness ablation: the paper fixes the border at 10 % of the
+/// frame width ("determined empirically using our video clips", §2.2).
+/// Sweep the fraction and measure corpus detection accuracy: thin borders
+/// sample too little background (noisy signs), thick ones overlap the
+/// object area (foreground motion contaminates `Sign^BA`).
+pub fn run_thickness_ablation(clips: &[CorpusClip], workers: usize) -> String {
+    use vdb_core::pyramid::{reduce_grid_to_signature, reduce_line_to_sign};
+    use vdb_core::signature::Signature;
+
+    let config = SbdConfig::default();
+    let mut t = Table::new(vec!["Border fraction", "Recall", "Precision", "F1"]);
+    for fraction in [0.04f64, 0.07, 0.10, 0.15, 0.20] {
+        let evals = map_corpus(clips, workers, |clip| {
+            let (w, h) = clip.video.dims();
+            let layout = AreaLayout::for_frame_with_fraction(w, h, fraction)
+                .expect("corpus frames analyzable");
+            let feats: Vec<FrameFeatures> = clip
+                .video
+                .frames()
+                .iter()
+                .map(|f| {
+                    let tba = layout.extract_tba(f);
+                    let sig = reduce_grid_to_signature(&tba).expect("size set");
+                    let sign = reduce_line_to_sign(&sig).expect("size set");
+                    FrameFeatures {
+                        sign_ba: sign,
+                        sign_oa: sign,
+                        signature_ba: Signature::new(sig),
+                    }
+                })
+                .collect();
+            let seg = CameraTrackingDetector::with_config(config).segment_features(&feats);
+            evaluate_boundaries(
+                &clip.truth.boundaries,
+                &seg.boundaries,
+                crate::experiments::BOUNDARY_TOLERANCE,
+            )
+        });
+        let mut total = DetectionEval::default();
+        for e in evals {
+            total.merge(e);
+        }
+        t.row(vec![
+            format!(
+                "{:.0}%{}",
+                fraction * 100.0,
+                if (fraction - 0.10).abs() < 1e-9 { " (paper)" } else { "" }
+            ),
+            ratio(total.recall()),
+            ratio(total.precision()),
+            ratio(total.f1()),
+        ]);
+    }
+    t.render()
+}
+
+/// Zoom-robustness ablation: the paper's shift-only tracker vs the
+/// multiscale extension (`Signature::track_multiscale`) on a zoom-heavy
+/// corpus. A camera zoom *rescales* the background strip; pure shifting
+/// can only match content near the zoom center. On smooth content a zoom
+/// alone never reaches stage 3 (the global mean is nearly zoom-invariant,
+/// so the stage-1 sign test absorbs it) — the realistic stressor is a fast
+/// zoom *combined with auto-exposure drift* (zooming toward a bright
+/// window re-meters the iris), which defeats the quick stages and makes
+/// stage-3 tracking decide.
+pub fn run_zoom_ablation(seed: u64, clips: usize) -> String {
+    use vdb_core::features::extract_features;
+    use vdb_core::sbd::StageDecision;
+    use vdb_synth::camera::CameraMotion;
+    use vdb_synth::rng::Srng;
+    use vdb_synth::script::{generate, ShotSpec, VideoScript};
+    use vdb_synth::Camera;
+
+    // Zoom-heavy clips: every shot zooms in or out at a brisk rate.
+    let mut totals: Vec<(&str, DetectionEval)> = vec![
+        ("shift-only (paper)", DetectionEval::default()),
+        ("multiscale (extension)", DetectionEval::default()),
+    ];
+    let config = SbdConfig::default();
+    for c in 0..clips {
+        let mut rng = Srng::new(seed ^ ((c as u64) * 104729));
+        let mut script = VideoScript::small(seed ^ ((c as u64) * 31337));
+        for shot_idx in 0..6u32 {
+            let location = c as u32 * 50 + shot_idx;
+            let rate = if rng.chance(0.5) { 1.22 } else { 0.82 };
+            script.push_shot(
+                ShotSpec::fixed(location, rng.range_usize(10, 16)).with_camera(
+                    Camera::with_motion(
+                        f64::from(location) * 223.0,
+                        f64::from(location) * 101.0,
+                        CameraMotion::Zoom { rate },
+                        rng.next_u64(),
+                    ),
+                ),
+            );
+        }
+        let clip = generate(&script);
+        // Auto-exposure drift: brightness ramps 7 gray levels per frame
+        // within each shot (resetting at cuts), like an iris re-metering
+        // during the zoom.
+        let mut frames = clip.video.frames().to_vec();
+        for &(start, end) in &clip.truth.shot_ranges {
+            for (k, t) in (start..=end).enumerate() {
+                let delta = ((k as i16) * 7).min(120);
+                for p in frames[t].pixels_mut() {
+                    *p = vdb_core::pixel::Rgb::new(
+                        (i16::from(p.r()) + delta).clamp(0, 255) as u8,
+                        (i16::from(p.g()) + delta).clamp(0, 255) as u8,
+                        (i16::from(p.b()) + delta).clamp(0, 255) as u8,
+                    );
+                }
+            }
+        }
+        let video = vdb_core::frame::Video::new(frames, clip.video.fps()).expect("frames");
+        let feats = extract_features(&video).expect("analyzable");
+        for (variant, total) in totals.iter_mut() {
+            let multiscale = *variant == "multiscale (extension)";
+            let mut boundaries = Vec::new();
+            for i in 1..feats.len() {
+                let (a, b) = (&feats[i - 1], &feats[i]);
+                // Stages 1-2 as in the cascade.
+                let d = if a.sign_ba.max_channel_diff(b.sign_ba) <= config.sign_same_max_diff {
+                    StageDecision::SameBySign
+                } else if a.signature_ba.quick_diff(&b.signature_ba)
+                    <= config.signature_same_max_diff
+                {
+                    StageDecision::SameBySignature
+                } else {
+                    let n = a.signature_ba.len();
+                    let track = if multiscale {
+                        a.signature_ba.track_multiscale(
+                            &b.signature_ba,
+                            config.track_tolerance,
+                            n,
+                            &[0.80, 0.82, 1.20, 1.25],
+                        )
+                    } else {
+                        a.signature_ba
+                            .track(&b.signature_ba, config.track_tolerance, n)
+                    };
+                    if track.score() >= config.track_min_score {
+                        StageDecision::SameByTracking
+                    } else {
+                        StageDecision::Boundary
+                    }
+                };
+                if d == StageDecision::Boundary {
+                    boundaries.push(i);
+                }
+            }
+            total.merge(evaluate_boundaries(
+                &clip.truth.boundaries,
+                &boundaries,
+                crate::experiments::BOUNDARY_TOLERANCE,
+            ));
+        }
+    }
+    let mut t = Table::new(vec!["Tracker", "Recall", "Precision", "F1"]);
+    for (variant, total) in totals {
+        t.row(vec![
+            variant.to_string(),
+            ratio(total.recall()),
+            ratio(total.precision()),
+            ratio(total.f1()),
+        ]);
+    }
+    t.render()
+}
+
+/// RELATIONSHIP-threshold ablation: scene-tree shape and quality as the
+/// Eq. 2 threshold moves around the paper's 10 %. Too strict and nothing
+/// groups (the tree degenerates to a flat list of singleton scenes); too
+/// lax and everything merges into one scene. 10 % sits where trees are
+/// deep *and* scenes stay anchored to shared backgrounds.
+pub fn run_tree_threshold_ablation(seed: u64) -> String {
+    use vdb_baselines::BrowseTree;
+    use vdb_core::scenetree::{build_scene_tree_with_config, SceneTreeConfig};
+    use vdb_synth::script::generate;
+    use vdb_synth::{build_script, Genre};
+
+    let sweep = |name: &str, script: &vdb_synth::script::VideoScript| -> String {
+        let clip = generate(script);
+        let analysis = vdb_core::analyzer::VideoAnalyzer::new()
+            .analyze(&clip.video)
+            .expect("analyzable");
+        let locations: Vec<u32> = analysis
+            .shots()
+            .iter()
+            .map(|s| crate::retrieval::location_for(&clip.truth, s).unwrap_or(u32::MAX))
+            .collect();
+        let mut t = Table::new(vec![
+            "Threshold",
+            "Scenes (level>=1)",
+            "Height",
+            "Root children",
+            "Purity",
+        ]);
+        for threshold in [2.0f64, 5.0, 10.0, 20.0, 40.0] {
+            let tree = build_scene_tree_with_config(
+                analysis.shots(),
+                &analysis.signs_ba,
+                SceneTreeConfig {
+                    relationship_threshold_percent: threshold,
+                },
+            );
+            tree.check_invariants()
+                .expect("valid tree at any threshold");
+            let scenes = tree
+                .nodes()
+                .iter()
+                .filter(|n| !n.is_leaf() && n.id != tree.root())
+                .count();
+            let purity = BrowseTree::from_scene_tree(&tree).location_purity(&locations);
+            t.row(vec![
+                format!(
+                    "{threshold:.0}%{}",
+                    if threshold == 10.0 { " (paper)" } else { "" }
+                ),
+                scenes.to_string(),
+                tree.height().to_string(),
+                tree.node(tree.root()).children.len().to_string(),
+                ratio(purity),
+            ]);
+        }
+        format!("{name}:\n{}", t.render())
+    };
+
+    // The worked-example clip: four distinct locations; 10 % is the sweet
+    // spot (strict thresholds shatter the tree, lax ones over-merge).
+    let fig5 = crate::retrieval::figure5_script(crate::retrieval::FIGURE5_SEED);
+    // A shared-palette sitcom: RELATIONSHIP's color-blindness means even
+    // 10 % merges everything — an honest limitation of the model.
+    let sitcom = build_script(Genre::Sitcom, 20, Some(9.0), (80, 60), seed);
+    let mut out = sweep("Figure 5 worked-example clip", &fig5);
+    out.push('\n');
+    out.push_str(&sweep("shared-palette sitcom clip", &sitcom));
+    out
+}
+
+/// Render the model ablation.
+pub fn render_model_ablation(a: &ModelAblation) -> String {
+    let mut t = Table::new(vec![
+        "Similarity model",
+        "Archetype@3",
+        "Motion class@3",
+        "Answered",
+    ]);
+    t.row(vec![
+        "basic (Var^BA, Var^OA) — the paper".to_string(),
+        ratio(a.basic.0),
+        ratio(a.basic.1),
+        format!("{}/{}", a.basic_answered, a.queries),
+    ]);
+    t.row(vec![
+        "extended per-channel (§6)".to_string(),
+        ratio(a.extended.0),
+        ratio(a.extended.1),
+        format!("{}/{}", a.extended_answered, a.queries),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{build_corpus, CORPUS_DIMS};
+    use crate::retrieval::run_table4;
+    use vdb_synth::Scale;
+
+    #[test]
+    fn fba_shapes_produce_distinct_features() {
+        let layout = AreaLayout::for_frame(80, 60).unwrap();
+        let frame = FrameBuf::from_fn(80, 60, |x, y| {
+            vdb_core::pixel::Rgb::new((x * 3) as u8, (y * 4) as u8, 7)
+        });
+        let hat = FbaShape::PaperHat.extract(&frame, &layout);
+        let full = FbaShape::FullFrame.extract(&frame, &layout);
+        let center = FbaShape::CenterOnly.extract(&frame, &layout);
+        assert_eq!(hat.signature_ba.len(), full.signature_ba.len());
+        assert_eq!(hat.signature_ba.len(), center.signature_ba.len());
+        assert_ne!(hat.signature_ba, full.signature_ba);
+        assert_ne!(full.signature_ba, center.signature_ba);
+    }
+
+    #[test]
+    fn center_only_sees_only_the_foa() {
+        // Paint FOA green, border red: the center variant's sign must be
+        // pure green, the hat variant's pure red.
+        let layout = AreaLayout::for_frame(80, 60).unwrap();
+        let (w, h) = (layout.w_raw as u32, layout.h_raw as u32);
+        let frame = FrameBuf::from_fn(80, 60, |x, y| {
+            let in_foa = y >= w && x >= w && x < 80 - w && y < w + h;
+            if in_foa {
+                vdb_core::pixel::Rgb::new(0, 200, 0)
+            } else {
+                vdb_core::pixel::Rgb::new(200, 0, 0)
+            }
+        });
+        let hat = FbaShape::PaperHat.extract(&frame, &layout);
+        let center = FbaShape::CenterOnly.extract(&frame, &layout);
+        assert_eq!(hat.sign_ba, vdb_core::pixel::Rgb::new(200, 0, 0));
+        assert_eq!(center.sign_ba, vdb_core::pixel::Rgb::new(0, 200, 0));
+    }
+
+    #[test]
+    fn hat_wins_on_foreground_heavy_video() {
+        // The corpus that isolates the ⊓'s purpose: big objects crossing
+        // the frame center under static cameras.
+        let clips = foreground_heavy_corpus(42, 4);
+        let rows = run_fba_ablation(&clips, SbdConfig::default(), 4);
+        assert_eq!(rows.len(), 3);
+        let f1 = |s: FbaShape| rows.iter().find(|r| r.shape == s).unwrap().eval.f1();
+        let hat = f1(FbaShape::PaperHat);
+        assert!(
+            hat > f1(FbaShape::CenterOnly),
+            "hat {hat:.3} vs center {:.3}",
+            f1(FbaShape::CenterOnly)
+        );
+        assert!(
+            hat >= f1(FbaShape::FullFrame),
+            "hat {hat:.3} vs full {:.3}",
+            f1(FbaShape::FullFrame)
+        );
+        assert!(render_fba_ablation(&rows).contains("full frame"));
+    }
+
+    #[test]
+    fn hat_competitive_on_the_general_corpus() {
+        // On the general Table 5 corpus (small foregrounds) the variants
+        // are close; the ⊓ must at least stay within noise of the best.
+        let clips = build_corpus(Scale::Fraction(0.03), CORPUS_DIMS, 1234);
+        let rows = run_fba_ablation(&clips, SbdConfig::default(), 4);
+        let f1 = |s: FbaShape| rows.iter().find(|r| r.shape == s).unwrap().eval.f1();
+        let best = FbaShape::all()
+            .iter()
+            .map(|&s| f1(s))
+            .fold(0.0f64, f64::max);
+        assert!(
+            f1(FbaShape::PaperHat) >= best - 0.05,
+            "hat {:.3} vs best {best:.3}",
+            f1(FbaShape::PaperHat)
+        );
+    }
+
+    #[test]
+    fn thickness_ablation_renders_and_paper_choice_competitive() {
+        let clips = build_corpus(Scale::Fraction(0.03), CORPUS_DIMS, 9876);
+        let rendered = run_thickness_ablation(&clips, 4);
+        assert!(rendered.contains("(paper)"));
+        // Extract F1 per row; the paper's 10% must be within 0.06 of the
+        // best fraction on this corpus.
+        let f1s: Vec<(bool, f64)> = rendered
+            .lines()
+            .filter(|l| l.contains('%'))
+            .map(|l| {
+                let is_paper = l.contains("(paper)");
+                let f1 = l.split_whitespace().last().unwrap().parse().unwrap();
+                (is_paper, f1)
+            })
+            .collect();
+        assert_eq!(f1s.len(), 5);
+        let best = f1s.iter().map(|&(_, f)| f).fold(0.0f64, f64::max);
+        let paper = f1s.iter().find(|&&(p, _)| p).unwrap().1;
+        assert!(paper >= best - 0.06, "paper 10% F1 {paper} vs best {best}\n{rendered}");
+    }
+
+    #[test]
+    fn zoom_ablation_multiscale_helps_precision() {
+        let rendered = run_zoom_ablation(77, 3);
+        assert!(rendered.contains("shift-only"));
+        assert!(rendered.contains("multiscale"));
+        // Extract F1 columns: the extension must not lose to the paper's
+        // tracker on zoom-heavy footage.
+        let f1 = |name: &str| -> f64 {
+            rendered
+                .lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|v| v.parse().ok())
+                .unwrap()
+        };
+        assert!(f1("multiscale") + 1e-9 >= f1("shift-only"), "{rendered}");
+    }
+
+    #[test]
+    fn tree_threshold_ablation_renders_and_varies() {
+        let s = run_tree_threshold_ablation(2025);
+        assert!(s.contains("(paper)"));
+        assert!(s.contains("40%"));
+        // The 2% and 40% rows must differ somewhere (shape responds to the
+        // threshold) — compare the rendered lines minus the label.
+        let lines: Vec<&str> = s.lines().collect();
+        let strict = lines.iter().find(|l| l.starts_with("2%")).unwrap();
+        let lax = lines.iter().find(|l| l.starts_with("40%")).unwrap();
+        let tail = |l: &str| l.split_whitespace().skip(1).collect::<Vec<_>>().join(" ");
+        assert_ne!(tail(strict), tail(lax));
+    }
+
+    #[test]
+    fn extended_model_not_worse_at_retrieval() {
+        let exp = run_table4(4004);
+        let a = run_model_ablation(&exp);
+        assert!(a.queries >= 3);
+        assert!(
+            a.extended.0 + 1e-9 >= a.basic.0 - 0.2,
+            "extended {:?} vs basic {:?}",
+            a.extended,
+            a.basic
+        );
+        assert!(render_model_ablation(&a).contains("extended"));
+    }
+}

@@ -1,0 +1,572 @@
+//! Detection experiments: Table 5, the Figure 4 cascade statistics, the
+//! baseline comparison, and the threshold-sensitivity sweep.
+
+use crate::corpus::{map_corpus, CorpusClip};
+use crate::metrics::{evaluate_boundaries, DetectionEval};
+use crate::report::{min_sec, ratio, Table};
+use vdb_baselines::detector::ShotDetector;
+use vdb_baselines::{CameraTracking, EcrDetector, HistogramDetector, PixelwiseDetector};
+use vdb_core::sbd::{CameraTrackingDetector, SbdConfig, SbdStats};
+
+/// Boundary-matching tolerance (frames) used by all detection experiments.
+/// Gradual transitions place the true boundary at the transition midpoint;
+/// a detector firing anywhere inside a short transition is correct.
+pub const BOUNDARY_TOLERANCE: usize = 2;
+
+/// One row of the Table 5 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Clip name.
+    pub name: String,
+    /// Table 5 category.
+    pub category: String,
+    /// Synthesized duration in seconds.
+    pub duration_secs: u32,
+    /// True shot changes in the synthesized clip.
+    pub shot_changes: usize,
+    /// Detection outcome.
+    pub eval: DetectionEval,
+    /// Recall the paper reported for the original clip.
+    pub paper_recall: f64,
+    /// Precision the paper reported.
+    pub paper_precision: f64,
+}
+
+/// The full Table 5 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table5Report {
+    /// Per-clip rows in Table 5 order.
+    pub rows: Vec<Table5Row>,
+    /// Pooled counts (the paper's "Total" row).
+    pub total: DetectionEval,
+}
+
+impl Table5Report {
+    /// Overall recall of the pooled counts.
+    pub fn total_recall(&self) -> f64 {
+        self.total.recall()
+    }
+
+    /// Overall precision of the pooled counts.
+    pub fn total_precision(&self) -> f64 {
+        self.total.precision()
+    }
+
+    /// Render in the paper's column layout, with the published numbers
+    /// alongside for comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Name",
+            "Category",
+            "Duration",
+            "Changes",
+            "Recall",
+            "Precision",
+            "Paper R",
+            "Paper P",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.name.clone(),
+                r.category.clone(),
+                min_sec(r.duration_secs),
+                r.shot_changes.to_string(),
+                ratio(r.eval.recall()),
+                ratio(r.eval.precision()),
+                ratio(r.paper_recall),
+                ratio(r.paper_precision),
+            ]);
+        }
+        t.separator();
+        let total_changes: usize = self.rows.iter().map(|r| r.shot_changes).sum();
+        let total_secs: u32 = self.rows.iter().map(|r| r.duration_secs).sum();
+        t.row(vec![
+            String::from("Total"),
+            String::new(),
+            min_sec(total_secs),
+            total_changes.to_string(),
+            ratio(self.total_recall()),
+            ratio(self.total_precision()),
+            ratio(vdb_synth::clips::PAPER_TOTAL_RECALL),
+            ratio(vdb_synth::clips::PAPER_TOTAL_PRECISION),
+        ]);
+        t.render()
+    }
+}
+
+/// Run the camera-tracking detector over a prebuilt corpus (Table 5).
+pub fn run_table5(clips: &[CorpusClip], config: SbdConfig, workers: usize) -> Table5Report {
+    let evals = map_corpus(clips, workers, |clip| {
+        let detector = CameraTrackingDetector::with_config(config);
+        let (_, seg) = detector
+            .segment_video(&clip.video)
+            .expect("corpus frames are analyzable");
+        evaluate_boundaries(&clip.truth.boundaries, &seg.boundaries, BOUNDARY_TOLERANCE)
+    });
+    let mut total = DetectionEval::default();
+    let rows = clips
+        .iter()
+        .zip(evals)
+        .map(|(clip, eval)| {
+            total.merge(eval);
+            Table5Row {
+                name: clip.spec.name.to_string(),
+                category: clip.spec.category.to_string(),
+                duration_secs: (clip.video.len() as f64 / clip.video.fps()) as u32,
+                shot_changes: clip.truth.boundaries.len(),
+                eval,
+                paper_recall: clip.spec.paper_recall,
+                paper_precision: clip.spec.paper_precision,
+            }
+        })
+        .collect();
+    Table5Report { rows, total }
+}
+
+impl Table5Report {
+    /// Pool the per-clip rows by Table 5 category (TV Programs, News,
+    /// Movies, Sports Events, Documentaries, Music Videos), preserving the
+    /// paper's category order.
+    pub fn by_category(&self) -> Vec<(String, DetectionEval)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut pooled: std::collections::HashMap<String, DetectionEval> =
+            std::collections::HashMap::new();
+        for r in &self.rows {
+            if !order.contains(&r.category) {
+                order.push(r.category.clone());
+            }
+            pooled.entry(r.category.clone()).or_default().merge(r.eval);
+        }
+        order
+            .into_iter()
+            .map(|c| {
+                let e = pooled[&c];
+                (c, e)
+            })
+            .collect()
+    }
+
+    /// Render the category summary.
+    pub fn render_by_category(&self) -> String {
+        let mut t = Table::new(vec!["Category", "Changes", "Recall", "Precision", "F1"]);
+        for (category, eval) in self.by_category() {
+            t.row(vec![
+                category,
+                (eval.true_positives + eval.false_negatives).to_string(),
+                ratio(eval.recall()),
+                ratio(eval.precision()),
+                ratio(eval.f1()),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Aggregated cascade statistics over a corpus (Figure 4 in numbers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageReport {
+    /// Pooled cascade counters.
+    pub stats: SbdStats,
+}
+
+impl StageReport {
+    /// Render stage-by-stage counts and rates.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        let pct = |n: usize| {
+            if s.pairs == 0 {
+                String::from("0.0%")
+            } else {
+                format!("{:.1}%", 100.0 * n as f64 / s.pairs as f64)
+            }
+        };
+        let mut t = Table::new(vec!["Stage", "Pairs", "Share"]);
+        t.row(vec![
+            "1: sign test (same shot)".to_string(),
+            s.stage1_same.to_string(),
+            pct(s.stage1_same),
+        ]);
+        t.row(vec![
+            "2: signature test (same shot)".to_string(),
+            s.stage2_same.to_string(),
+            pct(s.stage2_same),
+        ]);
+        t.row(vec![
+            "3: tracking (same shot)".to_string(),
+            s.stage3_same.to_string(),
+            pct(s.stage3_same),
+        ]);
+        t.row(vec![
+            "3: tracking (boundary)".to_string(),
+            s.boundaries.to_string(),
+            pct(s.boundaries),
+        ]);
+        t.separator();
+        t.row(vec![
+            "total frame pairs".to_string(),
+            s.pairs.to_string(),
+            String::from("100%"),
+        ]);
+        t.row(vec![
+            "quick elimination rate".to_string(),
+            String::new(),
+            format!("{:.1}%", 100.0 * s.quick_elimination_rate()),
+        ]);
+        t.render()
+    }
+}
+
+/// Pool cascade statistics over a corpus.
+pub fn run_stage_stats(clips: &[CorpusClip], config: SbdConfig, workers: usize) -> StageReport {
+    let all = map_corpus(clips, workers, |clip| {
+        let detector = CameraTrackingDetector::with_config(config);
+        let (_, seg) = detector.segment_video(&clip.video).expect("analyzable");
+        seg.stats
+    });
+    let mut stats = SbdStats::default();
+    for s in all {
+        stats.pairs += s.pairs;
+        stats.stage1_same += s.stage1_same;
+        stats.stage2_same += s.stage2_same;
+        stats.stage3_same += s.stage3_same;
+        stats.boundaries += s.boundaries;
+    }
+    StageReport { stats }
+}
+
+/// One detector's corpus-wide result in the baseline shoot-out.
+#[derive(Debug, Clone)]
+pub struct DetectorRow {
+    /// Detector name.
+    pub name: &'static str,
+    /// How many thresholds it needs (the paper's practicality argument).
+    pub thresholds: usize,
+    /// Pooled detection outcome.
+    pub eval: DetectionEval,
+    /// Wall-clock seconds for the whole corpus.
+    pub elapsed_secs: f64,
+}
+
+/// Run every detector over the corpus (the §1/§6 comparison).
+pub fn run_baseline_comparison(clips: &[CorpusClip], workers: usize) -> Vec<DetectorRow> {
+    let detectors: Vec<Box<dyn ShotDetector + Sync>> = vec![
+        Box::new(CameraTracking::new()),
+        Box::new(HistogramDetector::default()),
+        Box::new(EcrDetector::default()),
+        Box::new(PixelwiseDetector::default()),
+    ];
+    detectors
+        .into_iter()
+        .map(|d| {
+            let start = std::time::Instant::now();
+            let evals = map_corpus(clips, workers, |clip| {
+                let detected = d.detect(&clip.video);
+                evaluate_boundaries(&clip.truth.boundaries, &detected, BOUNDARY_TOLERANCE)
+            });
+            let mut total = DetectionEval::default();
+            for e in evals {
+                total.merge(e);
+            }
+            DetectorRow {
+                name: d.name(),
+                thresholds: d.threshold_count(),
+                eval: total,
+                elapsed_secs: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Render the baseline comparison.
+pub fn render_baseline_comparison(rows: &[DetectorRow]) -> String {
+    let mut t = Table::new(vec![
+        "Detector",
+        "Thresholds",
+        "Recall",
+        "Precision",
+        "F1",
+        "Time (s)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.to_string(),
+            r.thresholds.to_string(),
+            ratio(r.eval.recall()),
+            ratio(r.eval.precision()),
+            ratio(r.eval.f1()),
+            format!("{:.2}", r.elapsed_secs),
+        ]);
+    }
+    t.render()
+}
+
+/// One point of the sensitivity sweep: thresholds scaled by `factor`.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// Detector name.
+    pub name: &'static str,
+    /// Multiplier applied to every threshold.
+    pub factor: f64,
+    /// Pooled outcome at that setting.
+    pub eval: DetectionEval,
+}
+
+/// Scale every threshold of every detector by a set of factors and measure
+/// the F1 swing — the quantified form of the paper's "accuracy varies from
+/// 20% to 80% depending on those values" critique.
+pub fn run_sensitivity_sweep(clips: &[CorpusClip], workers: usize) -> Vec<SensitivityRow> {
+    let factors = [0.5f64, 1.0, 2.0];
+    let mut out = Vec::new();
+    for &factor in &factors {
+        let scaled: Vec<Box<dyn ShotDetector + Sync>> = vec![
+            Box::new(CameraTracking::with_config(SbdConfig {
+                sign_same_max_diff: scale_u8(SbdConfig::default().sign_same_max_diff, factor),
+                signature_same_max_diff: SbdConfig::default().signature_same_max_diff * factor,
+                track_tolerance: scale_u8(SbdConfig::default().track_tolerance, factor),
+                track_min_score: (SbdConfig::default().track_min_score * factor).min(1.0),
+                max_shift_fraction: 1.0,
+                early_exit: true,
+            })),
+            Box::new(HistogramDetector {
+                t_cut: (HistogramDetector::default().t_cut * factor).min(1.0),
+                t_gradual: (HistogramDetector::default().t_gradual * factor).min(1.0),
+                t_accumulated: (HistogramDetector::default().t_accumulated * factor).min(1.0),
+            }),
+            Box::new(EcrDetector {
+                edge_threshold: (f64::from(EcrDetector::default().edge_threshold) * factor) as u16,
+                t_cut: (EcrDetector::default().t_cut * factor).min(1.0),
+                t_gradual: (EcrDetector::default().t_gradual * factor).min(1.0),
+                ..EcrDetector::default()
+            }),
+        ];
+        for d in scaled {
+            let evals = map_corpus(clips, workers, |clip| {
+                let detected = d.detect(&clip.video);
+                evaluate_boundaries(&clip.truth.boundaries, &detected, BOUNDARY_TOLERANCE)
+            });
+            let mut total = DetectionEval::default();
+            for e in evals {
+                total.merge(e);
+            }
+            out.push(SensitivityRow {
+                name: d.name(),
+                factor,
+                eval: total,
+            });
+        }
+    }
+    out
+}
+
+fn scale_u8(v: u8, factor: f64) -> u8 {
+    (f64::from(v) * factor).round().clamp(0.0, 255.0) as u8
+}
+
+/// Robustness of the Table 5 conclusion to the boundary-matching rule: the
+/// pooled recall/precision at matching tolerances 0–4 frames. The paper
+/// does not state its rule; this sweep shows the conclusions do not hinge
+/// on it.
+pub fn run_tolerance_sweep(clips: &[CorpusClip], config: SbdConfig, workers: usize) -> String {
+    // Detect once, score at every tolerance.
+    let detections = map_corpus(clips, workers, |clip| {
+        let detector = CameraTrackingDetector::with_config(config);
+        let (_, seg) = detector.segment_video(&clip.video).expect("analyzable");
+        seg.boundaries
+    });
+    let mut t = crate::report::Table::new(vec!["Tolerance", "Recall", "Precision", "F1"]);
+    for tol in 0..=4usize {
+        let mut total = DetectionEval::default();
+        for (clip, detected) in clips.iter().zip(&detections) {
+            total.merge(evaluate_boundaries(&clip.truth.boundaries, detected, tol));
+        }
+        t.row(vec![
+            format!("±{tol}"),
+            crate::report::ratio(total.recall()),
+            crate::report::ratio(total.precision()),
+            crate::report::ratio(total.f1()),
+        ]);
+    }
+    t.render()
+}
+
+/// Render the sensitivity sweep, one row per (detector, factor), plus each
+/// detector's F1 swing.
+pub fn render_sensitivity(rows: &[SensitivityRow]) -> String {
+    let mut t = Table::new(vec!["Detector", "Factor", "Recall", "Precision", "F1"]);
+    for r in rows {
+        t.row(vec![
+            r.name.to_string(),
+            format!("x{:.1}", r.factor),
+            ratio(r.eval.recall()),
+            ratio(r.eval.precision()),
+            ratio(r.eval.f1()),
+        ]);
+    }
+    let mut s = t.render();
+    s.push('\n');
+    let mut names: Vec<&'static str> = rows.iter().map(|r| r.name).collect();
+    names.dedup();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let f1s: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.eval.f1())
+            .collect();
+        let lo = f1s.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = f1s.iter().copied().fold(0.0f64, f64::max);
+        s.push_str(&format!(
+            "{name}: F1 swing {:.2} (from {:.2} to {:.2})\n",
+            hi - lo,
+            lo,
+            hi
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{build_corpus, CORPUS_DIMS};
+    use vdb_synth::Scale;
+
+    fn smoke_corpus() -> Vec<CorpusClip> {
+        build_corpus(Scale::Fraction(0.03), CORPUS_DIMS, 1234)
+    }
+
+    #[test]
+    fn table5_runs_and_is_accurate_at_smoke_scale() {
+        let clips = smoke_corpus();
+        let report = run_table5(&clips, SbdConfig::default(), 4);
+        assert_eq!(report.rows.len(), 22);
+        // The shape claim: recall and precision both in the paper's band.
+        assert!(
+            report.total_recall() >= 0.75,
+            "total recall {:.3}",
+            report.total_recall()
+        );
+        assert!(
+            report.total_precision() >= 0.75,
+            "total precision {:.3}",
+            report.total_precision()
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("Wag the Dog"));
+        assert!(rendered.contains("Total"));
+    }
+
+    #[test]
+    fn category_summary_pools_correctly() {
+        let clips = smoke_corpus();
+        let report = run_table5(&clips, SbdConfig::default(), 4);
+        let cats = report.by_category();
+        assert_eq!(cats.len(), 6, "Table 5's six categories");
+        assert_eq!(cats[0].0, "TV Programs");
+        // Pooled counts across categories equal the total row.
+        let mut sum = DetectionEval::default();
+        for (_, e) in &cats {
+            sum.merge(*e);
+        }
+        assert_eq!(sum, report.total);
+        assert!(report.render_by_category().contains("Music Videos"));
+    }
+
+    #[test]
+    fn stage_stats_show_quick_elimination() {
+        let clips = smoke_corpus();
+        let report = run_stage_stats(&clips, SbdConfig::default(), 4);
+        assert!(report.stats.pairs > 0);
+        // Figure 4's premise: most pairs resolve in the quick stages.
+        assert!(
+            report.stats.quick_elimination_rate() > 0.5,
+            "quick elimination {:.2}",
+            report.stats.quick_elimination_rate()
+        );
+        assert!(report.render().contains("quick elimination rate"));
+    }
+
+    #[test]
+    fn camera_tracking_wins_the_comparison() {
+        let clips = smoke_corpus();
+        let rows = run_baseline_comparison(&clips, 4);
+        assert_eq!(rows.len(), 4);
+        let f1 = |name: &str| rows.iter().find(|r| r.name == name).unwrap().eval.f1();
+        let ours = f1("camera-tracking");
+        assert!(
+            ours >= f1("color-histogram"),
+            "camera tracking {:.3} vs histogram {:.3}",
+            ours,
+            f1("color-histogram")
+        );
+        assert!(
+            ours >= f1("edge-change-ratio"),
+            "camera tracking {:.3} vs ECR {:.3}",
+            ours,
+            f1("edge-change-ratio")
+        );
+        assert!(
+            ours >= f1("pairwise-pixel"),
+            "camera tracking {:.3} vs pixel {:.3}",
+            ours,
+            f1("pairwise-pixel")
+        );
+        assert!(render_baseline_comparison(&rows).contains("camera-tracking"));
+    }
+
+    #[test]
+    fn tolerance_sweep_is_monotone_and_stable() {
+        let clips = build_corpus(Scale::Fraction(0.02), CORPUS_DIMS, 51);
+        let rendered = run_tolerance_sweep(&clips, SbdConfig::default(), 4);
+        assert!(rendered.contains("±0"));
+        assert!(rendered.contains("±4"));
+        // Recompute to assert monotonicity in the numbers themselves.
+        let detections: Vec<Vec<usize>> = clips
+            .iter()
+            .map(|c| {
+                let det = vdb_core::sbd::CameraTrackingDetector::new();
+                det.segment_video(&c.video).unwrap().1.boundaries
+            })
+            .collect();
+        let pooled = |tol: usize| {
+            let mut e = DetectionEval::default();
+            for (c, d) in clips.iter().zip(&detections) {
+                e.merge(evaluate_boundaries(&c.truth.boundaries, d, tol));
+            }
+            e
+        };
+        let f1s: Vec<f64> = (0..=4).map(|t| pooled(t).f1()).collect();
+        assert!(
+            f1s.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+            "F1 must not degrade as tolerance widens: {f1s:?}"
+        );
+        // The ±2 conclusion band is not a cliff: ±1 vs ±3 within 0.15.
+        assert!((pooled(1).f1() - pooled(3).f1()).abs() < 0.15);
+    }
+
+    #[test]
+    fn sensitivity_sweep_shows_baseline_fragility() {
+        let clips = build_corpus(Scale::Fraction(0.02), CORPUS_DIMS, 77);
+        let rows = run_sensitivity_sweep(&clips, 4);
+        assert_eq!(rows.len(), 9);
+        let swing = |name: &str| {
+            let f1s: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.name == name)
+                .map(|r| r.eval.f1())
+                .collect();
+            f1s.iter().copied().fold(0.0f64, f64::max)
+                - f1s.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        // The paper's critique in shape: the baselines swing harder than
+        // camera tracking under the same relative mis-tuning.
+        let ours = swing("camera-tracking");
+        let worst_baseline = swing("color-histogram").max(swing("edge-change-ratio"));
+        assert!(
+            ours <= worst_baseline + 0.05,
+            "ours {ours:.3} vs worst baseline {worst_baseline:.3}"
+        );
+        assert!(render_sensitivity(&rows).contains("F1 swing"));
+    }
+}

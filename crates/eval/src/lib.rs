@@ -1,0 +1,32 @@
+//! # vdb-eval
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures on the synthetic corpus.
+//!
+//! * [`metrics`] — recall/precision/F1 with tolerance-window boundary
+//!   matching (§5.1's definitions);
+//! * [`corpus`] — builds the 22-clip Table 5 corpus (optionally in
+//!   parallel) and fans detector runs over it;
+//! * [`experiments`] — Table 5, the Figure 4 cascade statistics, the
+//!   baseline shoot-out, and the threshold-sensitivity sweep;
+//! * [`retrieval`] — Figures 5–7 (scene trees), Table 3, Table 4, Figures
+//!   8–10 (variance-similarity retrieval), and the hierarchy comparison;
+//! * [`ablation`] — the FBA-shape ablation (why the ⊓?) and the §6
+//!   basic-vs-extended similarity-model comparison;
+//! * [`report`] — fixed-width table rendering shared by all runners.
+//!
+//! The `vdb-bench` crate's `tables` and `figures` binaries are thin CLI
+//! wrappers over these runners; EXPERIMENTS.md records their output.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod corpus;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod retrieval;
+
+pub use corpus::{build_corpus, build_corpus_parallel, CorpusClip, CORPUS_DIMS};
+pub use metrics::{evaluate_boundaries, recall_precision, DetectionEval};

@@ -1,0 +1,48 @@
+//! `vdbsh` — a tiny interactive shell over a [`vdb_store::VideoDatabase`].
+//!
+//! ```text
+//! cargo run -p vdb-store --release --bin vdbsh [database.vdbs]
+//! ```
+//!
+//! Type `help` for commands; also works non-interactively with commands on
+//! stdin. All command logic lives (tested) in [`vdb_store::shell`].
+
+use std::io::{BufRead, Write as _};
+use std::path::Path;
+use vdb_core::analyzer::AnalyzerConfig;
+use vdb_store::shell::{run_command, ShellOutcome};
+use vdb_store::VideoDatabase;
+
+fn main() {
+    let mut db = match std::env::args().nth(1) {
+        Some(path) => match VideoDatabase::load(Path::new(&path), AnalyzerConfig::default()) {
+            Ok(db) => {
+                eprintln!("loaded {} videos from {path}", db.len());
+                db
+            }
+            Err(e) => {
+                eprintln!("could not load {path}: {e}; starting empty");
+                VideoDatabase::new()
+            }
+        },
+        None => VideoDatabase::new(),
+    };
+    eprintln!("vdbsh — type 'help' for commands");
+    let stdin = std::io::stdin();
+    loop {
+        eprint!("vdb> ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => match run_command(&mut db, line.trim()) {
+                ShellOutcome::Continue(output) => print!("{output}"),
+                ShellOutcome::Quit => break,
+            },
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}

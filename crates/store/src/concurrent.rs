@@ -1,0 +1,226 @@
+//! Shared-access wrapper: many readers, exclusive ingest.
+//!
+//! A browsing workload is read-heavy — many users exploring scene trees and
+//! issuing variance queries while new clips are occasionally ingested.
+//! [`SharedDatabase`] wraps [`VideoDatabase`] in a `parking_lot::RwLock`
+//! behind an `Arc`, exposing the same operations with interior locking.
+
+use crate::catalog::{FormId, GenreId};
+use crate::db::{DbError, QueryAnswer, VideoDatabase};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use vdb_core::frame::Video;
+use vdb_core::index::VarianceQuery;
+
+/// A cloneable, thread-safe handle to a video database.
+#[derive(Clone, Default)]
+pub struct SharedDatabase {
+    inner: Arc<RwLock<VideoDatabase>>,
+}
+
+impl SharedDatabase {
+    /// Wrap an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing database.
+    pub fn from_db(db: VideoDatabase) -> Self {
+        SharedDatabase {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Ingest under the write lock.
+    pub fn ingest(
+        &self,
+        name: impl Into<String>,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> Result<u64, DbError> {
+        self.inner.write().ingest(name, video, genres, forms)
+    }
+
+    /// Ingest many videos: analyses run on `workers` threads *outside* the
+    /// lock (analysis dominates ingest cost), then results are registered
+    /// under one short write lock, in submission order — so assigned ids
+    /// are deterministic regardless of thread scheduling.
+    pub fn ingest_batch(
+        &self,
+        items: Vec<(String, Video)>,
+        workers: usize,
+    ) -> Vec<Result<u64, DbError>> {
+        let config = self.inner.read().config();
+        let n = items.len();
+        let mut slots: Vec<
+            std::sync::Mutex<Option<Result<vdb_core::analyzer::VideoAnalysis, DbError>>>,
+        > = Vec::with_capacity(n);
+        slots.resize_with(n, || std::sync::Mutex::new(None));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers.max(1) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let analysis = vdb_core::analyzer::VideoAnalyzer::with_config(config)
+                        .analyze(&items[i].1)
+                        .map_err(DbError::from);
+                    slots[i].lock().unwrap().replace(analysis);
+                });
+            }
+        });
+        let mut db = self.inner.write();
+        items
+            .iter()
+            .zip(slots)
+            .map(|((name, video), slot)| {
+                let analysis = slot.into_inner().unwrap().expect("slot filled")?;
+                Ok(db.ingest_precomputed(
+                    name.clone(),
+                    video.dims(),
+                    video.fps(),
+                    analysis,
+                    vec![],
+                    vec![],
+                ))
+            })
+            .collect()
+    }
+
+    /// Query under a read lock (concurrent with other readers).
+    pub fn query(&self, q: &VarianceQuery) -> Vec<QueryAnswer> {
+        self.inner.read().query(q)
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Run a closure with read access to the full database (for browsing
+    /// sessions and inspection).
+    pub fn read<R>(&self, f: impl FnOnce(&VideoDatabase) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Run a closure with exclusive access.
+    pub fn write<R>(&self, f: impl FnOnce(&mut VideoDatabase) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::index::VarianceQuery;
+    use vdb_synth::script::{generate, ShotSpec, VideoScript};
+
+    fn small_video(seed: u64) -> Video {
+        let mut script = VideoScript::small(seed);
+        script.push_shot(ShotSpec::fixed(0, 6));
+        script.push_shot(ShotSpec::fixed(1, 6));
+        generate(&script).video
+    }
+
+    #[test]
+    fn concurrent_readers_with_writer() {
+        let db = SharedDatabase::new();
+        db.ingest("seed", &small_video(1), vec![], vec![]).unwrap();
+
+        let mut handles = Vec::new();
+        // Four reader threads hammer queries while two writers ingest.
+        for r in 0..4u64 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut total = 0usize;
+                for i in 0..50 {
+                    let q = VarianceQuery::new((r * 7 + i) as f64 % 30.0, 1.0);
+                    total += db.query(&q).len();
+                }
+                total
+            }));
+        }
+        for w in 0..2u64 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..3 {
+                    db.ingest(
+                        format!("w{w}-{i}"),
+                        &small_video(w * 10 + i),
+                        vec![],
+                        vec![],
+                    )
+                    .unwrap();
+                }
+                0
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.len(), 7);
+    }
+
+    #[test]
+    fn read_write_closures() {
+        let db = SharedDatabase::new();
+        let id = db.ingest("x", &small_video(3), vec![], vec![]).unwrap();
+        let shots = db.read(|d| d.analysis(id).unwrap().shots.len());
+        assert!(shots >= 1);
+        db.write(|d| d.remove(id)).unwrap();
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn batch_ingest_deterministic_ids_and_content() {
+        // Batch with 3 workers equals sequential ingest, id for id.
+        let items: Vec<(String, Video)> = (0..5u64)
+            .map(|i| (format!("clip-{i}"), small_video(100 + i)))
+            .collect();
+        let batch_db = SharedDatabase::new();
+        let ids: Vec<u64> = batch_db
+            .ingest_batch(items.clone(), 3)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4], "submission-order ids");
+
+        let seq_db = SharedDatabase::new();
+        for (name, video) in &items {
+            seq_db.ingest(name.clone(), video, vec![], vec![]).unwrap();
+        }
+        for &id in &ids {
+            let a = batch_db.read(|d| d.analysis(id).unwrap().clone());
+            let b = seq_db.read(|d| d.analysis(id).unwrap().clone());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn batch_ingest_reports_per_item_errors() {
+        use vdb_core::frame::FrameBuf;
+        let good = small_video(7);
+        let tiny = Video::new(vec![FrameBuf::black(8, 8); 3], 3.0).unwrap();
+        let db = SharedDatabase::new();
+        let results = db.ingest_batch(vec![("ok".into(), good), ("tiny".into(), tiny)], 2);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert_eq!(db.len(), 1, "only the good clip registered");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedDatabase::new();
+        let b = a.clone();
+        a.ingest("shared", &small_video(4), vec![], vec![]).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,697 @@
+//! The video database facade: ingest → analyze → persist → query → browse.
+//!
+//! `VideoDatabase` owns the three artifacts the paper's pipeline produces
+//! per video (shots + feature vectors, the scene tree, the per-frame signs)
+//! plus the global variance index, and implements the §4.2 query flow: a
+//! variance query returns not raw shots but *the largest scenes sharing a
+//! representative frame with a matching shot* — the scene-tree nodes where
+//! browsing should start.
+
+use crate::catalog::{Catalog, FormId, GenreId, Taxonomy, VideoMeta};
+use crate::codec::{self, Codec};
+use crate::pages::{read_segment_file, SegmentError, SegmentWriter};
+use std::collections::HashMap;
+use std::path::Path;
+use vdb_core::analyzer::{AnalyzerConfig, VideoAnalyzer};
+use vdb_core::frame::Video;
+use vdb_core::index::{IndexEntry, ShotKey, VarianceIndex, VarianceQuery};
+use vdb_core::pixel::Rgb;
+use vdb_core::sbd::SbdStats;
+use vdb_core::scenetree::{NodeId, SceneTree};
+use vdb_core::shot::Shot;
+use vdb_core::variance::ShotFeature;
+
+/// Errors of the database layer.
+#[derive(Debug)]
+pub enum DbError {
+    /// Core analysis failed.
+    Core(vdb_core::error::CoreError),
+    /// Persistence failed.
+    Segment(SegmentError),
+    /// A stored record failed to decode.
+    Codec(codec::CodecError),
+    /// A stored JSON blob failed to parse.
+    Json(serde_json::Error),
+    /// Unknown video id.
+    UnknownVideo(u64),
+    /// A record had an unknown tag or arrived out of order.
+    BadRecord(&'static str),
+    /// A textual query failed to parse.
+    Query(crate::query::ParseError),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Core(e) => write!(f, "analysis error: {e}"),
+            DbError::Segment(e) => write!(f, "storage error: {e}"),
+            DbError::Codec(e) => write!(f, "decode error: {e}"),
+            DbError::Json(e) => write!(f, "json error: {e}"),
+            DbError::UnknownVideo(id) => write!(f, "unknown video id {id}"),
+            DbError::BadRecord(what) => write!(f, "bad stored record: {what}"),
+            DbError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<vdb_core::error::CoreError> for DbError {
+    fn from(e: vdb_core::error::CoreError) -> Self {
+        DbError::Core(e)
+    }
+}
+impl From<SegmentError> for DbError {
+    fn from(e: SegmentError) -> Self {
+        DbError::Segment(e)
+    }
+}
+impl From<codec::CodecError> for DbError {
+    fn from(e: codec::CodecError) -> Self {
+        DbError::Codec(e)
+    }
+}
+impl From<serde_json::Error> for DbError {
+    fn from(e: serde_json::Error) -> Self {
+        DbError::Json(e)
+    }
+}
+impl From<crate::query::ParseError> for DbError {
+    fn from(e: crate::query::ParseError) -> Self {
+        DbError::Query(e)
+    }
+}
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Segment(SegmentError::Io(e))
+    }
+}
+
+/// Everything the database keeps per video.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredAnalysis {
+    /// The owning video id.
+    pub video: u64,
+    /// Detected shots.
+    pub shots: Vec<Shot>,
+    /// Per-shot `(Var^BA, Var^OA)`.
+    pub features: Vec<ShotFeature>,
+    /// Per-frame background signs.
+    pub signs_ba: Vec<Rgb>,
+    /// Per-frame object-area signs.
+    pub signs_oa: Vec<Rgb>,
+    /// The browsing hierarchy.
+    pub scene_tree: SceneTree,
+    /// Detection cascade statistics.
+    pub stats: SbdStats,
+}
+
+impl StoredAnalysis {
+    pub(crate) fn encode(&self) -> Result<Vec<u8>, DbError> {
+        let mut buf = Vec::new();
+        self.video.encode(&mut buf);
+        self.shots.encode(&mut buf);
+        self.features.encode(&mut buf);
+        self.signs_ba.encode(&mut buf);
+        self.signs_oa.encode(&mut buf);
+        let tree = serde_json::to_string(&self.scene_tree)?;
+        tree.encode(&mut buf);
+        for v in [
+            self.stats.pairs,
+            self.stats.stage1_same,
+            self.stats.stage2_same,
+            self.stats.stage3_same,
+            self.stats.boundaries,
+        ] {
+            v.encode(&mut buf);
+        }
+        Ok(buf)
+    }
+
+    pub(crate) fn decode(mut buf: &[u8]) -> Result<Self, DbError> {
+        let buf = &mut buf;
+        let video = u64::decode(buf)?;
+        let shots = Vec::<Shot>::decode(buf)?;
+        let features = Vec::<ShotFeature>::decode(buf)?;
+        let signs_ba = Vec::<Rgb>::decode(buf)?;
+        let signs_oa = Vec::<Rgb>::decode(buf)?;
+        let tree_json = String::decode(buf)?;
+        let scene_tree: SceneTree = serde_json::from_str(&tree_json)?;
+        let stats = SbdStats {
+            pairs: usize::decode(buf)?,
+            stage1_same: usize::decode(buf)?,
+            stage2_same: usize::decode(buf)?,
+            stage3_same: usize::decode(buf)?,
+            boundaries: usize::decode(buf)?,
+        };
+        Ok(StoredAnalysis {
+            video,
+            shots,
+            features,
+            signs_ba,
+            signs_oa,
+            scene_tree,
+            stats,
+        })
+    }
+}
+
+/// One answer to a variance query: the matching shot plus the scene-tree
+/// node where browsing should start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// The matching shot.
+    pub key: ShotKey,
+    /// Distance to the query in `(D^v, √Var^BA)` space (ranking only).
+    pub distance: f64,
+    /// The matched shot's `Var^BA`.
+    pub var_ba: f64,
+    /// The matched shot's `Var^OA`.
+    pub var_oa: f64,
+    /// The largest scene node named after the matching shot.
+    pub scene_node: NodeId,
+    /// That node's name, e.g. `SN_12^2`.
+    pub scene_name: String,
+    /// The node's representative frame (absolute frame index).
+    pub rep_frame: usize,
+}
+
+/// Aggregate database statistics (see [`VideoDatabase::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Registered videos.
+    pub videos: usize,
+    /// Total shots across all videos.
+    pub shots: usize,
+    /// Total analyzed frames.
+    pub frames: usize,
+    /// Total scene-tree nodes.
+    pub scene_nodes: usize,
+    /// Height of the tallest scene tree.
+    pub max_tree_height: usize,
+    /// Rows in the variance index (== `shots`).
+    pub index_rows: usize,
+}
+
+pub(crate) const TAG_META: u8 = 1;
+pub(crate) const TAG_ANALYSIS: u8 = 2;
+pub(crate) const TAG_REMOVE: u8 = 3;
+
+/// The database.
+#[derive(Debug, Default)]
+pub struct VideoDatabase {
+    taxonomy: Taxonomy,
+    catalog: Catalog,
+    analyses: HashMap<u64, StoredAnalysis>,
+    index: VarianceIndex,
+    config: AnalyzerConfig,
+}
+
+impl VideoDatabase {
+    /// Empty database with default analysis thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty database with explicit analysis configuration.
+    pub fn with_config(config: AnalyzerConfig) -> Self {
+        VideoDatabase {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// The analysis configuration in use.
+    pub fn config(&self) -> AnalyzerConfig {
+        self.config
+    }
+
+    /// The taxonomy (for resolving genre/form names).
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub(crate) fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Re-insert a previously persisted analysis (journal replay).
+    pub(crate) fn restore_analysis(&mut self, stored: StoredAnalysis) {
+        self.insert_into_index(&stored);
+        self.analyses.insert(stored.video, stored);
+    }
+
+    /// The variance index.
+    pub fn index(&self) -> &VarianceIndex {
+        &self.index
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.catalog.is_empty()
+    }
+
+    /// Ingest a video: run Steps 1–3 of the paper's pipeline, store every
+    /// artifact, index every shot. Returns the assigned video id.
+    pub fn ingest(
+        &mut self,
+        name: impl Into<String>,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> Result<u64, DbError> {
+        let analysis = VideoAnalyzer::with_config(self.config).analyze(video)?;
+        let id = self
+            .catalog
+            .register(name, genres, forms, video.len(), video.fps(), video.dims());
+        let stored = StoredAnalysis {
+            video: id,
+            shots: analysis.segmentation.shots.clone(),
+            features: analysis.features.clone(),
+            signs_ba: analysis.signs_ba,
+            signs_oa: analysis.signs_oa,
+            scene_tree: analysis.scene_tree,
+            stats: analysis.segmentation.stats,
+        };
+        self.insert_into_index(&stored);
+        self.analyses.insert(id, stored);
+        Ok(id)
+    }
+
+    /// Ingest a video whose analysis was already computed (e.g. on a worker
+    /// thread, outside any lock — see
+    /// [`crate::concurrent::SharedDatabase::ingest_batch`]).
+    ///
+    /// The analysis must have been produced by a pipeline with this
+    /// database's configuration for query behaviour to stay uniform.
+    pub fn ingest_precomputed(
+        &mut self,
+        name: impl Into<String>,
+        dims: (u32, u32),
+        fps: f64,
+        analysis: vdb_core::analyzer::VideoAnalysis,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> u64 {
+        let id = self
+            .catalog
+            .register(name, genres, forms, analysis.frame_count(), fps, dims);
+        let stored = StoredAnalysis {
+            video: id,
+            shots: analysis.segmentation.shots.clone(),
+            features: analysis.features.clone(),
+            signs_ba: analysis.signs_ba,
+            signs_oa: analysis.signs_oa,
+            scene_tree: analysis.scene_tree,
+            stats: analysis.segmentation.stats,
+        };
+        self.insert_into_index(&stored);
+        self.analyses.insert(id, stored);
+        id
+    }
+
+    /// Aggregate statistics over the whole database.
+    pub fn stats(&self) -> DbStats {
+        let mut s = DbStats {
+            videos: self.catalog.len(),
+            ..DbStats::default()
+        };
+        for a in self.analyses.values() {
+            s.shots += a.shots.len();
+            s.frames += a.signs_ba.len();
+            s.scene_nodes += a.scene_tree.len();
+            s.max_tree_height = s.max_tree_height.max(a.scene_tree.height());
+        }
+        s.index_rows = self.index.len();
+        s
+    }
+
+    fn insert_into_index(&mut self, stored: &StoredAnalysis) {
+        for (shot, feature) in stored.shots.iter().zip(&stored.features) {
+            self.index.insert(IndexEntry::new(
+                ShotKey {
+                    video: stored.video,
+                    shot: shot.id as u32,
+                },
+                *feature,
+            ));
+        }
+    }
+
+    /// Remove a video and all its artifacts.
+    pub fn remove(&mut self, id: u64) -> Result<(), DbError> {
+        self.catalog.remove(id).ok_or(DbError::UnknownVideo(id))?;
+        self.analyses.remove(&id);
+        self.index.remove_video(id);
+        Ok(())
+    }
+
+    /// The stored analysis of a video.
+    pub fn analysis(&self, id: u64) -> Result<&StoredAnalysis, DbError> {
+        self.analyses.get(&id).ok_or(DbError::UnknownVideo(id))
+    }
+
+    /// §4.2 query: matching shots mapped to the largest scenes that share
+    /// their representative frames, nearest first.
+    pub fn query(&self, q: &VarianceQuery) -> Vec<QueryAnswer> {
+        self.query_filtered(q, |_| true)
+    }
+
+    /// Run a textual query (see [`crate::query`] for the syntax), e.g.
+    /// `"ba=0.5 oa=15 genre=comedy form=feature limit=5"`.
+    pub fn query_str(&self, text: &str) -> Result<Vec<QueryAnswer>, DbError> {
+        let spec = crate::query::QuerySpec::parse(text, &self.taxonomy)?;
+        let mut answers = match (spec.genre, spec.form) {
+            (Some(g), Some(f)) => self.query_in_class(&spec.variance, g, f),
+            (Some(g), None) => self.query_filtered(&spec.variance, |meta| meta.genres.contains(&g)),
+            (None, Some(f)) => self.query_filtered(&spec.variance, |meta| meta.forms.contains(&f)),
+            (None, None) => self.query(&spec.variance),
+        };
+        if let Some(limit) = spec.limit {
+            answers.truncate(limit);
+        }
+        Ok(answers)
+    }
+
+    /// Query restricted to one `(genre, form)` class — the paper's argument
+    /// for why two feature values suffice (§4.1).
+    pub fn query_in_class(
+        &self,
+        q: &VarianceQuery,
+        genre: GenreId,
+        form: FormId,
+    ) -> Vec<QueryAnswer> {
+        self.query_filtered(q, |meta| meta.in_class(genre, form))
+    }
+
+    fn query_filtered(
+        &self,
+        q: &VarianceQuery,
+        keep: impl Fn(&VideoMeta) -> bool,
+    ) -> Vec<QueryAnswer> {
+        self.index
+            .query(q)
+            .into_iter()
+            .filter_map(|m| {
+                let meta = self.catalog.get(m.entry.key.video)?;
+                if !keep(meta) {
+                    return None;
+                }
+                let stored = self.analyses.get(&m.entry.key.video)?;
+                let shot = m.entry.key.shot as usize;
+                let node_id = stored.scene_tree.largest_scene_for_shot(shot)?;
+                let node = stored.scene_tree.node(node_id);
+                Some(QueryAnswer {
+                    key: m.entry.key,
+                    distance: m.distance,
+                    var_ba: m.entry.var_ba,
+                    var_oa: m.entry.var_oa,
+                    scene_node: node_id,
+                    scene_name: node.name(),
+                    rep_frame: node.rep_frame,
+                })
+            })
+            .collect()
+    }
+
+    /// Persist the database to a segment file.
+    pub fn save(&self, path: &Path) -> Result<(), DbError> {
+        let mut w = SegmentWriter::create(path)?;
+        for meta in self.catalog.all() {
+            let json = serde_json::to_vec(meta)?;
+            w.append(TAG_META, &json)?;
+        }
+        let mut ids: Vec<u64> = self.analyses.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let payload = self.analyses[&id].encode()?;
+            w.append(TAG_ANALYSIS, &payload)?;
+        }
+        w.finish()?;
+        Ok(())
+    }
+
+    /// Load a database from a segment file; the variance index is rebuilt
+    /// from the stored per-shot features.
+    pub fn load(path: &Path, config: AnalyzerConfig) -> Result<Self, DbError> {
+        let mut db = VideoDatabase::with_config(config);
+        for record in read_segment_file(path)? {
+            match record.tag {
+                TAG_META => {
+                    let meta: VideoMeta = serde_json::from_slice(&record.payload)?;
+                    db.catalog.restore(meta);
+                }
+                TAG_ANALYSIS => {
+                    let stored = StoredAnalysis::decode(&record.payload)?;
+                    db.insert_into_index(&stored);
+                    db.analyses.insert(stored.video, stored);
+                }
+                _ => return Err(DbError::BadRecord("unknown tag")),
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::frame::FrameBuf;
+    use vdb_synth::script::{generate, VideoScript};
+    use vdb_synth::ShotArchetype;
+
+    fn sample_video(seed: u64) -> Video {
+        let mut rng = vdb_synth::rng::Srng::new(seed);
+        let mut script = VideoScript::small(seed);
+        let dims = (script.width, script.height);
+        script.push_shot(ShotArchetype::TalkingHeadCloseUp.to_spec(0, 10, dims, &mut rng));
+        script.push_shot(ShotArchetype::ActionPan.to_spec(1, 10, dims, &mut rng));
+        script.push_shot(ShotArchetype::StaticScenery.to_spec(2, 10, dims, &mut rng));
+        generate(&script).video
+    }
+
+    #[test]
+    fn ingest_and_inspect() {
+        let mut db = VideoDatabase::new();
+        let t = db.taxonomy().clone();
+        let id = db
+            .ingest(
+                "clip-a",
+                &sample_video(1),
+                vec![t.genre("comedy").unwrap()],
+                vec![t.form("feature").unwrap()],
+            )
+            .unwrap();
+        assert_eq!(db.len(), 1);
+        let a = db.analysis(id).unwrap();
+        assert!(!a.shots.is_empty());
+        assert_eq!(a.shots.len(), a.features.len());
+        assert_eq!(db.index().len(), a.shots.len());
+        a.scene_tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn query_returns_scene_nodes() {
+        let mut db = VideoDatabase::new();
+        let id = db.ingest("clip", &sample_video(2), vec![], vec![]).unwrap();
+        let a = db.analysis(id).unwrap();
+        // Query by example with the first shot's own feature.
+        let q = VarianceQuery::by_example(a.features[0]);
+        let answers = db.query(&q);
+        assert!(!answers.is_empty());
+        assert_eq!(answers[0].key.video, id);
+        // Every answer's scene node is named after the matching shot.
+        let a = db.analysis(id).unwrap();
+        for ans in &answers {
+            let node = a.scene_tree.node(ans.scene_node);
+            assert_eq!(node.name_shot, ans.key.shot as usize);
+            assert_eq!(node.name(), ans.scene_name);
+        }
+    }
+
+    #[test]
+    fn class_scoped_query() {
+        let mut db = VideoDatabase::new();
+        let t = db.taxonomy().clone();
+        let comedy = t.genre("comedy").unwrap();
+        let horror = t.genre("horror").unwrap();
+        let feature = t.form("feature").unwrap();
+        let a = db
+            .ingest("funny", &sample_video(3), vec![comedy], vec![feature])
+            .unwrap();
+        let b = db
+            .ingest("scary", &sample_video(3), vec![horror], vec![feature])
+            .unwrap();
+        // Identical videos: an unscoped query sees both, a scoped one only
+        // the comedy.
+        let feat = db.analysis(a).unwrap().features[0];
+        let q = VarianceQuery::by_example(feat);
+        let all = db.query(&q);
+        assert!(all.iter().any(|x| x.key.video == a));
+        assert!(all.iter().any(|x| x.key.video == b));
+        let scoped = db.query_in_class(&q, comedy, feature);
+        assert!(scoped.iter().all(|x| x.key.video == a));
+        assert!(!scoped.is_empty());
+    }
+
+    #[test]
+    fn query_str_end_to_end() {
+        let mut db = VideoDatabase::new();
+        let t = db.taxonomy().clone();
+        let comedy = t.genre("comedy").unwrap();
+        let feature = t.form("feature").unwrap();
+        let id = db
+            .ingest("talky", &sample_video(8), vec![comedy], vec![feature])
+            .unwrap();
+        let f = db.analysis(id).unwrap().features[0];
+        let text = format!("ba={} oa={} alpha=1 beta=1", f.var_ba, f.var_oa);
+        let answers = db.query_str(&text).unwrap();
+        assert!(!answers.is_empty());
+        // Scoped versions.
+        let scoped = db
+            .query_str(&format!("{text} genre=comedy form=feature"))
+            .unwrap();
+        assert_eq!(
+            answers.iter().map(|a| a.key).collect::<Vec<_>>(),
+            scoped.iter().map(|a| a.key).collect::<Vec<_>>()
+        );
+        let other = db.query_str(&format!("{text} genre=western")).unwrap();
+        assert!(other.is_empty());
+        // Limit.
+        let limited = db.query_str(&format!("{text} limit=1")).unwrap();
+        assert!(limited.len() <= 1);
+        // Parse errors surface as DbError::Query.
+        assert!(matches!(
+            db.query_str("ba=1 oa=1 bogus=1"),
+            Err(DbError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let mut db = VideoDatabase::new();
+        assert_eq!(db.stats(), DbStats::default());
+        let a = db.ingest("one", &sample_video(31), vec![], vec![]).unwrap();
+        let b = db.ingest("two", &sample_video(32), vec![], vec![]).unwrap();
+        let s = db.stats();
+        assert_eq!(s.videos, 2);
+        assert_eq!(
+            s.shots,
+            db.analysis(a).unwrap().shots.len() + db.analysis(b).unwrap().shots.len()
+        );
+        assert_eq!(s.index_rows, s.shots);
+        assert!(s.frames > 0);
+        assert!(s.scene_nodes > s.shots, "internal nodes exist");
+        assert!(s.max_tree_height >= 1);
+    }
+
+    #[test]
+    fn ingest_precomputed_matches_ingest() {
+        let video = sample_video(33);
+        let mut db1 = VideoDatabase::new();
+        let id1 = db1.ingest("x", &video, vec![], vec![]).unwrap();
+
+        let mut db2 = VideoDatabase::new();
+        let analysis = vdb_core::analyzer::VideoAnalyzer::new()
+            .analyze(&video)
+            .unwrap();
+        let id2 = db2.ingest_precomputed("x", video.dims(), video.fps(), analysis, vec![], vec![]);
+        assert_eq!(
+            db1.analysis(id1).unwrap().shots,
+            db2.analysis(id2).unwrap().shots
+        );
+        assert_eq!(db1.index().entries(), db2.index().entries());
+        assert_eq!(
+            db1.catalog().get(id1).unwrap().frame_count,
+            db2.catalog().get(id2).unwrap().frame_count
+        );
+    }
+
+    #[test]
+    fn remove_drops_everything() {
+        let mut db = VideoDatabase::new();
+        let id = db.ingest("gone", &sample_video(4), vec![], vec![]).unwrap();
+        let n = db.index().len();
+        assert!(n > 0);
+        db.remove(id).unwrap();
+        assert!(db.is_empty());
+        assert_eq!(db.index().len(), 0);
+        assert!(matches!(db.analysis(id), Err(DbError::UnknownVideo(_))));
+        assert!(matches!(db.remove(id), Err(DbError::UnknownVideo(_))));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("vdb-dbtest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.vdbs");
+
+        let mut db = VideoDatabase::new();
+        let t = db.taxonomy().clone();
+        let id = db
+            .ingest(
+                "persisted",
+                &sample_video(5),
+                vec![t.genre("drama").unwrap_or(crate::catalog::GenreId(0))],
+                vec![t.form("feature").unwrap()],
+            )
+            .unwrap();
+        db.save(&path).unwrap();
+
+        let back = VideoDatabase::load(&path, AnalyzerConfig::default()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.catalog().get(id).unwrap().name, "persisted");
+        assert_eq!(back.analysis(id).unwrap(), db.analysis(id).unwrap());
+        assert_eq!(back.index().len(), db.index().len());
+
+        // Queries behave identically after reload.
+        let feat = db.analysis(id).unwrap().features[0];
+        let q = VarianceQuery::by_example(feat);
+        let before: Vec<ShotKey> = db.query(&q).iter().map(|a| a.key).collect();
+        let after: Vec<ShotKey> = back.query(&q).iter().map(|a| a.key).collect();
+        assert_eq!(before, after);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_rejects_tiny_frames() {
+        let mut db = VideoDatabase::new();
+        let v = Video::new(vec![FrameBuf::black(8, 8); 4], 3.0).unwrap();
+        assert!(matches!(
+            db.ingest("tiny", &v, vec![], vec![]),
+            Err(DbError::Core(_))
+        ));
+        assert!(db.is_empty(), "failed ingest must not register the video");
+    }
+
+    #[test]
+    fn ids_survive_reload_without_collision() {
+        let dir = std::env::temp_dir().join(format!("vdb-dbtest2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.vdbs");
+
+        let mut db = VideoDatabase::new();
+        let id0 = db
+            .ingest("first", &sample_video(6), vec![], vec![])
+            .unwrap();
+        db.save(&path).unwrap();
+        let mut back = VideoDatabase::load(&path, AnalyzerConfig::default()).unwrap();
+        let id1 = back
+            .ingest("second", &sample_video(7), vec![], vec![])
+            .unwrap();
+        assert_ne!(id0, id1);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

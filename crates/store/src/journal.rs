@@ -1,0 +1,309 @@
+//! Journaled persistence: every ingest is appended to the segment file as
+//! it happens.
+//!
+//! [`crate::db::VideoDatabase::save`] rewrites the whole database — fine
+//! for small catalogs, wrong for a store that grows by one clip at a time.
+//! [`JournaledDatabase`] keeps the segment file open and appends each
+//! video's records (catalog row + analysis) on ingest, so the on-disk
+//! state is durable up to the last completed ingest; on open, the journal
+//! is replayed and — thanks to the segment layer's checksummed records —
+//! a torn tail from a crash is dropped cleanly.
+
+use crate::catalog::{FormId, GenreId};
+use crate::db::{DbError, StoredAnalysis, VideoDatabase, TAG_ANALYSIS, TAG_META, TAG_REMOVE};
+use crate::pages::{read_segment, SegmentWriter, MAGIC};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use vdb_core::analyzer::AnalyzerConfig;
+use vdb_core::frame::Video;
+
+/// A [`VideoDatabase`] bound to an append-only journal file.
+pub struct JournaledDatabase {
+    db: VideoDatabase,
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl JournaledDatabase {
+    /// Open (or create) a journal. Existing records are replayed; a torn
+    /// tail is truncated away so subsequent appends form valid records.
+    pub fn open(path: impl Into<PathBuf>, config: AnalyzerConfig) -> Result<Self, DbError> {
+        let path = path.into();
+        let mut db = VideoDatabase::with_config(config);
+        let mut valid_len = MAGIC.len() as u64;
+        let exists = path.exists() && std::fs::metadata(&path)?.len() > 0;
+        if exists {
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            let records = read_segment(&bytes[..]).map_err(DbError::Segment)?;
+            for record in &records {
+                match record.tag {
+                    TAG_META => {
+                        let meta = serde_json::from_slice(&record.payload)?;
+                        db.catalog_mut().restore(meta);
+                    }
+                    TAG_ANALYSIS => {
+                        let stored = StoredAnalysis::decode(&record.payload)?;
+                        db.restore_analysis(stored);
+                    }
+                    TAG_REMOVE => {
+                        if record.payload.len() != 8 {
+                            return Err(DbError::BadRecord("bad tombstone"));
+                        }
+                        let id = u64::from_le_bytes(record.payload[..8].try_into().unwrap());
+                        // The video may already be absent (double tombstone
+                        // after a compaction race): ignore.
+                        let _ = db.remove(id);
+                    }
+                    _ => return Err(DbError::BadRecord("unknown tag in journal")),
+                }
+                // tag + len + payload + checksum
+                valid_len += 1 + 4 + record.payload.len() as u64 + 4;
+            }
+            // Drop any torn tail so future appends start on a record edge.
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(valid_len)?;
+            let mut file = file;
+            file.seek(SeekFrom::End(0))?;
+            return Ok(JournaledDatabase {
+                db,
+                writer: BufWriter::new(file),
+                path,
+            });
+        }
+        // Fresh journal: write the magic via SegmentWriter, then keep the
+        // file handle for appends.
+        let file = File::create(&path)?;
+        let writer = SegmentWriter::new(BufWriter::new(file)).map_err(DbError::Segment)?;
+        let writer = writer.finish().map_err(DbError::Segment)?;
+        Ok(JournaledDatabase { db, writer, path })
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read access to the underlying database.
+    pub fn db(&self) -> &VideoDatabase {
+        &self.db
+    }
+
+    fn append_record(&mut self, tag: u8, payload: &[u8]) -> Result<(), DbError> {
+        let mut head = Vec::with_capacity(5);
+        head.push(tag);
+        head.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.writer.write_all(&head)?;
+        self.writer.write_all(payload)?;
+        self.writer
+            .write_all(&crate::pages::record_checksum(tag, payload).to_le_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Ingest a video and append it to the journal. The in-memory ingest
+    /// happens first; the append is flushed before returning, so a
+    /// successful return means the clip is durable.
+    pub fn ingest(
+        &mut self,
+        name: impl Into<String>,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> Result<u64, DbError> {
+        let id = self.db.ingest(name, video, genres, forms)?;
+        let meta = self
+            .db
+            .catalog()
+            .get(id)
+            .expect("just ingested")
+            .clone();
+        let analysis_payload = self.db.analysis(id).expect("just ingested").encode()?;
+        self.append_record(TAG_META, &serde_json::to_vec(&meta)?)?;
+        self.append_record(TAG_ANALYSIS, &analysis_payload)?;
+        Ok(id)
+    }
+
+    /// Remove a video, durably: a tombstone record is appended and flushed
+    /// before returning. The dead records remain on disk until
+    /// [`JournaledDatabase::compact`] rewrites the file.
+    pub fn remove(&mut self, id: u64) -> Result<(), DbError> {
+        self.db.remove(id)?;
+        self.append_record(TAG_REMOVE, &id.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Rewrite the journal compactly (dropping tombstoned videos and their
+    /// dead records). Uses the plain `save` format — the two are identical
+    /// on disk.
+    pub fn compact(&mut self) -> Result<(), DbError> {
+        let tmp = self.path.with_extension("compact");
+        self.db.save(&tmp)?;
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().write(true).read(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::index::VarianceQuery;
+    use vdb_synth::script::{generate, ShotSpec, VideoScript};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vdb-journal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.vdbs")
+    }
+
+    fn clip(seed: u64) -> Video {
+        let mut script = VideoScript::small(seed);
+        script.push_shot(ShotSpec::fixed(0, 6));
+        script.push_shot(ShotSpec::fixed(1, 6));
+        generate(&script).video
+    }
+
+    #[test]
+    fn ingest_survives_reopen() {
+        let path = tmp("reopen");
+        let id0;
+        {
+            let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+            id0 = j.ingest("first", &clip(1), vec![], vec![]).unwrap();
+            j.ingest("second", &clip(2), vec![], vec![]).unwrap();
+        } // dropped without any explicit save
+        let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        assert_eq!(j.db().len(), 2);
+        assert_eq!(j.db().catalog().get(id0).unwrap().name, "first");
+        // Queries work after replay.
+        let f = j.db().analysis(id0).unwrap().features[0];
+        assert!(!j.db().query(&VarianceQuery::by_example(f)).is_empty());
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn append_after_reopen_keeps_everything() {
+        let path = tmp("append");
+        {
+            let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+            j.ingest("a", &clip(3), vec![], vec![]).unwrap();
+        }
+        {
+            let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+            let id = j.ingest("b", &clip(4), vec![], vec![]).unwrap();
+            assert_eq!(j.db().len(), 2);
+            assert!(id > 0, "ids continue after replay");
+        }
+        let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        assert_eq!(j.db().len(), 2);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_recovered() {
+        let path = tmp("torn");
+        {
+            let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+            j.ingest("keep", &clip(5), vec![], vec![]).unwrap();
+            j.ingest("torn", &clip(6), vec![], vec![]).unwrap();
+        }
+        // Simulate a crash mid-append: chop 25 bytes off.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 25]).unwrap();
+        {
+            let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+            // The torn clip lost its analysis record; its meta may survive.
+            assert!(!j.db().is_empty());
+            // New appends land on a clean record edge.
+            j.ingest("after-crash", &clip(7), vec![], vec![]).unwrap();
+        }
+        let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        let names: Vec<String> = j
+            .db()
+            .catalog()
+            .all()
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        assert!(names.contains(&"keep".to_string()));
+        assert!(names.contains(&"after-crash".to_string()));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn journal_equals_batch_save() {
+        // A journal written incrementally loads identically to a database
+        // saved in one shot.
+        let path = tmp("equiv");
+        let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        j.ingest("x", &clip(8), vec![], vec![]).unwrap();
+        j.ingest("y", &clip(9), vec![], vec![]).unwrap();
+        drop(j);
+        let from_journal = VideoDatabase::load(&path, AnalyzerConfig::default()).unwrap();
+
+        let mut batch = VideoDatabase::new();
+        batch.ingest("x", &clip(8), vec![], vec![]).unwrap();
+        batch.ingest("y", &clip(9), vec![], vec![]).unwrap();
+        assert_eq!(from_journal.len(), batch.len());
+        for meta in batch.catalog().all() {
+            assert_eq!(
+                from_journal.analysis(meta.id).unwrap(),
+                batch.analysis(meta.id).unwrap()
+            );
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn tombstoned_removal_survives_reopen() {
+        let path = tmp("tombstone");
+        let dead;
+        {
+            let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+            dead = j.ingest("dead", &clip(20), vec![], vec![]).unwrap();
+            j.ingest("alive", &clip(21), vec![], vec![]).unwrap();
+            j.remove(dead).unwrap();
+        }
+        let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        assert_eq!(j.db().len(), 1);
+        assert!(j.db().catalog().get(dead).is_none());
+        assert!(j.db().analysis(dead).is_err());
+        // The index holds only the surviving video's shots.
+        assert!(j.db().index().entries().iter().all(|e| e.key.video != dead));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_shrinks() {
+        let path = tmp("shrink");
+        let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        let dead = j.ingest("dead", &clip(22), vec![], vec![]).unwrap();
+        j.ingest("alive", &clip(23), vec![], vec![]).unwrap();
+        j.remove(dead).unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+        j.compact().unwrap();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before, "compaction must shrink: {before} -> {after}");
+        drop(j);
+        let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        assert_eq!(j.db().len(), 1);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn compact_preserves_content() {
+        let path = tmp("compact");
+        let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        j.ingest("a", &clip(10), vec![], vec![]).unwrap();
+        j.compact().unwrap();
+        j.ingest("b", &clip(11), vec![], vec![]).unwrap();
+        drop(j);
+        let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        assert_eq!(j.db().len(), 2);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

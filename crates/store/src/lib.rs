@@ -1,0 +1,36 @@
+//! # vdb-store
+//!
+//! The video database layer on top of [`vdb_core`]: the part of the paper's
+//! framework that makes the three techniques usable as a DBMS.
+//!
+//! * [`catalog`] — video registry plus the 133-genre × 35-form taxonomy the
+//!   paper's within-class retrieval argument rests on (§4.1);
+//! * [`codec`] / [`pages`] — a compact binary codec and an append-only,
+//!   checksummed segment store for persistence;
+//! * [`db`] — [`db::VideoDatabase`]: ingest (runs the full analysis
+//!   pipeline), variance queries answered as scene-tree nodes (§4.2),
+//!   class-scoped queries, save/load;
+//! * [`query`] — a small textual query language (`"ba=0.5 oa=15
+//!   genre=comedy limit=5"`) over the variance index;
+//! * [`session`] — non-linear browsing cursors over scene trees;
+//! * [`concurrent`] — a read-mostly shared wrapper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod codec;
+pub mod concurrent;
+pub mod db;
+pub mod journal;
+pub mod pages;
+pub mod query;
+pub mod session;
+pub mod shell;
+
+pub use catalog::{Catalog, FormId, GenreId, Taxonomy, VideoMeta};
+pub use concurrent::SharedDatabase;
+pub use db::{DbError, QueryAnswer, StoredAnalysis, VideoDatabase};
+pub use journal::JournaledDatabase;
+pub use query::{ParseError, QuerySpec};
+pub use session::{storyboard, BrowseSession, NodeView, StoryboardCard};

@@ -1,0 +1,250 @@
+//! The command interpreter behind the `vdbsh` binary, as a library so it
+//! is testable: commands in, text out.
+//!
+//! ```text
+//! demo [n]            ingest n synthetic demo movies (default 2)
+//! list                list videos
+//! stats               database statistics
+//! query <text>        e.g. query ba=0.5 oa=15 limit=5
+//! board <video> [n]   storyboard of a video (n cards, default 6)
+//! tree <video>        full scene tree
+//! save <path>         persist
+//! load <path>         replace the database from a file
+//! help                this text
+//! quit
+//! ```
+
+use crate::db::VideoDatabase;
+use crate::session::storyboard;
+use std::fmt::Write as _;
+use std::path::Path;
+use vdb_core::analyzer::AnalyzerConfig;
+
+/// Outcome of interpreting one command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShellOutcome {
+    /// Keep reading commands; the string is the command's output.
+    Continue(String),
+    /// The user asked to quit.
+    Quit,
+}
+
+const HELP: &str = "commands:\n  demo [n]          ingest n synthetic demo movies\n  list              list videos\n  stats             database statistics\n  query <text>      e.g. query ba=0.5 oa=15 limit=5\n  board <video> [n] storyboard of a video\n  tree <video>      full scene tree\n  save <path>       persist the database\n  load <path>       replace the database from a file\n  help              this text\n  quit\n";
+
+fn demo(db: &mut VideoDatabase, n: usize, out: &mut String) {
+    use vdb_synth::script::generate;
+    let start = db.len() as u64;
+    for i in 0..n {
+        let seed = 9000 + start + i as u64;
+        let clip = generate(&vdb_synth::build_script(
+            vdb_synth::Genre::Movie,
+            12,
+            Some(9.0),
+            (80, 60),
+            seed,
+        ));
+        match db.ingest(format!("demo-movie-{seed}"), &clip.video, vec![], vec![]) {
+            Ok(id) => {
+                let shots = db.analysis(id).map(|a| a.shots.len()).unwrap_or(0);
+                let _ = writeln!(out, "ingested video {id} ({shots} shots)");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "ingest failed: {e}");
+            }
+        }
+    }
+}
+
+/// Interpret one command line against the database.
+pub fn run_command(db: &mut VideoDatabase, line: &str) -> ShellOutcome {
+    let mut out = String::new();
+    let mut parts = line.split_whitespace();
+    let Some(cmd) = parts.next() else {
+        return ShellOutcome::Continue(out);
+    };
+    match cmd {
+        "quit" | "exit" => return ShellOutcome::Quit,
+        "help" => out.push_str(HELP),
+        "demo" => {
+            let n = parts.next().and_then(|v| v.parse().ok()).unwrap_or(2);
+            demo(db, n, &mut out);
+        }
+        "list" => {
+            for meta in db.catalog().all() {
+                let _ = writeln!(
+                    out,
+                    "  {:>3}  {:<24} {:>6} frames  {:>5.1}s",
+                    meta.id,
+                    meta.name,
+                    meta.frame_count,
+                    meta.duration_secs()
+                );
+            }
+        }
+        "stats" => {
+            let s = db.stats();
+            let _ = writeln!(
+                out,
+                "  videos {}  shots {}  frames {}  scene nodes {}  tallest tree {}  index rows {}",
+                s.videos, s.shots, s.frames, s.scene_nodes, s.max_tree_height, s.index_rows
+            );
+        }
+        "query" => {
+            let text: String = parts.collect::<Vec<_>>().join(" ");
+            match db.query_str(&text) {
+                Ok(answers) => {
+                    let _ = writeln!(out, "  {} answers", answers.len());
+                    for a in answers.iter().take(10) {
+                        let _ = writeln!(
+                            out,
+                            "  video {} shot#{:<3} Var^BA={:6.2} Var^OA={:6.2} -> {} (rep frame {})",
+                            a.key.video,
+                            a.key.shot + 1,
+                            a.var_ba,
+                            a.var_oa,
+                            a.scene_name,
+                            a.rep_frame
+                        );
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  {e}");
+                }
+            }
+        }
+        "board" => match parts.next().and_then(|v| v.parse().ok()) {
+            None => out.push_str("  usage: board <video> [cards]\n"),
+            Some(id) => {
+                let n = parts.next().and_then(|v| v.parse().ok()).unwrap_or(6);
+                match db.analysis(id) {
+                    Ok(a) => {
+                        for card in storyboard(a, n) {
+                            let _ = writeln!(
+                                out,
+                                "  [{:>3}..{:<3}] {:<8} rep frame {:>3}  ({} shots)",
+                                card.frame_range.0,
+                                card.frame_range.1,
+                                card.name,
+                                card.rep_frame,
+                                card.shot_count
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "  {e}");
+                    }
+                }
+            }
+        },
+        "tree" => match parts.next().and_then(|v| v.parse().ok()) {
+            None => out.push_str("  usage: tree <video>\n"),
+            Some(id) => match db.analysis(id) {
+                Ok(a) => out.push_str(&a.scene_tree.render_ascii()),
+                Err(e) => {
+                    let _ = writeln!(out, "  {e}");
+                }
+            },
+        },
+        "save" => match parts.next() {
+            Some(path) => match db.save(Path::new(path)) {
+                Ok(()) => {
+                    let _ = writeln!(out, "  saved to {path}");
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  {e}");
+                }
+            },
+            None => out.push_str("  usage: save <path>\n"),
+        },
+        "load" => match parts.next() {
+            Some(path) => match VideoDatabase::load(Path::new(path), AnalyzerConfig::default()) {
+                Ok(loaded) => {
+                    *db = loaded;
+                    let _ = writeln!(out, "  loaded {} videos", db.len());
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  {e}");
+                }
+            },
+            None => out.push_str("  usage: load <path>\n"),
+        },
+        other => {
+            let _ = writeln!(out, "  unknown command '{other}' (try 'help')");
+        }
+    }
+    ShellOutcome::Continue(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(db: &mut VideoDatabase, line: &str) -> String {
+        match run_command(db, line) {
+            ShellOutcome::Continue(s) => s,
+            ShellOutcome::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn demo_list_stats_flow() {
+        let mut db = VideoDatabase::new();
+        let out = exec(&mut db, "demo 2");
+        assert!(out.contains("ingested video 0"));
+        assert!(out.contains("ingested video 1"));
+        let out = exec(&mut db, "list");
+        assert!(out.contains("demo-movie-9000"));
+        let out = exec(&mut db, "stats");
+        assert!(out.contains("videos 2"));
+    }
+
+    #[test]
+    fn query_and_errors() {
+        let mut db = VideoDatabase::new();
+        exec(&mut db, "demo 1");
+        let out = exec(&mut db, "query ba=0.2 oa=12 alpha=3 beta=3");
+        assert!(out.contains("answers"));
+        let out = exec(&mut db, "query nonsense");
+        assert!(out.contains("expected key=value"));
+    }
+
+    #[test]
+    fn board_and_tree() {
+        let mut db = VideoDatabase::new();
+        exec(&mut db, "demo 1");
+        let out = exec(&mut db, "board 0 4");
+        assert!(out.contains("rep frame"));
+        let out = exec(&mut db, "tree 0");
+        assert!(out.contains("SN_"));
+        let out = exec(&mut db, "board 99");
+        assert!(out.contains("unknown video"));
+        assert!(exec(&mut db, "board").contains("usage"));
+        assert!(exec(&mut db, "tree").contains("usage"));
+    }
+
+    #[test]
+    fn save_load_flow() {
+        let dir = std::env::temp_dir().join(format!("vdb-shell-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shell.vdbs");
+        let mut db = VideoDatabase::new();
+        exec(&mut db, "demo 1");
+        let out = exec(&mut db, &format!("save {}", path.display()));
+        assert!(out.contains("saved"));
+        let mut fresh = VideoDatabase::new();
+        let out = exec(&mut fresh, &format!("load {}", path.display()));
+        assert!(out.contains("loaded 1 videos"));
+        assert_eq!(fresh.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quit_help_unknown_empty() {
+        let mut db = VideoDatabase::new();
+        assert_eq!(run_command(&mut db, "quit"), ShellOutcome::Quit);
+        assert_eq!(run_command(&mut db, "exit"), ShellOutcome::Quit);
+        assert!(exec(&mut db, "help").contains("commands:"));
+        assert!(exec(&mut db, "frobnicate").contains("unknown command"));
+        assert_eq!(exec(&mut db, "   "), "");
+    }
+}

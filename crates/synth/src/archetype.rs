@@ -1,0 +1,262 @@
+//! Shot archetypes for the retrieval experiments (Table 4, Figures 8–10).
+//!
+//! The paper demonstrates the variance-based similarity model by querying
+//! with three kinds of shots and showing that the answers share the query's
+//! motion character:
+//!
+//! * **Figure 8** — "a close-up of a person who is talking": static camera,
+//!   one large fluttering foreground object → `Var^BA ≈ 0`, moderate
+//!   `Var^OA`.
+//! * **Figure 9** — "two people talking from some distance": static camera,
+//!   two small objects with mild flutter → `Var^BA ≈ 0`, small `Var^OA`.
+//! * **Figure 10** — "a single moving object with a changing background"
+//!   (running from the kitchen, riding a bike, running in the woods):
+//!   panning camera plus a moving object → both variances large.
+//!
+//! [`ShotArchetype`] generates shots with these signatures; planting them
+//! across two synthetic "movies" reproduces the experiment without the
+//! copyrighted footage.
+
+use crate::camera::{Camera, CameraMotion};
+use crate::object::{Sprite, SpriteMotion, SpriteShape};
+use crate::rng::Srng;
+use crate::script::ShotSpec;
+use vdb_core::pixel::Rgb;
+
+/// The motion-character classes of the retrieval experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShotArchetype {
+    /// Close-up of a talking person (Figure 8).
+    TalkingHeadCloseUp,
+    /// Two people talking from a distance (Figure 9).
+    TwoPeopleDistant,
+    /// A single moving object with a changing background (Figure 10).
+    MovingObjectChangingBackground,
+    /// Static scenery, nothing moves (a control class).
+    StaticScenery,
+    /// Fast pan with no salient foreground (a second control class).
+    ActionPan,
+}
+
+impl ShotArchetype {
+    /// All archetypes.
+    pub fn all() -> &'static [ShotArchetype] {
+        &[
+            ShotArchetype::TalkingHeadCloseUp,
+            ShotArchetype::TwoPeopleDistant,
+            ShotArchetype::MovingObjectChangingBackground,
+            ShotArchetype::StaticScenery,
+            ShotArchetype::ActionPan,
+        ]
+    }
+
+    /// Stable label used in ground truth and experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShotArchetype::TalkingHeadCloseUp => "talking-head-closeup",
+            ShotArchetype::TwoPeopleDistant => "two-people-distant",
+            ShotArchetype::MovingObjectChangingBackground => "moving-object-bg",
+            ShotArchetype::StaticScenery => "static-scenery",
+            ShotArchetype::ActionPan => "action-pan",
+        }
+    }
+
+    /// Parse a label back to the archetype.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::all().iter().copied().find(|a| a.label() == label)
+    }
+
+    /// Build a shot of this archetype at a location.
+    ///
+    /// `dims` is the frame size; randomness (sprite colors, exact speeds)
+    /// comes from `rng` so repeated instances of one archetype vary the way
+    /// different real shots of the same kind do.
+    pub fn to_spec(
+        self,
+        location: u32,
+        frames: usize,
+        dims: (u32, u32),
+        rng: &mut Srng,
+    ) -> ShotSpec {
+        let (w, h) = (f64::from(dims.0), f64::from(dims.1));
+        let ox = f64::from(location) * 197.0;
+        let oy = f64::from(location) * 89.0;
+        let skin = Rgb::new(
+            rng.range_usize(180, 230) as u8,
+            rng.range_usize(130, 180) as u8,
+            rng.range_usize(100, 150) as u8,
+        );
+        let spec = ShotSpec {
+            location,
+            frames,
+            camera: Camera::fixed(ox, oy),
+            sprites: Vec::new(),
+            label: Some(self.label().to_string()),
+        };
+        match self {
+            ShotArchetype::TalkingHeadCloseUp => spec.with_sprite(Sprite {
+                shape: SpriteShape::Ellipse,
+                center: (w * 0.5, h * 0.55),
+                half_size: (w * 0.18, h * 0.3),
+                color: skin,
+                motion: SpriteMotion::Sway {
+                    amplitude: rng.range_f64(0.8, 1.8),
+                    period: rng.range_f64(8.0, 14.0),
+                },
+                flutter: rng.range_f64(5.0, 9.0),
+                seed: rng.next_u64(),
+                visible: None,
+            }),
+            ShotArchetype::TwoPeopleDistant => {
+                let mut s = spec;
+                for side in [0.32, 0.68] {
+                    s = s.with_sprite(Sprite {
+                        shape: SpriteShape::Ellipse,
+                        center: (w * side, h * 0.62),
+                        half_size: (w * 0.06, h * 0.14),
+                        color: Rgb::new(
+                            rng.range_usize(60, 220) as u8,
+                            rng.range_usize(60, 220) as u8,
+                            rng.range_usize(60, 220) as u8,
+                        ),
+                        motion: SpriteMotion::Sway {
+                            amplitude: rng.range_f64(0.3, 0.9),
+                            period: rng.range_f64(10.0, 18.0),
+                        },
+                        flutter: rng.range_f64(2.0, 4.0),
+                        seed: rng.next_u64(),
+                        visible: None,
+                    });
+                }
+                s
+            }
+            ShotArchetype::MovingObjectChangingBackground => {
+                let pan = rng.range_f64(5.0, 9.0) * if rng.chance(0.5) { 1.0 } else { -1.0 };
+                spec.with_camera(Camera::with_motion(
+                    ox,
+                    oy,
+                    CameraMotion::Pan { vx: pan, vy: 0.0 },
+                    rng.next_u64(),
+                ))
+                .with_sprite(Sprite {
+                    shape: SpriteShape::Ellipse,
+                    center: (w * 0.5, h * 0.6),
+                    half_size: (w * 0.09, h * 0.18),
+                    color: skin,
+                    motion: SpriteMotion::Linear {
+                        vx: rng.range_f64(-1.5, 1.5),
+                        vy: rng.range_f64(-0.4, 0.4),
+                    },
+                    flutter: rng.range_f64(6.0, 10.0),
+                    seed: rng.next_u64(),
+                    visible: None,
+                })
+            }
+            ShotArchetype::StaticScenery => spec,
+            ShotArchetype::ActionPan => {
+                let pan = rng.range_f64(8.0, 14.0) * if rng.chance(0.5) { 1.0 } else { -1.0 };
+                spec.with_camera(Camera::with_motion(
+                    ox,
+                    oy,
+                    CameraMotion::Pan {
+                        vx: pan,
+                        vy: rng.range_f64(-1.0, 1.0),
+                    },
+                    rng.next_u64(),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{generate, VideoScript};
+    use vdb_core::analyzer::VideoAnalyzer;
+
+    /// Generate a single-shot clip of the archetype and return its
+    /// (Var^BA, Var^OA) under the real pipeline.
+    fn variances(a: ShotArchetype, seed: u64) -> (f64, f64) {
+        let mut rng = Srng::new(seed);
+        let mut script = VideoScript::small(seed);
+        script.push_shot(a.to_spec(0, 24, (script.width, script.height), &mut rng));
+        let g = generate(&script);
+        let analysis = VideoAnalyzer::new().analyze(&g.video).unwrap();
+        // The whole clip is one scripted shot; if SBD split it (it should
+        // not for these smooth archetypes), take the longest detected shot.
+        let shot = analysis
+            .shots()
+            .iter()
+            .max_by_key(|s| s.len())
+            .copied()
+            .unwrap();
+        let f = analysis.features[shot.id];
+        (f.var_ba, f.var_oa)
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        for &a in ShotArchetype::all() {
+            assert_eq!(ShotArchetype::from_label(a.label()), Some(a));
+        }
+        assert_eq!(ShotArchetype::from_label("nope"), None);
+    }
+
+    #[test]
+    fn talking_head_static_background() {
+        let (ba, oa) = variances(ShotArchetype::TalkingHeadCloseUp, 1);
+        assert!(ba < 1.0, "close-up Var^BA must be ~0, got {ba}");
+        assert!(oa > 0.5, "talking head must move the object area, got {oa}");
+    }
+
+    #[test]
+    fn two_people_less_object_motion_than_closeup() {
+        let (_, oa_two) = variances(ShotArchetype::TwoPeopleDistant, 2);
+        let (_, oa_close) = variances(ShotArchetype::TalkingHeadCloseUp, 2);
+        assert!(
+            oa_two < oa_close,
+            "distant pair ({oa_two}) must move less than a close-up ({oa_close})"
+        );
+    }
+
+    #[test]
+    fn moving_object_changes_background() {
+        let (ba, oa) = variances(ShotArchetype::MovingObjectChangingBackground, 3);
+        assert!(ba > 2.0, "pan must drive Var^BA, got {ba}");
+        assert!(oa > 1.0, "moving object must drive Var^OA, got {oa}");
+    }
+
+    #[test]
+    fn static_scenery_is_dead_calm() {
+        let (ba, oa) = variances(ShotArchetype::StaticScenery, 4);
+        assert_eq!(ba, 0.0);
+        assert_eq!(oa, 0.0);
+    }
+
+    #[test]
+    fn action_pan_background_dominates() {
+        let (ba, oa) = variances(ShotArchetype::ActionPan, 5);
+        assert!(ba > 5.0, "fast pan Var^BA, got {ba}");
+        // d_v = sqrt(ba) - sqrt(oa) clearly positive.
+        assert!(ba.sqrt() - oa.sqrt() > 1.0);
+    }
+
+    #[test]
+    fn archetypes_are_separable_in_feature_space() {
+        // The premise of Figures 8-10: same-archetype shots are nearer each
+        // other in (d_v, sqrt_ba) space than different-archetype shots.
+        let feat = |a: ShotArchetype, seed: u64| {
+            let (ba, oa) = variances(a, seed);
+            (ba.sqrt() - oa.sqrt(), ba.sqrt())
+        };
+        let close1 = feat(ShotArchetype::TalkingHeadCloseUp, 10);
+        let close2 = feat(ShotArchetype::TalkingHeadCloseUp, 11);
+        let mover = feat(ShotArchetype::MovingObjectChangingBackground, 10);
+        let d = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        assert!(
+            d(close1, close2) < d(close1, mover),
+            "close-ups {close1:?}/{close2:?} vs mover {mover:?}"
+        );
+    }
+}

@@ -1,0 +1,591 @@
+//! Genre profiles: per-category statistics that shape generated clips.
+//!
+//! Table 5's corpus spans six categories (TV programs, news, movies,
+//! sports, documentaries, music videos) whose editing styles differ in
+//! exactly the dimensions that stress an SBD detector: shot length, camera
+//! motion, foreground activity, gradual-transition frequency, and tape
+//! quality. Each [`GenreProfile`] encodes those statistics; `build_script`
+//! samples a [`VideoScript`] from them deterministically.
+
+use crate::camera::{Camera, CameraMotion};
+use crate::noise::NoiseProfile;
+use crate::object::{Sprite, SpriteMotion, SpriteShape};
+use crate::rng::Srng;
+use crate::script::{ShotSpec, VideoScript};
+use crate::transition::Transition;
+use vdb_core::pixel::Rgb;
+
+/// The editing-style categories of the Table 5 corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Genre {
+    /// Episodic drama (Silk Stalkings, Chicago Hope, Star Trek).
+    Drama,
+    /// Cartoons (Scooby Doo, Flintstones): flat colors, frequent cuts.
+    Cartoon,
+    /// Sitcoms (Friends): few sets, heavy shot/reverse-shot dialogue.
+    Sitcom,
+    /// Soap opera: like sitcom, slower cutting.
+    SoapOpera,
+    /// Talk show: very fast cutting between a handful of cameras.
+    TalkShow,
+    /// TV commercials: extremely short shots, new location almost every cut.
+    Commercials,
+    /// News: anchor desk alternating with field footage.
+    News,
+    /// Feature movies.
+    Movie,
+    /// Sports: long shots, sweeping pans, one venue.
+    Sports,
+    /// Documentaries: long contemplative shots, dissolves.
+    Documentary,
+    /// Music videos: frantic cutting, handheld, rough tape.
+    MusicVideo,
+}
+
+impl Genre {
+    /// All genres, in Table 5 order of first appearance.
+    pub fn all() -> &'static [Genre] {
+        &[
+            Genre::Drama,
+            Genre::Cartoon,
+            Genre::Sitcom,
+            Genre::SoapOpera,
+            Genre::TalkShow,
+            Genre::Commercials,
+            Genre::News,
+            Genre::Movie,
+            Genre::Sports,
+            Genre::Documentary,
+            Genre::MusicVideo,
+        ]
+    }
+
+    /// The genre's generation statistics.
+    pub fn profile(self) -> GenreProfile {
+        match self {
+            Genre::Drama => GenreProfile {
+                shot_frames: (8, 30),
+                location_pool: 8,
+                revisit_prob: 0.55,
+                motion_weights: MotionWeights {
+                    statics: 4,
+                    pan: 2,
+                    handheld: 3,
+                    zoom: 1,
+                },
+                pan_speed: (2.0, 7.0),
+                sprite_count: (0, 2),
+                sprite_activity: 0.5,
+                gradual_prob: 0.08,
+                noise: NoiseProfile::broadcast(),
+                palette_pool: Some(3),
+            },
+            Genre::Cartoon => GenreProfile {
+                shot_frames: (6, 20),
+                location_pool: 6,
+                revisit_prob: 0.5,
+                motion_weights: MotionWeights {
+                    statics: 6,
+                    pan: 3,
+                    handheld: 0,
+                    zoom: 1,
+                },
+                pan_speed: (4.0, 10.0),
+                sprite_count: (1, 3),
+                sprite_activity: 0.9,
+                gradual_prob: 0.04,
+                noise: NoiseProfile::CLEAN,
+                palette_pool: Some(2),
+            },
+            Genre::Sitcom => GenreProfile {
+                shot_frames: (6, 24),
+                location_pool: 3,
+                revisit_prob: 0.8,
+                motion_weights: MotionWeights {
+                    statics: 7,
+                    pan: 1,
+                    handheld: 2,
+                    zoom: 0,
+                },
+                pan_speed: (1.5, 4.0),
+                sprite_count: (1, 3),
+                sprite_activity: 0.5,
+                gradual_prob: 0.03,
+                noise: NoiseProfile::broadcast(),
+                palette_pool: Some(2),
+            },
+            Genre::SoapOpera => GenreProfile {
+                shot_frames: (12, 40),
+                location_pool: 3,
+                revisit_prob: 0.85,
+                motion_weights: MotionWeights {
+                    statics: 8,
+                    pan: 1,
+                    handheld: 1,
+                    zoom: 1,
+                },
+                pan_speed: (1.0, 3.0),
+                sprite_count: (1, 2),
+                sprite_activity: 0.4,
+                gradual_prob: 0.1,
+                noise: NoiseProfile::broadcast(),
+                palette_pool: Some(2),
+            },
+            Genre::TalkShow => GenreProfile {
+                shot_frames: (4, 14),
+                location_pool: 2,
+                revisit_prob: 0.9,
+                motion_weights: MotionWeights {
+                    statics: 6,
+                    pan: 1,
+                    handheld: 3,
+                    zoom: 0,
+                },
+                pan_speed: (2.0, 5.0),
+                sprite_count: (1, 4),
+                sprite_activity: 0.8,
+                gradual_prob: 0.02,
+                noise: NoiseProfile::broadcast(),
+                palette_pool: Some(1),
+            },
+            Genre::Commercials => GenreProfile {
+                shot_frames: (3, 10),
+                location_pool: 40,
+                revisit_prob: 0.1,
+                motion_weights: MotionWeights {
+                    statics: 3,
+                    pan: 3,
+                    handheld: 2,
+                    zoom: 2,
+                },
+                pan_speed: (3.0, 9.0),
+                sprite_count: (0, 2),
+                sprite_activity: 0.7,
+                gradual_prob: 0.12,
+                noise: NoiseProfile::broadcast(),
+                palette_pool: None,
+            },
+            Genre::News => GenreProfile {
+                shot_frames: (10, 35),
+                location_pool: 10,
+                revisit_prob: 0.45,
+                motion_weights: MotionWeights {
+                    statics: 7,
+                    pan: 2,
+                    handheld: 1,
+                    zoom: 0,
+                },
+                pan_speed: (2.0, 5.0),
+                sprite_count: (1, 2),
+                sprite_activity: 0.4,
+                gradual_prob: 0.06,
+                noise: NoiseProfile::broadcast(),
+                palette_pool: Some(3),
+            },
+            Genre::Movie => GenreProfile {
+                shot_frames: (6, 28),
+                location_pool: 10,
+                revisit_prob: 0.6,
+                motion_weights: MotionWeights {
+                    statics: 4,
+                    pan: 3,
+                    handheld: 2,
+                    zoom: 1,
+                },
+                pan_speed: (2.0, 8.0),
+                sprite_count: (0, 3),
+                sprite_activity: 0.6,
+                gradual_prob: 0.07,
+                noise: NoiseProfile::broadcast(),
+                palette_pool: Some(4),
+            },
+            Genre::Sports => GenreProfile {
+                shot_frames: (15, 60),
+                location_pool: 3,
+                revisit_prob: 0.75,
+                motion_weights: MotionWeights {
+                    statics: 1,
+                    pan: 6,
+                    handheld: 2,
+                    zoom: 1,
+                },
+                pan_speed: (3.0, 12.0),
+                sprite_count: (1, 3),
+                sprite_activity: 0.9,
+                gradual_prob: 0.02,
+                noise: NoiseProfile::broadcast(),
+                palette_pool: Some(2),
+            },
+            Genre::Documentary => GenreProfile {
+                shot_frames: (12, 45),
+                location_pool: 12,
+                revisit_prob: 0.3,
+                motion_weights: MotionWeights {
+                    statics: 5,
+                    pan: 3,
+                    handheld: 1,
+                    zoom: 1,
+                },
+                pan_speed: (1.0, 4.0),
+                sprite_count: (0, 2),
+                sprite_activity: 0.3,
+                gradual_prob: 0.18,
+                noise: NoiseProfile::rough(),
+                palette_pool: Some(4),
+            },
+            Genre::MusicVideo => GenreProfile {
+                shot_frames: (3, 12),
+                location_pool: 12,
+                revisit_prob: 0.4,
+                motion_weights: MotionWeights {
+                    statics: 2,
+                    pan: 3,
+                    handheld: 4,
+                    zoom: 1,
+                },
+                pan_speed: (4.0, 12.0),
+                sprite_count: (0, 3),
+                sprite_activity: 1.0,
+                gradual_prob: 0.1,
+                noise: NoiseProfile::rough(),
+                palette_pool: Some(3),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Genre {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Genre::Drama => "Drama",
+            Genre::Cartoon => "Cartoon",
+            Genre::Sitcom => "Sitcom",
+            Genre::SoapOpera => "Soap Opera",
+            Genre::TalkShow => "Talk Show",
+            Genre::Commercials => "Commercials",
+            Genre::News => "News",
+            Genre::Movie => "Movie",
+            Genre::Sports => "Sports",
+            Genre::Documentary => "Documentary",
+            Genre::MusicVideo => "Music Video",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Relative weights of camera-motion kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionWeights {
+    /// Weight of locked-off shots.
+    pub statics: u32,
+    /// Weight of pans/tilts.
+    pub pan: u32,
+    /// Weight of handheld drift.
+    pub handheld: u32,
+    /// Weight of zooms.
+    pub zoom: u32,
+}
+
+/// Generation statistics of one genre.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenreProfile {
+    /// Shot length range in frames at 3 fps (inclusive).
+    pub shot_frames: (usize, usize),
+    /// Number of distinct scene locations available.
+    pub location_pool: usize,
+    /// Probability that a shot returns to a recently used location
+    /// (dialogue alternation, anchor desk, the sports venue).
+    pub revisit_prob: f64,
+    /// Camera-motion mix.
+    pub motion_weights: MotionWeights,
+    /// Pan speed range (world px/frame at 3 fps).
+    pub pan_speed: (f64, f64),
+    /// Foreground sprite count range (inclusive).
+    pub sprite_count: (usize, usize),
+    /// Sprite activity in `\[0, 1\]`: scales motion speed and color flutter.
+    pub sprite_activity: f64,
+    /// Fraction of transitions that are gradual (dissolve/fade/wipe).
+    pub gradual_prob: f64,
+    /// Tape-quality degradation.
+    pub noise: NoiseProfile,
+    /// Locations share a pool of this many palettes (`None` = every
+    /// location has its own). Small pools model cartoons / talk shows /
+    /// sitcoms whose sets share ink and studio colors — the color-histogram
+    /// blind spot.
+    pub palette_pool: Option<u32>,
+}
+
+impl GenreProfile {
+    /// Mean shot length in frames.
+    pub fn mean_shot_frames(&self) -> f64 {
+        (self.shot_frames.0 + self.shot_frames.1) as f64 / 2.0
+    }
+}
+
+/// Sample one camera program.
+fn sample_camera(profile: &GenreProfile, location: u32, visit: usize, rng: &mut Srng) -> Camera {
+    let w = profile.motion_weights;
+    let total = w.statics + w.pan + w.handheld + w.zoom;
+    let roll = rng.below(u64::from(total.max(1))) as u32;
+    // Each revisit of a location films from a *different camera position*
+    // in the same world (shot/reverse-shot): far enough that the background
+    // content is fresh across the cut (so the cut is detectable), while the
+    // world's palette keeps the shots RELATIONSHIP-related.
+    let ox = f64::from(location) * 211.0 + visit as f64 * 653.0;
+    let oy = f64::from(location) * 131.0 + (visit as f64 * 89.0) % 350.0;
+    let seed = rng.next_u64();
+    if roll < w.statics {
+        Camera::fixed(ox, oy)
+    } else if roll < w.statics + w.pan {
+        let speed = rng.range_f64(profile.pan_speed.0, profile.pan_speed.1);
+        let dir = if rng.chance(0.5) { 1.0 } else { -1.0 };
+        let vertical = rng.chance(0.25);
+        let (vx, vy) = if vertical {
+            (0.0, speed * dir * 0.5)
+        } else {
+            (speed * dir, 0.0)
+        };
+        Camera::with_motion(ox, oy, CameraMotion::Pan { vx, vy }, seed)
+    } else if roll < w.statics + w.pan + w.handheld {
+        Camera::with_motion(
+            ox,
+            oy,
+            CameraMotion::Handheld {
+                amplitude: rng.range_f64(1.5, 4.0),
+            },
+            seed,
+        )
+    } else {
+        let rate = if rng.chance(0.5) { 1.01 } else { 0.99 };
+        Camera::with_motion(ox, oy, CameraMotion::Zoom { rate }, seed)
+    }
+}
+
+/// Sample the foreground sprites of one shot.
+fn sample_sprites(profile: &GenreProfile, dims: (u32, u32), rng: &mut Srng) -> Vec<Sprite> {
+    let n = rng.range_usize(profile.sprite_count.0, profile.sprite_count.1);
+    let (w, h) = (f64::from(dims.0), f64::from(dims.1));
+    let act = profile.sprite_activity;
+    (0..n)
+        .map(|_| {
+            let cx = rng.range_f64(w * 0.25, w * 0.75);
+            let cy = rng.range_f64(h * 0.45, h * 0.8);
+            let rx = rng.range_f64(w * 0.04, w * 0.14);
+            let ry = rx * rng.range_f64(1.0, 1.6);
+            let color = Rgb::new(
+                rng.range_usize(60, 230) as u8,
+                rng.range_usize(50, 200) as u8,
+                rng.range_usize(40, 200) as u8,
+            );
+            let motion = if rng.chance(0.35 * act + 0.05) {
+                SpriteMotion::Linear {
+                    vx: rng.range_f64(-3.0, 3.0) * act.max(0.2),
+                    vy: rng.range_f64(-0.8, 0.8) * act.max(0.2),
+                }
+            } else if rng.chance(0.6) {
+                SpriteMotion::Sway {
+                    amplitude: rng.range_f64(0.5, 3.0) * act.max(0.2),
+                    period: rng.range_f64(6.0, 18.0),
+                }
+            } else {
+                SpriteMotion::Still
+            };
+            Sprite {
+                shape: if rng.chance(0.6) {
+                    SpriteShape::Ellipse
+                } else {
+                    SpriteShape::Rect
+                },
+                center: (cx, cy),
+                half_size: (rx, ry),
+                color,
+                motion,
+                flutter: rng.range_f64(1.0, 8.0) * act,
+                seed: rng.next_u64(),
+                visible: None,
+            }
+        })
+        .collect()
+}
+
+/// Build a clip script of `n_shots` shots in the genre's style.
+///
+/// `mean_shot_frames` overrides the genre's shot-length range (used to match
+/// a specific Table 5 clip's cutting rate); lengths are then drawn uniformly
+/// from `[mean/2, 3·mean/2]`.
+pub fn build_script(
+    genre: Genre,
+    n_shots: usize,
+    mean_shot_frames: Option<f64>,
+    dims: (u32, u32),
+    seed: u64,
+) -> VideoScript {
+    assert!(n_shots > 0, "need at least one shot");
+    let profile = genre.profile();
+    let mut rng = Srng::new(seed);
+    let mut script = VideoScript::new(seed);
+    script.width = dims.0;
+    script.height = dims.1;
+    script.noise = profile.noise;
+    script.palette_pool = profile.palette_pool;
+
+    let (len_lo, len_hi) = match mean_shot_frames {
+        Some(m) => {
+            let lo = (m * 0.5).round().max(2.0) as usize;
+            let hi = (m * 1.5).round().max(3.0) as usize;
+            (lo, hi.max(lo + 1))
+        }
+        None => profile.shot_frames,
+    };
+
+    let mut recent: Vec<u32> = Vec::new();
+    let mut visits: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut next_loc = 0u32;
+    for shot_idx in 0..n_shots {
+        let location = if !recent.is_empty() && rng.chance(profile.revisit_prob) {
+            let k = recent.len().min(4);
+            *rng.pick(&recent[recent.len() - k..])
+        } else if (next_loc as usize) < profile.location_pool {
+            let l = next_loc;
+            next_loc += 1;
+            l
+        } else {
+            rng.below(profile.location_pool as u64) as u32
+        };
+        if recent.last() != Some(&location) {
+            recent.push(location);
+        }
+        let visit = visits.entry(location).or_insert(0);
+        *visit += 1;
+        let frames = rng.range_usize(len_lo, len_hi);
+        let camera = sample_camera(&profile, location, *visit, &mut rng);
+        let sprites = sample_sprites(&profile, dims, &mut rng);
+        let spec = ShotSpec {
+            location,
+            frames,
+            camera,
+            sprites,
+            label: None,
+        };
+        if shot_idx == 0 {
+            script.push_shot(spec);
+        } else if rng.chance(profile.gradual_prob) {
+            let t = match rng.below(3) {
+                0 => Transition::Dissolve {
+                    frames: rng.range_usize(4, 8),
+                },
+                1 => Transition::FadeThroughBlack {
+                    half_frames: rng.range_usize(2, 4),
+                },
+                _ => Transition::Wipe {
+                    frames: rng.range_usize(3, 6),
+                },
+            };
+            script.push_shot_with_transition(t, spec);
+        } else {
+            script.push_shot(spec);
+        }
+    }
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::generate;
+
+    #[test]
+    fn build_script_shot_count() {
+        for &g in Genre::all() {
+            let s = build_script(g, 12, None, (80, 60), 42);
+            assert_eq!(s.shots.len(), 12, "{g}");
+            assert_eq!(s.transitions.len(), 11);
+        }
+    }
+
+    #[test]
+    fn deterministic_scripts() {
+        let a = build_script(Genre::Sitcom, 10, None, (80, 60), 7);
+        let b = build_script(Genre::Sitcom, 10, None, (80, 60), 7);
+        assert_eq!(a, b);
+        let c = build_script(Genre::Sitcom, 10, None, (80, 60), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_override_controls_lengths() {
+        let s = build_script(Genre::Drama, 40, Some(6.0), (80, 60), 3);
+        for shot in &s.shots {
+            assert!((3..=9).contains(&shot.frames), "{}", shot.frames);
+        }
+        let long = build_script(Genre::Drama, 40, Some(30.0), (80, 60), 3);
+        let mean: f64 =
+            long.shots.iter().map(|s| s.frames as f64).sum::<f64>() / long.shots.len() as f64;
+        assert!(mean > 20.0, "mean {mean}");
+    }
+
+    #[test]
+    fn sitcom_revisits_locations() {
+        let s = build_script(Genre::Sitcom, 30, None, (80, 60), 11);
+        let distinct: std::collections::HashSet<u32> = s.shots.iter().map(|s| s.location).collect();
+        assert!(
+            distinct.len() <= 3,
+            "sitcoms live on few sets: {distinct:?}"
+        );
+        // And locations genuinely repeat non-adjacently (dialogue pattern).
+        let locs: Vec<u32> = s.shots.iter().map(|s| s.location).collect();
+        let alternates = locs
+            .windows(3)
+            .filter(|w| w[0] == w[2] && w[0] != w[1])
+            .count();
+        assert!(
+            alternates > 0,
+            "expected shot/reverse-shot patterns: {locs:?}"
+        );
+    }
+
+    #[test]
+    fn commercials_rarely_revisit() {
+        let s = build_script(Genre::Commercials, 30, None, (80, 60), 13);
+        let distinct: std::collections::HashSet<u32> = s.shots.iter().map(|s| s.location).collect();
+        assert!(
+            distinct.len() >= 15,
+            "commercials jump locations: only {} distinct",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn sports_shots_are_long_and_panny() {
+        let s = build_script(Genre::Sports, 20, None, (80, 60), 17);
+        let mean: f64 = s.shots.iter().map(|s| s.frames as f64).sum::<f64>() / s.shots.len() as f64;
+        assert!(mean >= 15.0, "mean {mean}");
+        let pans = s
+            .shots
+            .iter()
+            .filter(|s| matches!(s.camera.motion, CameraMotion::Pan { .. }))
+            .count();
+        assert!(pans * 2 >= s.shots.len(), "{pans}/20 pans");
+    }
+
+    #[test]
+    fn generated_genre_clip_is_well_formed() {
+        let s = build_script(Genre::News, 8, Some(8.0), (80, 60), 23);
+        let g = generate(&s);
+        assert_eq!(g.truth.shot_count(), 8);
+        assert_eq!(g.truth.boundaries.len(), 7);
+        assert_eq!(g.video.len(), s.total_frames());
+    }
+
+    #[test]
+    fn documentary_has_gradual_transitions_eventually() {
+        // With gradual_prob 0.18 and 60 transitions, P(none) ~ 6e-6.
+        let s = build_script(Genre::Documentary, 61, None, (80, 60), 29);
+        let gradual = s
+            .transitions
+            .iter()
+            .filter(|t| !matches!(t, Transition::Cut))
+            .count();
+        assert!(gradual > 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # vdb-synth
+//!
+//! Deterministic synthetic-video substrate for the SIGMOD 2000
+//! reproduction. The paper's experiments ran on 22 digitized AVI clips
+//! (Table 5) that cannot be redistributed — and the Rust ecosystem has no
+//! workable offline video decoding — so this crate *generates* video with
+//! the same signal structure the paper's algorithms consume:
+//!
+//! * smooth procedural background [`texture::World`]s per scene location,
+//! * a [`camera::Camera`] that pans/tilts/zooms/jitters over them,
+//! * foreground [`object::Sprite`]s whose motion drives `Var^OA`,
+//! * hard cuts and gradual [`transition::Transition`]s with ground truth,
+//! * tape-degradation [`noise::NoiseProfile`]s,
+//! * per-genre editing statistics ([`genre`]) and the full Table 5 corpus
+//!   ([`clips`]),
+//! * the retrieval archetypes of Figures 8–10 ([`archetype`]),
+//! * YUV4MPEG2 (`.y4m`) file I/O ([`y4m`]) so *real* footage (piped from
+//!   `ffmpeg`) can be ingested too.
+//!
+//! Everything is a pure function of a seed.
+//!
+//! ```
+//! use vdb_synth::script::{generate, ShotSpec, VideoScript};
+//!
+//! let mut script = VideoScript::small(42);
+//! script.push_shot(ShotSpec::fixed(0, 6));
+//! script.push_shot(ShotSpec::fixed(1, 6));
+//! let clip = generate(&script);
+//! assert_eq!(clip.video.len(), 12);
+//! assert_eq!(clip.truth.boundaries, vec![6]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod archetype;
+pub mod camera;
+pub mod clips;
+pub mod genre;
+pub mod noise;
+pub mod object;
+pub mod rng;
+pub mod script;
+pub mod texture;
+pub mod transition;
+pub mod y4m;
+
+pub use archetype::ShotArchetype;
+pub use camera::{Camera, CameraMotion};
+pub use clips::{table5_clips, ClipSpec, Scale};
+pub use genre::{build_script, Genre};
+pub use noise::NoiseProfile;
+pub use script::{generate, GeneratedVideo, GroundTruth, ShotSpec, VideoScript};
+pub use transition::Transition;
+pub use y4m::{read_y4m, write_y4m, ChromaMode, Y4mError};

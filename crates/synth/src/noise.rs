@@ -1,0 +1,209 @@
+//! Nuisance processes: sensor noise, luminance flicker, and block
+//! artifacts.
+//!
+//! These are the failure-injection knobs of the substrate. The paper's
+//! recall/precision sit near 0.90/0.85 rather than 1.0 because real footage
+//! has grain, brightness pumping, and compression blocking that perturb
+//! every feature a detector computes; [`NoiseProfile`] reproduces those
+//! perturbations with seeded determinism.
+
+use crate::rng::{hash2, hash2_unit};
+use vdb_core::frame::FrameBuf;
+use vdb_core::pixel::Rgb;
+
+/// Per-video noise configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseProfile {
+    /// Max per-pixel, per-channel uniform noise amplitude (gray levels).
+    pub grain: f64,
+    /// Max global luminance offset per frame (gray levels); models
+    /// auto-exposure pumping and tape flicker.
+    pub flicker: f64,
+    /// Probability that a frame carries 8×8 block artifacts.
+    pub block_prob: f64,
+    /// Amplitude of block luminance offsets (gray levels).
+    pub block_amp: f64,
+}
+
+impl NoiseProfile {
+    /// No degradation at all.
+    pub const CLEAN: NoiseProfile = NoiseProfile {
+        grain: 0.0,
+        flicker: 0.0,
+        block_prob: 0.0,
+        block_amp: 0.0,
+    };
+
+    /// Typical broadcast-quality degradation.
+    pub fn broadcast() -> Self {
+        NoiseProfile {
+            grain: 3.0,
+            flicker: 2.0,
+            block_prob: 0.05,
+            block_amp: 6.0,
+        }
+    }
+
+    /// Rough consumer-tape degradation (music videos, old documentaries).
+    pub fn rough() -> Self {
+        NoiseProfile {
+            grain: 4.0,
+            flicker: 3.0,
+            block_prob: 0.12,
+            block_amp: 6.0,
+        }
+    }
+
+    /// Whether this profile changes frames at all.
+    pub fn is_clean(&self) -> bool {
+        self.grain == 0.0 && self.flicker == 0.0 && self.block_prob == 0.0
+    }
+
+    /// Apply the profile to frame `t` in place. Deterministic in
+    /// `(seed, t, pixel position)`.
+    pub fn apply(&self, frame: &mut FrameBuf, seed: u64, t: usize) {
+        if self.is_clean() {
+            return;
+        }
+        let t_i = t as i64;
+        let flick = if self.flicker > 0.0 {
+            ((hash2_unit(seed ^ 0xf11c, t_i, 0) * 2.0 - 1.0) * self.flicker).round() as i16
+        } else {
+            0
+        };
+        let blocky = self.block_prob > 0.0 && hash2_unit(seed ^ 0xb10c, t_i, 1) < self.block_prob;
+        let w = frame.width();
+        let grain = self.grain;
+        let block_amp = self.block_amp;
+        for (i, p) in frame.pixels_mut().iter_mut().enumerate() {
+            let x = (i as u32 % w) as i64;
+            let y = (i as u32 / w) as i64;
+            let mut d = [flick; 3];
+            if grain > 0.0 {
+                let h = hash2(seed ^ 0x6e41, x + t_i * 100_003, y);
+                for (ch, dch) in d.iter_mut().enumerate() {
+                    let u = ((h >> (ch * 16)) & 0xffff) as f64 / 65536.0;
+                    *dch += ((u * 2.0 - 1.0) * grain).round() as i16;
+                }
+            }
+            if blocky {
+                // Block offsets are stable across a GOP (~12 frames), like
+                // real compression blocking: they pulse at keyframes rather
+                // than re-rolling every frame.
+                let b = hash2_unit(seed ^ 0xb10c_b10c, (x / 8) + (t_i / 12) * 7919, y / 8);
+                let off = ((b * 2.0 - 1.0) * block_amp).round() as i16;
+                for dch in &mut d {
+                    *dch += off;
+                }
+            }
+            *p = Rgb::new(
+                (i16::from(p.r()) + d[0]).clamp(0, 255) as u8,
+                (i16::from(p.g()) + d[1]).clamp(0, 255) as u8,
+                (i16::from(p.b()) + d[2]).clamp(0, 255) as u8,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> FrameBuf {
+        FrameBuf::filled(32, 24, Rgb::gray(128))
+    }
+
+    #[test]
+    fn clean_profile_is_identity() {
+        let mut f = base();
+        NoiseProfile::CLEAN.apply(&mut f, 1, 0);
+        assert_eq!(f, base());
+        assert!(NoiseProfile::CLEAN.is_clean());
+    }
+
+    #[test]
+    fn grain_is_bounded() {
+        let profile = NoiseProfile {
+            grain: 4.0,
+            ..NoiseProfile::CLEAN
+        };
+        let mut f = base();
+        profile.apply(&mut f, 7, 3);
+        let changed = f.pixels().iter().filter(|p| **p != Rgb::gray(128)).count();
+        assert!(changed > 0, "grain must perturb pixels");
+        for p in f.pixels() {
+            assert!(p.max_channel_diff(Rgb::gray(128)) <= 4);
+        }
+    }
+
+    #[test]
+    fn flicker_shifts_whole_frame_uniformly() {
+        let profile = NoiseProfile {
+            flicker: 5.0,
+            ..NoiseProfile::CLEAN
+        };
+        // Find a frame index with nonzero flicker.
+        let mut found = false;
+        for t in 0..20 {
+            let mut f = base();
+            profile.apply(&mut f, 11, t);
+            let first = f.get(0, 0);
+            if first != Rgb::gray(128) {
+                found = true;
+                assert!(f.pixels().iter().all(|p| *p == first), "uniform shift");
+                assert!(first.max_channel_diff(Rgb::gray(128)) <= 5);
+            }
+        }
+        assert!(found, "flicker never fired in 20 frames");
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_t() {
+        let profile = NoiseProfile::rough();
+        let mut a = base();
+        let mut b = base();
+        profile.apply(&mut a, 5, 9);
+        profile.apply(&mut b, 5, 9);
+        assert_eq!(a, b);
+        let mut c = base();
+        profile.apply(&mut c, 6, 9);
+        assert_ne!(a, c, "different seed, different noise");
+    }
+
+    #[test]
+    fn blocks_are_8x8_coherent() {
+        let profile = NoiseProfile {
+            block_prob: 1.0,
+            block_amp: 20.0,
+            ..NoiseProfile::CLEAN
+        };
+        let mut f = base();
+        profile.apply(&mut f, 3, 0);
+        // Within one 8x8 block all pixels share the same offset.
+        for by in 0..3 {
+            for bx in 0..4 {
+                let first = f.get(bx * 8, by * 8);
+                for y in 0..8 {
+                    for x in 0..8 {
+                        assert_eq!(f.get(bx * 8 + x, by * 8 + y), first);
+                    }
+                }
+            }
+        }
+        // And at least two blocks differ.
+        assert!(
+            (0..4).any(|bx| f.get(bx * 8, 0) != f.get(0, 8)),
+            "blocks must vary"
+        );
+    }
+
+    #[test]
+    fn presets_are_ordered_by_severity() {
+        let b = NoiseProfile::broadcast();
+        let r = NoiseProfile::rough();
+        assert!(r.grain > b.grain);
+        assert!(r.flicker > b.flicker);
+        assert!(r.block_prob > b.block_prob);
+        assert!(!b.is_clean());
+    }
+}

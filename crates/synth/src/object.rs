@@ -1,0 +1,299 @@
+//! Foreground objects: sprites drawn over the rendered background.
+//!
+//! Objects are what the fixed object area (FOA) is for: they live in the
+//! central/bottom region of the frame, move along simple paths, and
+//! "flutter" (small per-frame color modulation standing in for gesturing,
+//! lip movement, limb motion). Their motion drives `Var^OA`, while leaving
+//! the ⊓-shaped background area alone keeps `Var^BA` a camera-motion
+//! signal — exactly the separation the paper's feature vector relies on.
+
+use crate::rng::hash2_unit;
+use vdb_core::frame::FrameBuf;
+use vdb_core::pixel::Rgb;
+
+/// Sprite geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpriteShape {
+    /// Axis-aligned ellipse (heads, balls, cars-from-afar).
+    Ellipse,
+    /// Axis-aligned rectangle (torsos, furniture, vehicles).
+    Rect,
+}
+
+/// Motion program of a sprite, in frame coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpriteMotion {
+    /// Stays put (a seated speaker).
+    Still,
+    /// Constant velocity (someone crossing the room).
+    Linear {
+        /// Horizontal velocity in px/frame.
+        vx: f64,
+        /// Vertical velocity in px/frame.
+        vy: f64,
+    },
+    /// Sinusoidal sway around the start position (idle motion).
+    Sway {
+        /// Sway amplitude in px.
+        amplitude: f64,
+        /// Sway period in frames.
+        period: f64,
+    },
+}
+
+/// A foreground sprite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sprite {
+    /// Geometry.
+    pub shape: SpriteShape,
+    /// Center position at `t = 0`, in frame coordinates.
+    pub center: (f64, f64),
+    /// Half-extents `(rx, ry)` in pixels.
+    pub half_size: (f64, f64),
+    /// Base fill color.
+    pub color: Rgb,
+    /// Motion program.
+    pub motion: SpriteMotion,
+    /// Amplitude of per-frame color flutter, gray levels (0 = frozen).
+    pub flutter: f64,
+    /// Seed for the flutter sequence.
+    pub seed: u64,
+    /// Frames (within the shot, inclusive) during which the sprite is
+    /// drawn; `None` = the whole shot. Models captions/subtitles and
+    /// objects entering mid-shot.
+    pub visible: Option<(usize, usize)>,
+}
+
+impl Sprite {
+    /// Center position at frame `t`.
+    pub fn center_at(&self, t: usize) -> (f64, f64) {
+        let tf = t as f64;
+        let (cx, cy) = self.center;
+        match self.motion {
+            SpriteMotion::Still => (cx, cy),
+            SpriteMotion::Linear { vx, vy } => (cx + vx * tf, cy + vy * tf),
+            SpriteMotion::Sway { amplitude, period } => (
+                cx + amplitude * (tf * std::f64::consts::TAU / period).sin(),
+                cy + 0.3 * amplitude * (tf * std::f64::consts::TAU / period).cos(),
+            ),
+        }
+    }
+
+    /// Fill color at frame `t` (base color plus flutter).
+    pub fn color_at(&self, t: usize) -> Rgb {
+        if self.flutter <= 0.0 {
+            return self.color;
+        }
+        let jig = |axis: u64| -> i16 {
+            let v = hash2_unit(self.seed ^ axis, t as i64, axis as i64);
+            ((v * 2.0 - 1.0) * self.flutter) as i16
+        };
+        let adj = |c: u8, d: i16| (i16::from(c) + d).clamp(0, 255) as u8;
+        Rgb::new(
+            adj(self.color.r(), jig(1)),
+            adj(self.color.g(), jig(2)),
+            adj(self.color.b(), jig(3)),
+        )
+    }
+
+    /// A subtitle/caption overlay: a light strip across the lower-center of
+    /// the frame, visible for `visible` frames — placed exactly where real
+    /// captions live, i.e. inside the fixed object area and *outside* the
+    /// ⊓-shaped background area.
+    pub fn caption(frame_w: u32, frame_h: u32, visible: (usize, usize), seed: u64) -> Sprite {
+        let (w, h) = (f64::from(frame_w), f64::from(frame_h));
+        Sprite {
+            shape: SpriteShape::Rect,
+            center: (w * 0.5, h * 0.9),
+            half_size: (w * 0.32, h * 0.05),
+            color: Rgb::new(235, 235, 210),
+            motion: SpriteMotion::Still,
+            flutter: 0.0,
+            seed,
+            visible: Some(visible),
+        }
+    }
+
+    /// Draw the sprite onto a frame at time `t`, with 1-px edge feathering.
+    pub fn draw(&self, frame: &mut FrameBuf, t: usize) {
+        if let Some((from, to)) = self.visible {
+            if t < from || t > to {
+                return;
+            }
+        }
+        let (cx, cy) = self.center_at(t);
+        let (rx, ry) = self.half_size;
+        let color = self.color_at(t);
+        let x_lo = ((cx - rx - 1.0).floor().max(0.0)) as u32;
+        let x_hi = ((cx + rx + 1.0).ceil().min(f64::from(frame.width() - 1))) as u32;
+        let y_lo = ((cy - ry - 1.0).floor().max(0.0)) as u32;
+        let y_hi = ((cy + ry + 1.0).ceil().min(f64::from(frame.height() - 1))) as u32;
+        if x_lo > x_hi || y_lo > y_hi {
+            return;
+        }
+        for y in y_lo..=y_hi {
+            for x in x_lo..=x_hi {
+                let dx = (f64::from(x) - cx) / rx;
+                let dy = (f64::from(y) - cy) / ry;
+                let inside = match self.shape {
+                    SpriteShape::Ellipse => dx * dx + dy * dy,
+                    SpriteShape::Rect => dx.abs().max(dy.abs()),
+                };
+                // `inside` <= 1 means fully inside; feather out to ~1.08.
+                if inside <= 1.0 {
+                    frame.set(x, y, color);
+                } else if inside <= 1.08 {
+                    let t_edge = (inside - 1.0) / 0.08;
+                    let bg = frame.get(x, y);
+                    frame.set(x, y, color.lerp(bg, t_edge));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> FrameBuf {
+        FrameBuf::filled(80, 60, Rgb::gray(0))
+    }
+
+    fn head() -> Sprite {
+        Sprite {
+            shape: SpriteShape::Ellipse,
+            center: (40.0, 35.0),
+            half_size: (10.0, 12.0),
+            color: Rgb::new(210, 170, 140),
+            motion: SpriteMotion::Still,
+            flutter: 0.0,
+            seed: 0,
+            visible: None,
+        }
+    }
+
+    #[test]
+    fn draw_fills_center() {
+        let mut f = blank();
+        head().draw(&mut f, 0);
+        assert_eq!(f.get(40, 35), Rgb::new(210, 170, 140));
+        // Far corner untouched.
+        assert_eq!(f.get(0, 0), Rgb::gray(0));
+    }
+
+    #[test]
+    fn ellipse_respects_shape() {
+        let mut f = blank();
+        head().draw(&mut f, 0);
+        // Inside the bounding box but outside the ellipse: the corner
+        // (40+9, 35+11) has dx^2+dy^2 = 0.81 + 0.84 > 1.08.
+        assert_eq!(f.get(49, 46), Rgb::gray(0));
+        // Rect of the same size would fill it.
+        let mut f2 = blank();
+        let mut r = head();
+        r.shape = SpriteShape::Rect;
+        r.draw(&mut f2, 0);
+        assert_eq!(f2.get(49, 46), Rgb::new(210, 170, 140));
+    }
+
+    #[test]
+    fn linear_motion_moves_sprite() {
+        let mut s = head();
+        s.motion = SpriteMotion::Linear { vx: 2.0, vy: 0.0 };
+        let (x0, _) = s.center_at(0);
+        let (x5, _) = s.center_at(5);
+        assert_eq!(x5 - x0, 10.0);
+        let mut f0 = blank();
+        let mut f5 = blank();
+        s.draw(&mut f0, 0);
+        s.draw(&mut f5, 5);
+        assert_ne!(f0, f5);
+        assert_eq!(f5.get(50, 35), s.color);
+    }
+
+    #[test]
+    fn sway_is_bounded_and_periodic_center() {
+        let mut s = head();
+        s.motion = SpriteMotion::Sway {
+            amplitude: 5.0,
+            period: 12.0,
+        };
+        for t in 0..48 {
+            let (x, y) = s.center_at(t);
+            assert!((x - 40.0).abs() <= 5.0 + 1e-9);
+            assert!((y - 35.0).abs() <= 1.5 + 1e-9);
+        }
+        let a = s.center_at(0);
+        let b = s.center_at(12);
+        assert!((a.0 - b.0).abs() < 1e-9, "period of 12 frames");
+    }
+
+    #[test]
+    fn flutter_changes_color_within_bounds() {
+        let mut s = head();
+        s.flutter = 8.0;
+        s.seed = 42;
+        let colors: Vec<Rgb> = (0..20).map(|t| s.color_at(t)).collect();
+        assert!(colors.windows(2).any(|w| w[0] != w[1]), "flutter must move");
+        for c in &colors {
+            assert!(c.max_channel_diff(s.color) <= 8);
+        }
+        // flutter = 0 is frozen.
+        s.flutter = 0.0;
+        assert!((0..20).all(|t| s.color_at(t) == s.color));
+    }
+
+    #[test]
+    fn offscreen_sprite_is_noop() {
+        let mut f = blank();
+        let mut s = head();
+        s.center = (-500.0, -500.0);
+        let before = f.clone();
+        s.draw(&mut f, 0);
+        assert_eq!(f, before);
+    }
+
+    #[test]
+    fn visibility_window_gates_drawing() {
+        let mut s = head();
+        s.visible = Some((3, 5));
+        let mut before = blank();
+        s.draw(&mut before, 2);
+        assert_eq!(before, blank(), "not visible yet");
+        let mut during = blank();
+        s.draw(&mut during, 4);
+        assert_eq!(during.get(40, 35), s.color);
+        let mut after = blank();
+        s.draw(&mut after, 6);
+        assert_eq!(after, blank(), "gone again");
+    }
+
+    #[test]
+    fn caption_sits_outside_the_background_area() {
+        use vdb_core::geometry::AreaLayout;
+        let layout = AreaLayout::for_frame(80, 60).unwrap();
+        let cap = Sprite::caption(80, 60, (0, 100), 1);
+        let mut with = FrameBuf::filled(80, 60, Rgb::gray(40));
+        cap.draw(&mut with, 0);
+        let without = FrameBuf::filled(80, 60, Rgb::gray(40));
+        // The caption must change the frame...
+        assert_ne!(with, without);
+        // ...but not the TBA (the ⊓ background area excludes the bottom
+        // strip), while it *does* land inside the FOA.
+        assert_eq!(layout.extract_tba(&with), layout.extract_tba(&without));
+        assert_ne!(layout.extract_foa(&with), layout.extract_foa(&without));
+    }
+
+    #[test]
+    fn clipping_at_borders_does_not_panic() {
+        let mut f = blank();
+        let mut s = head();
+        s.center = (0.0, 0.0);
+        s.draw(&mut f, 0);
+        assert_eq!(f.get(0, 0), s.color);
+        s.center = (79.0, 59.0);
+        s.draw(&mut f, 0);
+        assert_eq!(f.get(79, 59), s.color);
+    }
+}

@@ -1,0 +1,358 @@
+//! Shot/video scripts and the rendering engine that turns a script into a
+//! [`Video`] plus its ground truth.
+//!
+//! A [`VideoScript`] is the synthetic stand-in for a real digitized clip:
+//! a list of [`ShotSpec`]s (location, camera program, foreground sprites),
+//! the transition joining each consecutive pair, and a noise profile. The
+//! generator renders it deterministically and emits a [`GroundTruth`]
+//! recording where the true boundaries fall — the reference the Table 5
+//! recall/precision experiment measures against.
+
+use crate::camera::Camera;
+use crate::noise::NoiseProfile;
+use crate::object::Sprite;
+use crate::texture::World;
+use crate::transition::Transition;
+use vdb_core::frame::{FrameBuf, Video};
+
+/// Specification of one shot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotSpec {
+    /// Scene location: shots with the same location share a world (and so
+    /// are *related* in the scene-tree sense).
+    pub location: u32,
+    /// Number of frames of this shot proper (transition frames are extra).
+    pub frames: usize,
+    /// Camera program.
+    pub camera: Camera,
+    /// Foreground sprites, drawn in order.
+    pub sprites: Vec<Sprite>,
+    /// Free-form label used by experiments (archetype names, scene letters).
+    pub label: Option<String>,
+}
+
+impl ShotSpec {
+    /// A minimal static shot at a location.
+    pub fn fixed(location: u32, frames: usize) -> Self {
+        ShotSpec {
+            location,
+            frames,
+            camera: Camera::fixed(f64::from(location) * 37.0, f64::from(location) * 23.0),
+            sprites: Vec::new(),
+            label: None,
+        }
+    }
+
+    /// Attach a label.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Replace the camera.
+    pub fn with_camera(mut self, camera: Camera) -> Self {
+        self.camera = camera;
+        self
+    }
+
+    /// Add a sprite.
+    pub fn with_sprite(mut self, sprite: Sprite) -> Self {
+        self.sprites.push(sprite);
+        self
+    }
+}
+
+/// A complete clip script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoScript {
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Frames per second of the produced video (the paper analyzes 3 fps).
+    pub fps: f64,
+    /// Master seed: world lattices, noise, and flutter all derive from it.
+    pub seed: u64,
+    /// The shots, in order. Must be non-empty to generate.
+    pub shots: Vec<ShotSpec>,
+    /// Transition before each shot *after the first*
+    /// (`transitions.len() == shots.len() - 1`); missing entries mean cuts.
+    pub transitions: Vec<Transition>,
+    /// Degradation profile.
+    pub noise: NoiseProfile,
+    /// When `Some(k)`, locations share a pool of `k` palettes (cartoons,
+    /// talk shows, and sitcoms reuse the same ink/set colors across scenes
+    /// — the classic color-histogram blind spot). `None` gives every
+    /// location its own palette.
+    pub palette_pool: Option<u32>,
+}
+
+impl VideoScript {
+    /// An empty clean script at the paper's 160×120 @ 3 fps.
+    pub fn new(seed: u64) -> Self {
+        VideoScript {
+            width: 160,
+            height: 120,
+            fps: 3.0,
+            seed,
+            shots: Vec::new(),
+            transitions: Vec::new(),
+            noise: NoiseProfile::CLEAN,
+            palette_pool: None,
+        }
+    }
+
+    /// Smaller frames (80×60) for fast tests.
+    pub fn small(seed: u64) -> Self {
+        VideoScript {
+            width: 80,
+            height: 60,
+            ..Self::new(seed)
+        }
+    }
+
+    /// Append a shot joined by a cut.
+    pub fn push_shot(&mut self, spec: ShotSpec) -> &mut Self {
+        if !self.shots.is_empty() {
+            self.transitions.push(Transition::Cut);
+        }
+        self.shots.push(spec);
+        self
+    }
+
+    /// Append a shot joined by an explicit transition.
+    pub fn push_shot_with_transition(&mut self, t: Transition, spec: ShotSpec) -> &mut Self {
+        assert!(
+            !self.shots.is_empty(),
+            "first shot cannot have a transition"
+        );
+        self.transitions.push(t);
+        self.shots.push(spec);
+        self
+    }
+
+    /// Total frames the script will render (shots + transitions).
+    pub fn total_frames(&self) -> usize {
+        self.shots.iter().map(|s| s.frames).sum::<usize>()
+            + self
+                .transitions
+                .iter()
+                .map(Transition::inserted_frames)
+                .sum::<usize>()
+    }
+
+    /// The world used by a location in this script.
+    pub fn world(&self, location: u32) -> World {
+        let mut world = World::new(self.seed, location);
+        if let Some(pool) = self.palette_pool {
+            world.palette =
+                crate::texture::Palette::for_location(self.seed, location % pool.max(1));
+        }
+        world
+    }
+}
+
+/// Where the true boundaries are and which frames belong to which scripted
+/// shot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Frame indices at which a new shot begins. For a cut this is the
+    /// first frame of the incoming shot; for a gradual transition it is the
+    /// transition's midpoint frame.
+    pub boundaries: Vec<usize>,
+    /// Per scripted shot, the inclusive frame range of its *own* frames
+    /// (transition frames excluded).
+    pub shot_ranges: Vec<(usize, usize)>,
+    /// Per scripted shot, its location id.
+    pub locations: Vec<u32>,
+    /// Per scripted shot, its label.
+    pub labels: Vec<Option<String>>,
+}
+
+impl GroundTruth {
+    /// Number of scripted shots.
+    pub fn shot_count(&self) -> usize {
+        self.shot_ranges.len()
+    }
+}
+
+/// A rendered script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedVideo {
+    /// The frames.
+    pub video: Video,
+    /// The truth.
+    pub truth: GroundTruth,
+}
+
+/// Render a script into frames + ground truth. Deterministic in the script.
+///
+/// # Panics
+/// Panics if the script has no shots or a shot has zero frames.
+pub fn generate(script: &VideoScript) -> GeneratedVideo {
+    assert!(!script.shots.is_empty(), "script has no shots");
+    assert!(
+        script.transitions.len() == script.shots.len() - 1,
+        "need exactly one transition per consecutive shot pair"
+    );
+    let mut frames: Vec<FrameBuf> = Vec::with_capacity(script.total_frames());
+    let mut boundaries = Vec::new();
+    let mut shot_ranges = Vec::new();
+
+    // Render each shot's own frames first (pre-noise), transition frames
+    // are derived from neighboring shot frames.
+    let rendered: Vec<Vec<FrameBuf>> = script
+        .shots
+        .iter()
+        .map(|spec| {
+            assert!(spec.frames > 0, "shot with zero frames");
+            let world = script.world(spec.location);
+            (0..spec.frames)
+                .map(|t| {
+                    let mut f = spec.camera.render(&world, script.width, script.height, t);
+                    for s in &spec.sprites {
+                        s.draw(&mut f, t);
+                    }
+                    f
+                })
+                .collect()
+        })
+        .collect();
+
+    for (i, shot_frames) in rendered.iter().enumerate() {
+        if i > 0 {
+            let t = script.transitions[i - 1];
+            let last = frames.last().expect("previous shot rendered");
+            let mid = t.render(last, &shot_frames[0]);
+            // Ground-truth boundary: first frame of the incoming shot for a
+            // cut, midpoint of the inserted frames otherwise.
+            boundaries.push(frames.len() + t.boundary_offset());
+            frames.extend(mid);
+        }
+        let start = frames.len();
+        frames.extend(shot_frames.iter().cloned());
+        shot_ranges.push((start, frames.len() - 1));
+    }
+
+    // Degrade.
+    if !script.noise.is_clean() {
+        for (t, f) in frames.iter_mut().enumerate() {
+            script.noise.apply(f, script.seed ^ 0x0a0a, t);
+        }
+    }
+
+    GeneratedVideo {
+        video: Video::new(frames, script.fps).expect("script produced frames"),
+        truth: GroundTruth {
+            boundaries,
+            shot_ranges,
+            locations: script.shots.iter().map(|s| s.location).collect(),
+            labels: script.shots.iter().map(|s| s.label.clone()).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::CameraMotion;
+
+    #[test]
+    fn simple_two_shot_script() {
+        let mut s = VideoScript::small(1);
+        s.push_shot(ShotSpec::fixed(0, 5));
+        s.push_shot(ShotSpec::fixed(1, 7));
+        let g = generate(&s);
+        assert_eq!(g.video.len(), 12);
+        assert_eq!(g.truth.boundaries, vec![5]);
+        assert_eq!(g.truth.shot_ranges, vec![(0, 4), (5, 11)]);
+        assert_eq!(g.truth.locations, vec![0, 1]);
+    }
+
+    #[test]
+    fn dissolve_shifts_ranges_and_boundary() {
+        let mut s = VideoScript::small(2);
+        s.push_shot(ShotSpec::fixed(0, 4));
+        s.push_shot_with_transition(Transition::Dissolve { frames: 6 }, ShotSpec::fixed(1, 4));
+        let g = generate(&s);
+        assert_eq!(g.video.len(), 14);
+        // Transition occupies frames 4..=9; midpoint boundary at 4 + 3 = 7.
+        assert_eq!(g.truth.boundaries, vec![7]);
+        assert_eq!(g.truth.shot_ranges, vec![(0, 3), (10, 13)]);
+    }
+
+    #[test]
+    fn static_shot_frames_identical() {
+        let mut s = VideoScript::small(3);
+        s.push_shot(ShotSpec::fixed(0, 4));
+        let g = generate(&s);
+        let f = g.video.frames();
+        assert!(f.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn pan_shot_frames_differ() {
+        let mut s = VideoScript::small(4);
+        s.push_shot(ShotSpec::fixed(0, 4).with_camera(Camera::with_motion(
+            0.0,
+            0.0,
+            CameraMotion::Pan { vx: 6.0, vy: 0.0 },
+            0,
+        )));
+        let g = generate(&s);
+        let f = g.video.frames();
+        assert!(f.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut s = VideoScript::small(5);
+        s.noise = NoiseProfile::broadcast();
+        s.push_shot(ShotSpec::fixed(0, 4));
+        s.push_shot(ShotSpec::fixed(1, 4));
+        assert_eq!(generate(&s), generate(&s));
+    }
+
+    #[test]
+    fn same_location_same_world() {
+        let mut s = VideoScript::small(6);
+        s.push_shot(ShotSpec::fixed(0, 3));
+        s.push_shot(ShotSpec::fixed(1, 3));
+        s.push_shot(ShotSpec::fixed(0, 3));
+        let g = generate(&s);
+        // Shots 0 and 2 use the same world and camera: identical frames.
+        let (a0, _) = g.truth.shot_ranges[0];
+        let (a2, _) = g.truth.shot_ranges[2];
+        assert_eq!(g.video.frames()[a0], g.video.frames()[a2]);
+    }
+
+    #[test]
+    fn labels_carried_through() {
+        let mut s = VideoScript::small(7);
+        s.push_shot(ShotSpec::fixed(0, 3).labeled("A"));
+        s.push_shot(ShotSpec::fixed(1, 3));
+        let g = generate(&s);
+        assert_eq!(g.truth.labels[0].as_deref(), Some("A"));
+        assert_eq!(g.truth.labels[1], None);
+        assert_eq!(g.truth.shot_count(), 2);
+    }
+
+    #[test]
+    fn total_frames_matches_generation() {
+        let mut s = VideoScript::small(8);
+        s.push_shot(ShotSpec::fixed(0, 5));
+        s.push_shot_with_transition(
+            Transition::FadeThroughBlack { half_frames: 2 },
+            ShotSpec::fixed(1, 5),
+        );
+        s.push_shot(ShotSpec::fixed(2, 3));
+        assert_eq!(generate(&s).video.len(), s.total_frames());
+        assert_eq!(s.total_frames(), 5 + 4 + 5 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no shots")]
+    fn empty_script_panics() {
+        generate(&VideoScript::small(9));
+    }
+}

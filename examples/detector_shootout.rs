@@ -1,0 +1,76 @@
+//! Detector shoot-out on one genre clip: camera tracking vs the classic
+//! baselines, with per-detector boundaries, recall/precision, and the
+//! threshold counts the paper leads with.
+//!
+//! ```text
+//! cargo run -p vdb-store --example detector_shootout [genre]
+//! ```
+//!
+//! `genre` is one of: drama cartoon sitcom soap talkshow commercials news
+//! movie sports documentary musicvideo (default: sitcom).
+
+use vdb_baselines::detector::ShotDetector;
+use vdb_baselines::{CameraTracking, EcrDetector, HistogramDetector, PixelwiseDetector};
+use vdb_eval::metrics::evaluate_boundaries;
+use vdb_synth::script::generate;
+use vdb_synth::{build_script, Genre};
+
+fn parse_genre(name: &str) -> Genre {
+    match name.to_ascii_lowercase().as_str() {
+        "drama" => Genre::Drama,
+        "cartoon" => Genre::Cartoon,
+        "sitcom" => Genre::Sitcom,
+        "soap" => Genre::SoapOpera,
+        "talkshow" => Genre::TalkShow,
+        "commercials" => Genre::Commercials,
+        "news" => Genre::News,
+        "movie" => Genre::Movie,
+        "sports" => Genre::Sports,
+        "documentary" => Genre::Documentary,
+        "musicvideo" => Genre::MusicVideo,
+        other => {
+            eprintln!("unknown genre '{other}', using sitcom");
+            Genre::Sitcom
+        }
+    }
+}
+
+fn main() {
+    let genre = std::env::args()
+        .nth(1)
+        .map_or(Genre::Sitcom, |g| parse_genre(&g));
+    let script = build_script(genre, 24, None, (80, 60), 90210);
+    let clip = generate(&script);
+    println!(
+        "clip: {genre}, {} shots, {} frames; true boundaries:\n  {:?}\n",
+        script.shots.len(),
+        clip.video.len(),
+        clip.truth.boundaries
+    );
+
+    let detectors: Vec<Box<dyn ShotDetector>> = vec![
+        Box::new(CameraTracking::new()),
+        Box::new(HistogramDetector::default()),
+        Box::new(EcrDetector::default()),
+        Box::new(PixelwiseDetector::default()),
+    ];
+    println!(
+        "{:<18} {:>10} {:>7} {:>9} {:>7}  boundaries",
+        "detector", "thresholds", "recall", "precision", "time"
+    );
+    for d in detectors {
+        let start = std::time::Instant::now();
+        let found = d.detect(&clip.video);
+        let elapsed = start.elapsed();
+        let eval = evaluate_boundaries(&clip.truth.boundaries, &found, 2);
+        println!(
+            "{:<18} {:>10} {:>7.2} {:>9.2} {:>6.0}ms  {:?}",
+            d.name(),
+            d.threshold_count(),
+            eval.recall(),
+            eval.precision(),
+            elapsed.as_secs_f64() * 1000.0,
+            found
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Non-linear browsing demo (§3, Figure 7): ingest the synthetic 'Friends'
+//! segment into the database and walk its scene tree the way a browsing UI
+//! would — down into scenes, across siblings, and back up.
+//!
+//! ```text
+//! cargo run -p vdb-store --example scene_browser
+//! ```
+
+use vdb_eval::retrieval::{figure7_script, FIGURE7_SEED};
+use vdb_store::{storyboard, BrowseSession, VideoDatabase};
+use vdb_synth::script::generate;
+
+fn main() {
+    let clip = generate(&figure7_script(FIGURE7_SEED));
+    let mut db = VideoDatabase::new();
+    let taxonomy = db.taxonomy().clone();
+    let id = db
+        .ingest(
+            "Friends (synthetic segment)",
+            &clip.video,
+            vec![taxonomy.genre("comedy").expect("taxonomy has comedy")],
+            vec![taxonomy
+                .form("television series")
+                .expect("taxonomy has tv series")],
+        )
+        .expect("ingest");
+    let analysis = db.analysis(id).expect("stored");
+
+    println!("scene tree of the one-minute segment:");
+    println!("{}", analysis.scene_tree.render_ascii());
+
+    let mut session = BrowseSession::at_root(analysis);
+    let show = |s: &BrowseSession<'_>| {
+        let v = s.view();
+        println!(
+            "at {:<8} level {}  frames {:>3}..{:<3}  rep-frame {:<3}  {} children   path: {}",
+            v.name,
+            v.level,
+            v.frame_range.0,
+            v.frame_range.1,
+            v.rep_frame,
+            v.children.len(),
+            s.breadcrumbs().join(" > ")
+        );
+    };
+
+    println!("browsing from the root:");
+    show(&session);
+    // Drill into the first scene.
+    session.down(0);
+    show(&session);
+    // Walk its siblings like flipping through storyboard cards.
+    while session.sibling(1) {
+        show(&session);
+    }
+    // Back up and drill to the shot whose representative frame the root
+    // displays.
+    while session.up() {}
+    let leaf = session.drill_to_named_shot();
+    println!("\nthe root's representative frame comes from shot leaf node {leaf}:");
+    show(&session);
+
+    // Export the storyboard's representative frames as PPM images.
+    let out_dir = std::env::temp_dir().join("vdb-storyboard");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    println!(
+        "\nstoryboard ({} cards) written to {}:",
+        6,
+        out_dir.display()
+    );
+    for card in storyboard(analysis, 6) {
+        let frame = &clip.video.frames()[card.rep_frame];
+        let path = out_dir.join(format!(
+            "{}-frame{:03}.ppm",
+            card.name.replace('^', "-"),
+            card.rep_frame
+        ));
+        let mut file = std::fs::File::create(&path).expect("create ppm");
+        frame.write_ppm(&mut file).expect("write ppm");
+        println!(
+            "  {:<12} frames {:>3}..{:<3} -> {}",
+            card.name,
+            card.frame_range.0,
+            card.frame_range.1,
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-crate accuracy invariants: the paper's headline comparisons hold
+//! on a small fresh-seed corpus (not the calibration seed), guarding the
+//! whole stack against quiet regressions.
+
+use vdb_baselines::detector::ShotDetector;
+use vdb_baselines::{BrowseTree, CameraTracking, EcrDetector, HistogramDetector};
+use vdb_core::sbd::SbdConfig;
+use vdb_eval::corpus::{build_corpus_parallel, CORPUS_DIMS};
+use vdb_eval::experiments::{run_stage_stats, run_table5};
+use vdb_eval::metrics::{evaluate_boundaries, DetectionEval};
+use vdb_eval::retrieval::{location_for, run_table4};
+use vdb_synth::Scale;
+
+const FRESH_SEED: u64 = 986_543; // never used for threshold calibration
+
+fn corpus() -> Vec<vdb_eval::corpus::CorpusClip> {
+    build_corpus_parallel(Scale::Fraction(0.04), CORPUS_DIMS, FRESH_SEED, 4)
+}
+
+fn pooled(clips: &[vdb_eval::corpus::CorpusClip], d: &dyn ShotDetector) -> DetectionEval {
+    let mut total = DetectionEval::default();
+    for c in clips {
+        let found = d.detect(&c.video);
+        total.merge(evaluate_boundaries(&c.truth.boundaries, &found, 2));
+    }
+    total
+}
+
+#[test]
+fn table5_band_holds_on_fresh_seed() {
+    let clips = corpus();
+    let report = run_table5(&clips, SbdConfig::default(), 4);
+    assert!(
+        report.total_recall() >= 0.78,
+        "recall {:.3} fell out of the paper band",
+        report.total_recall()
+    );
+    assert!(
+        report.total_precision() >= 0.80,
+        "precision {:.3} fell out of the paper band",
+        report.total_precision()
+    );
+}
+
+#[test]
+fn camera_tracking_beats_every_baseline_on_f1() {
+    let clips = corpus();
+    let ours = pooled(&clips, &CameraTracking::new()).f1();
+    let hist = pooled(&clips, &HistogramDetector::default()).f1();
+    let ecr = pooled(&clips, &EcrDetector::default()).f1();
+    assert!(
+        ours >= hist - 0.02,
+        "camera tracking {ours:.3} must not lose clearly to histogram {hist:.3}"
+    );
+    assert!(
+        ours > ecr + 0.1,
+        "camera tracking {ours:.3} must clearly beat ECR {ecr:.3}"
+    );
+}
+
+#[test]
+fn quick_stages_eliminate_most_pairs() {
+    let clips = corpus();
+    let report = run_stage_stats(&clips, SbdConfig::default(), 4);
+    assert!(
+        report.stats.quick_elimination_rate() > 0.5,
+        "cascade degraded: quick elimination {:.2}",
+        report.stats.quick_elimination_rate()
+    );
+    // Boundaries are a small minority of pairs (shots are many frames long).
+    assert!(report.stats.boundaries * 4 < report.stats.pairs);
+}
+
+#[test]
+fn scene_tree_purity_beats_time_based_hierarchy() {
+    // Averaged over the dialogue-heavy corpus clips: content-based grouping
+    // beats time-based grouping on location purity.
+    let clips = corpus();
+    let det = vdb_core::sbd::CameraTrackingDetector::new();
+    let mut scene_sum = 0.0;
+    let mut time_sum = 0.0;
+    let mut n = 0usize;
+    for c in &clips {
+        let (feats, seg) = det.segment_video(&c.video).unwrap();
+        if seg.shots.len() < 4 {
+            continue;
+        }
+        let signs: Vec<_> = feats.iter().map(|f| f.sign_ba).collect();
+        let tree = vdb_core::scenetree::build_scene_tree(&seg.shots, &signs);
+        let locations: Vec<u32> = seg
+            .shots
+            .iter()
+            .map(|s| location_for(&c.truth, s).unwrap_or(u32::MAX))
+            .collect();
+        let scene = BrowseTree::from_scene_tree(&tree).location_purity(&locations);
+        let time = BrowseTree::time_based(seg.shots.len(), 2).location_purity(&locations);
+        scene_sum += scene;
+        time_sum += time;
+        n += 1;
+    }
+    assert!(n >= 10, "too few usable clips: {n}");
+    assert!(
+        scene_sum > time_sum,
+        "scene tree purity {:.3} must beat time-based {:.3} (over {n} clips)",
+        scene_sum / n as f64,
+        time_sum / n as f64
+    );
+}
+
+#[test]
+fn retrieval_agreement_beats_chance() {
+    let exp = run_table4(FRESH_SEED);
+    let outcomes = exp.run_figures_8_to_10();
+    assert!(!outcomes.is_empty());
+    let mean: f64 = outcomes.iter().map(|o| o.agreement).sum::<f64>() / outcomes.len() as f64;
+    // Five archetypes -> 0.2 chance level; the variance model should do far
+    // better at matching motion character.
+    assert!(mean > 0.4, "mean archetype agreement {mean:.2}");
+}

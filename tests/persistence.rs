@@ -1,0 +1,138 @@
+//! Persistence integration: databases survive save/load byte-for-byte in
+//! behaviour, and the segment layer's corruption contract holds end-to-end.
+
+use std::path::PathBuf;
+use vdb_core::analyzer::AnalyzerConfig;
+use vdb_core::index::VarianceQuery;
+use vdb_store::VideoDatabase;
+use vdb_synth::script::generate;
+use vdb_synth::{build_script, Genre};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vdb-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn build_db(clips: usize) -> VideoDatabase {
+    let mut db = VideoDatabase::new();
+    let taxonomy = db.taxonomy().clone();
+    for i in 0..clips {
+        let genre = if i % 2 == 0 {
+            Genre::News
+        } else {
+            Genre::Drama
+        };
+        let clip = generate(&build_script(genre, 8, Some(8.0), (80, 60), i as u64));
+        db.ingest(
+            format!("clip-{i}"),
+            &clip.video,
+            vec![taxonomy.genre("historical").unwrap()],
+            vec![taxonomy.form("feature").unwrap()],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn full_database_roundtrip_preserves_all_answers() {
+    let dir = temp_dir("roundtrip");
+    let path = dir.join("db.vdbs");
+    let db = build_db(3);
+    db.save(&path).unwrap();
+    let restored = VideoDatabase::load(&path, AnalyzerConfig::default()).unwrap();
+
+    assert_eq!(restored.len(), db.len());
+    assert_eq!(restored.index().len(), db.index().len());
+    for meta in db.catalog().all() {
+        let r = restored.catalog().get(meta.id).unwrap();
+        assert_eq!(r, meta);
+        assert_eq!(
+            restored.analysis(meta.id).unwrap(),
+            db.analysis(meta.id).unwrap()
+        );
+    }
+    // Identical answers for a spread of queries.
+    for i in 0..12 {
+        let q = VarianceQuery::new(f64::from(i) * 2.5, f64::from(i) * 1.5);
+        let before: Vec<_> = db
+            .query(&q)
+            .into_iter()
+            .map(|a| (a.key, a.scene_node))
+            .collect();
+        let after: Vec<_> = restored
+            .query(&q)
+            .into_iter()
+            .map(|a| (a.key, a.scene_node))
+            .collect();
+        assert_eq!(before, after, "query {i}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn double_save_is_idempotent_bytes() {
+    let dir = temp_dir("idem");
+    let p1 = dir.join("a.vdbs");
+    let p2 = dir.join("b.vdbs");
+    let db = build_db(2);
+    db.save(&p1).unwrap();
+    db.save(&p2).unwrap();
+    let a = std::fs::read(&p1).unwrap();
+    let b = std::fs::read(&p2).unwrap();
+    assert_eq!(a, b, "save must be deterministic");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncated_file_loads_the_durable_prefix() {
+    let dir = temp_dir("trunc");
+    let path = dir.join("db.vdbs");
+    let db = build_db(2);
+    db.save(&path).unwrap();
+    // Chop off the tail: the last record is torn, everything before loads.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 37]).unwrap();
+    let restored = VideoDatabase::load(&path, AnalyzerConfig::default()).unwrap();
+    assert!(restored.len() <= db.len());
+    // Catalog entries that did load are intact.
+    for meta in restored.catalog().all() {
+        assert_eq!(db.catalog().get(meta.id).unwrap(), meta);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn garbage_file_is_rejected() {
+    let dir = temp_dir("garbage");
+    let path = dir.join("junk.vdbs");
+    std::fs::write(&path, b"this is not a database").unwrap();
+    assert!(VideoDatabase::load(&path, AnalyzerConfig::default()).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reload_then_continue_ingesting() {
+    let dir = temp_dir("continue");
+    let path = dir.join("db.vdbs");
+    let db = build_db(2);
+    db.save(&path).unwrap();
+
+    let mut restored = VideoDatabase::load(&path, AnalyzerConfig::default()).unwrap();
+    let clip = generate(&build_script(Genre::Sports, 6, Some(10.0), (80, 60), 99));
+    let new_id = restored
+        .ingest("late-arrival", &clip.video, vec![], vec![])
+        .unwrap();
+    assert_eq!(restored.len(), 3);
+    // New id does not collide with restored ones.
+    for meta in db.catalog().all() {
+        assert_ne!(meta.id, new_id);
+    }
+    // And the combined database persists again cleanly.
+    let path2 = dir.join("db2.vdbs");
+    restored.save(&path2).unwrap();
+    let twice = VideoDatabase::load(&path2, AnalyzerConfig::default()).unwrap();
+    assert_eq!(twice.len(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
