@@ -1,0 +1,81 @@
+//! Parallel ingest-path benchmarks: frames/second of feature extraction
+//! and of the full analysis pipeline, serial vs. 1/2/4/8 worker threads.
+//!
+//! Extraction dominates analysis cost and is embarrassingly parallel, so
+//! `extract/*` should scale near-linearly until cores run out, while
+//! `analyze/*` shows the same speed-up damped by the sequential cascade
+//! and scene-tree amortized over it (Amdahl). `threads=1` vs `serial`
+//! measures pure dispatch overhead: the parallel path with one worker
+//! falls back to the serial loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_core::analyzer::{AnalyzerConfig, VideoAnalyzer};
+use vdb_core::features::FeatureExtractor;
+use vdb_core::parallel::{extract_features_parallel, Parallelism};
+use vdb_synth::script::generate;
+use vdb_synth::{build_script, Genre};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_extract(c: &mut Criterion) {
+    let script = build_script(Genre::Sitcom, 16, Some(9.0), (160, 120), 555);
+    let video = generate(&script).video;
+    let (w, h) = video.dims();
+    let extractor = FeatureExtractor::new(w, h).unwrap();
+    let frames = video.frames();
+
+    let mut group = c.benchmark_group("parallel/extract");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(frames)
+                .iter()
+                .map(|f| extractor.extract(f).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    extract_features_parallel(&extractor, black_box(frames), threads).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let script = build_script(Genre::Sitcom, 16, Some(9.0), (160, 120), 555);
+    let video = generate(&script).video;
+
+    let mut group = c.benchmark_group("parallel/analyze");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(video.len() as u64));
+    group.bench_function("serial", |b| {
+        let analyzer = VideoAnalyzer::new();
+        b.iter(|| analyzer.analyze(black_box(&video)).unwrap());
+    });
+    for threads in THREADS {
+        let analyzer = VideoAnalyzer::with_config(AnalyzerConfig {
+            parallelism: Parallelism::Threads(threads),
+            ..AnalyzerConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &analyzer,
+            |b, analyzer| {
+                b.iter(|| analyzer.analyze(black_box(&video)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract, bench_analyze);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 
 use crate::error::Result;
 use crate::frame::Video;
+use crate::parallel::{extract_features_with, Parallelism};
 use crate::pixel::Rgb;
 use crate::sbd::{CameraTrackingDetector, SbdConfig, Segmentation};
 use crate::scenetree::{build_scene_tree_with_config, SceneTree, SceneTreeConfig};
@@ -23,6 +24,10 @@ pub struct AnalyzerConfig {
     pub sbd: SbdConfig,
     /// Scene-tree construction parameters.
     pub scene_tree: SceneTreeConfig,
+    /// Worker threads for per-frame feature extraction. The cascade and
+    /// everything after it stay sequential, so the analysis is identical
+    /// for every setting — this knob only changes wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 /// Everything the pipeline derives from one video.
@@ -88,7 +93,8 @@ impl VideoAnalyzer {
     /// Run Steps 1–3 on a video.
     pub fn analyze(&self, video: &Video) -> Result<VideoAnalysis> {
         let detector = CameraTrackingDetector::with_config(self.config.sbd);
-        let (frame_features, segmentation) = detector.segment_video(video)?;
+        let frame_features = extract_features_with(video, self.config.parallelism)?;
+        let segmentation = detector.segment_features(&frame_features);
         let signs_ba: Vec<Rgb> = frame_features.iter().map(|f| f.sign_ba).collect();
         let signs_oa: Vec<Rgb> = frame_features.iter().map(|f| f.sign_oa).collect();
         let scene_tree =
@@ -168,6 +174,23 @@ mod tests {
     }
 
     #[test]
+    fn parallel_config_yields_identical_analysis() {
+        let v = two_scene_video();
+        let serial = VideoAnalyzer::new().analyze(&v).unwrap();
+        for p in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+            Parallelism::Auto,
+        ] {
+            let cfg = AnalyzerConfig {
+                parallelism: p,
+                ..AnalyzerConfig::default()
+            };
+            assert_eq!(VideoAnalyzer::with_config(cfg).analyze(&v).unwrap(), serial);
+        }
+    }
+
+    #[test]
     fn config_plumbs_through() {
         let cfg = AnalyzerConfig {
             sbd: SbdConfig {
@@ -177,6 +200,7 @@ mod tests {
             scene_tree: SceneTreeConfig {
                 relationship_threshold_percent: 5.0,
             },
+            parallelism: Parallelism::Threads(2),
         };
         let an = VideoAnalyzer::with_config(cfg);
         assert_eq!(an.config().sbd.track_min_score, 0.5);

@@ -45,6 +45,7 @@ pub mod features;
 pub mod frame;
 pub mod geometry;
 pub mod index;
+pub mod parallel;
 pub mod pixel;
 pub mod pyramid;
 pub mod relationship;
@@ -60,6 +61,7 @@ pub use analyzer::{AnalyzerConfig, VideoAnalysis, VideoAnalyzer};
 pub use error::{CoreError, Result};
 pub use frame::{FrameBuf, Video};
 pub use index::{IndexEntry, Match, ShotKey, VarianceIndex, VarianceQuery};
+pub use parallel::Parallelism;
 pub use pixel::Rgb;
 pub use sbd::{CameraTrackingDetector, SbdConfig, Segmentation};
 pub use scenetree::{build_scene_tree, SceneTree};

@@ -16,6 +16,7 @@ use crate::analyzer::{AnalyzerConfig, VideoAnalysis};
 use crate::error::Result;
 use crate::features::{FeatureExtractor, FrameFeatures};
 use crate::frame::FrameBuf;
+use crate::parallel::extract_features_parallel;
 use crate::pixel::Rgb;
 use crate::sbd::{CameraTrackingDetector, SbdStats, Segmentation, StageDecision};
 use crate::scenetree::build_scene_tree_with_config;
@@ -39,6 +40,7 @@ pub struct StreamingAnalyzer {
     config: AnalyzerConfig,
     detector: CameraTrackingDetector,
     extractor: Option<FeatureExtractor>,
+    dims: Option<(u32, u32)>,
     prev: Option<FrameFeatures>,
     signs_ba: Vec<Rgb>,
     signs_oa: Vec<Rgb>,
@@ -62,6 +64,7 @@ impl StreamingAnalyzer {
             detector: CameraTrackingDetector::with_config(config.sbd),
             config,
             extractor: None,
+            dims: None,
             prev: None,
             signs_ba: Vec::new(),
             signs_oa: Vec::new(),
@@ -84,18 +87,72 @@ impl StreamingAnalyzer {
         &self.boundaries
     }
 
-    /// Consume the next frame. All frames must share dimensions (enforced
-    /// by the extractor construction on the first frame).
+    /// Consume the next frame. All frames must share the first frame's
+    /// dimensions; a mismatched frame is rejected without being consumed.
     pub fn push(&mut self, frame: &FrameBuf) -> Result<PushOutcome> {
-        if self.extractor.is_none() {
-            let (w, h) = frame.dims();
-            self.extractor = Some(FeatureExtractor::new(w, h)?);
-        }
+        self.check_dims(frame, 0)?;
+        self.ensure_extractor(frame)?;
         let features = self
             .extractor
             .as_ref()
             .expect("created above")
             .extract(frame)?;
+        Ok(self.push_features(features))
+    }
+
+    /// Consume a batch of frames: features are extracted up front (in
+    /// parallel, per the config's [`crate::parallel::Parallelism`]), then
+    /// fed through the sequential cascade in order. Equivalent to calling
+    /// [`StreamingAnalyzer::push`] once per frame, only faster.
+    ///
+    /// On error nothing is consumed: the cascade only ever sees a batch
+    /// whose every frame extracted successfully, mirroring the batch
+    /// analyzer's all-or-nothing extraction.
+    pub fn push_frames(&mut self, frames: &[FrameBuf]) -> Result<Vec<PushOutcome>> {
+        let Some(first) = frames.first() else {
+            return Ok(Vec::new());
+        };
+        self.check_dims(first, 0)?;
+        self.ensure_extractor(first)?;
+        for (i, frame) in frames.iter().enumerate().skip(1) {
+            self.check_dims(frame, i)?;
+        }
+        let extractor = self.extractor.as_ref().expect("created above");
+        let threads = self.config.parallelism.effective_threads();
+        let features = extract_features_parallel(extractor, frames, threads)?;
+        Ok(features
+            .into_iter()
+            .map(|f| self.push_features(f))
+            .collect())
+    }
+
+    fn ensure_extractor(&mut self, frame: &FrameBuf) -> Result<()> {
+        if self.extractor.is_none() {
+            let (w, h) = frame.dims();
+            self.extractor = Some(FeatureExtractor::new(w, h)?);
+            self.dims = Some((w, h));
+        }
+        Ok(())
+    }
+
+    /// All frames of a stream must share dimensions, like frames of a
+    /// [`crate::frame::Video`]; a stray frame is rejected without being
+    /// consumed.
+    fn check_dims(&self, frame: &FrameBuf, index: usize) -> Result<()> {
+        match self.dims {
+            Some(first) if frame.dims() != first => {
+                Err(crate::error::CoreError::InconsistentDimensions {
+                    first,
+                    other: frame.dims(),
+                    frame: self.frame_count() + index,
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Advance the cascade with one frame's already-extracted features.
+    fn push_features(&mut self, features: FrameFeatures) -> PushOutcome {
         let outcome = match &self.prev {
             None => PushOutcome::First,
             Some(prev) => {
@@ -126,7 +183,7 @@ impl StreamingAnalyzer {
         self.signs_ba.push(features.sign_ba);
         self.signs_oa.push(features.sign_oa);
         self.prev = Some(features);
-        Ok(outcome)
+        outcome
     }
 
     /// Close the stream: finalize the last shot, build the scene tree and
@@ -231,6 +288,58 @@ mod tests {
     #[test]
     fn empty_stream_yields_none() {
         assert!(StreamingAnalyzer::default().finish().is_none());
+    }
+
+    #[test]
+    fn push_frames_equals_push_one_at_a_time() {
+        use crate::parallel::Parallelism;
+        let frames = frames_with_cuts();
+
+        let mut serial = StreamingAnalyzer::default();
+        let mut serial_outcomes = Vec::new();
+        for f in &frames {
+            serial_outcomes.push(serial.push(f).unwrap());
+        }
+        let serial_analysis = serial.finish().unwrap();
+
+        for threads in [1usize, 2, 4] {
+            let cfg = AnalyzerConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..AnalyzerConfig::default()
+            };
+            // Feed in uneven batches (including an empty one) to exercise
+            // batch boundaries crossing shot boundaries.
+            let mut batched = StreamingAnalyzer::new(cfg);
+            let mut outcomes = Vec::new();
+            let mut rest = frames.as_slice();
+            for take in [1usize, 0, 5, 3, usize::MAX] {
+                let k = take.min(rest.len());
+                let (chunk, tail) = rest.split_at(k);
+                outcomes.extend(batched.push_frames(chunk).unwrap());
+                rest = tail;
+            }
+            assert_eq!(outcomes, serial_outcomes, "threads={threads}");
+            assert_eq!(
+                batched.finish().unwrap(),
+                serial_analysis,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn push_frames_on_empty_batch_is_a_no_op() {
+        let mut s = StreamingAnalyzer::default();
+        assert!(s.push_frames(&[]).unwrap().is_empty());
+        assert_eq!(s.frame_count(), 0);
+        assert!(s.finish().is_none());
+    }
+
+    #[test]
+    fn push_frames_rejects_tiny_frames_without_consuming() {
+        let mut s = StreamingAnalyzer::default();
+        assert!(s.push_frames(&vec![FrameBuf::black(8, 8); 3]).is_err());
+        assert_eq!(s.frame_count(), 0);
     }
 
     #[test]

@@ -369,7 +369,11 @@ pub fn run_thickness_ablation(clips: &[CorpusClip], workers: usize) -> String {
             format!(
                 "{:.0}%{}",
                 fraction * 100.0,
-                if (fraction - 0.10).abs() < 1e-9 { " (paper)" } else { "" }
+                if (fraction - 0.10).abs() < 1e-9 {
+                    " (paper)"
+                } else {
+                    ""
+                }
             ),
             ratio(total.recall()),
             ratio(total.precision()),
@@ -686,7 +690,10 @@ mod tests {
         assert_eq!(f1s.len(), 5);
         let best = f1s.iter().map(|&(_, f)| f).fold(0.0f64, f64::max);
         let paper = f1s.iter().find(|&&(p, _)| p).unwrap().1;
-        assert!(paper >= best - 0.06, "paper 10% F1 {paper} vs best {best}\n{rendered}");
+        assert!(
+            paper >= best - 0.06,
+            "paper 10% F1 {paper} vs best {best}\n{rendered}"
+        );
     }
 
     #[test]

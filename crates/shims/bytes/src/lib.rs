@@ -1,0 +1,119 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no reachable crates.io registry, so this crate
+//! provides the (tiny) subset of `bytes` the workspace actually uses: the
+//! [`Buf`] cursor over `&[u8]` and the [`BufMut`] appender over `Vec<u8>`,
+//! with little-endian scalar accessors.
+
+/// Read-side cursor: consume scalars from the front of a buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Discard the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+    /// Copy the next `n` bytes out and advance.
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_bytes(1)[0]
+    }
+    /// Consume a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.copy_bytes(2).try_into().expect("2 bytes"))
+    }
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_bytes(4).try_into().expect("4 bytes"))
+    }
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_bytes(8).try_into().expect("8 bytes"))
+    }
+    /// Consume a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8> {
+        assert!(n <= self.len(), "read past end of buffer");
+        let out = self[..n].to_vec();
+        *self = &self[n..];
+        out
+    }
+}
+
+/// Write-side appender: push scalars onto the end of a buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(0xbeef);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(u64::MAX - 3);
+        buf.put_f64_le(std::f64::consts::PI);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0xbeef);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert_eq!(r.get_f64_le(), std::f64::consts::PI);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_moves_cursor() {
+        let data = [1u8, 2, 3, 4];
+        let mut r: &[u8] = &data;
+        r.advance(2);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.get_u8(), 3);
+    }
+}

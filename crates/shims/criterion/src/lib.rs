@@ -1,0 +1,279 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A small wall-clock benchmark harness with criterion's API shape:
+//! `criterion_group!` / `criterion_main!`, benchmark groups, per-benchmark
+//! throughput, and `Bencher::iter`. Measurement is a median over a fixed
+//! number of timed batches after a short warm-up — adequate for comparing
+//! implementations in this workspace, not for statistical rigor.
+//!
+//! Each benchmark prints one line:
+//! `group/name                time: 12.345 µs/iter  thrpt: 123456 elem/s`.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter (the group provides the function name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// How `iter_batched` sizes its setup batches. The shim runs one setup
+/// per timed iteration regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Runs closures and records their time.
+pub struct Bencher {
+    /// Measured nanoseconds per iteration (median of batches).
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its result from being optimized away.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up and estimate a batch size targeting ~5 ms per batch.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(20) {
+            hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let batch = ((5e6 / per_iter).ceil() as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = (0..11)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    hint::black_box(routine());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Time `routine` on fresh input from `setup`, excluding setup time.
+    /// Each timed call gets its own input (criterion's `PerIteration`
+    /// behavior, regardless of the `BatchSize` hint).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Warm-up: one measured call to size the sample count.
+        let input = setup();
+        let start = Instant::now();
+        hint::black_box(routine(input));
+        let per_iter = start.elapsed().as_nanos().max(1) as f64;
+        // Target ~100 ms of measurement, 11..=101 samples.
+        let samples_wanted = ((1e8 / per_iter).ceil() as u64).clamp(11, 101);
+
+        let mut samples: Vec<f64> = (0..samples_wanted)
+            .map(|_| {
+                let input = setup();
+                let t = Instant::now();
+                hint::black_box(routine(input));
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn print_result(label: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let time = if ns_per_iter < 1e3 {
+        format!("{ns_per_iter:.1} ns/iter")
+    } else if ns_per_iter < 1e6 {
+        format!("{:.3} µs/iter", ns_per_iter / 1e3)
+    } else {
+        format!("{:.3} ms/iter", ns_per_iter / 1e6)
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:.0} elem/s", n as f64 * 1e9 / ns_per_iter)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {:.0} B/s", n as f64 * 1e9 / ns_per_iter)
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} time: {time}{thrpt}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion API compatibility; sampling here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion API compatibility; measurement time here is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        print_result(
+            &format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        print_result(
+            &format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group (criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Criterion API compatibility (command-line args are ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        print_result(&id.to_string(), b.ns_per_iter, None);
+        self
+    }
+}
+
+/// Define a group function that runs each target benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shape");
+        group
+            .sample_size(10)
+            .throughput(Throughput::Elements(100))
+            .bench_function(BenchmarkId::from_parameter(42), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

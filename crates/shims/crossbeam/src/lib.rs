@@ -1,0 +1,80 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with crossbeam's call shape —
+//! `scope(|s| { s.spawn(|_| ...); ... })` returning a `Result` — backed by
+//! `std::thread::scope`. One semantic difference: a panicking child thread
+//! aborts the scope by propagating the panic (std behaviour) instead of
+//! surfacing it as `Err`; the workspace never relies on the `Err` path.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A spawn scope handed to the `scope` closure and to every child.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child thread; crossbeam passes the scope back into the
+        /// closure so children can themselves spawn.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads are all joined before
+    /// `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_children() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed)));
+            }
+            handles.len()
+        })
+        .unwrap();
+        assert_eq!(out, 4);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn children_can_spawn_grandchildren() {
+        let n = super::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

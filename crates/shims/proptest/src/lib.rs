@@ -1,0 +1,530 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic property-testing harness covering the subset of the
+//! proptest API this workspace uses:
+//!
+//! * `proptest! { #[test] fn p(x in strategy, ...) { ... } }` and the
+//!   closure form `proptest!(config, |(x in strategy, ...)| { ... })`;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! * strategies: integer and float ranges, `any::<T>()`, fixed-size
+//!   arrays, `prop::collection::vec`, `prop::sample::select`, tuples, and
+//!   a minimal `".{lo,hi}"` string pattern;
+//! * `ProptestConfig::with_cases`.
+//!
+//! No shrinking: a failing case reports its values and seed instead.
+//! Generation is fully deterministic — seeded per property name and case
+//! index — so failures reproduce across runs and machines.
+
+/// Re-exports that `use proptest::prelude::*` is expected to provide.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator state (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift: fine for test-data distribution purposes.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Values with a full-range default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Raw bit patterns: exercises NaN, infinities, and subnormals.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.below(0xd800) as u32).unwrap_or('\u{fffd}')
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // Occasionally emit the exact endpoints.
+        match rng.below(32) {
+            0 => lo,
+            1 => hi,
+            _ => lo + rng.unit_f64() * (hi - lo),
+        }
+    }
+}
+
+/// Minimal pattern-string strategy: a literal like `".{0,64}"` generates
+/// strings of `0..=64` arbitrary characters. Anything else falls back to
+/// short arbitrary strings.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 32));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| {
+                if rng.below(8) == 0 {
+                    char::arbitrary(rng)
+                } else {
+                    // Mostly printable ASCII keeps failures readable.
+                    char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or('?')
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// An array of strategies samples each element independently.
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].sample(rng))
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length bounds for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy drawing uniformly from a fixed set of options.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// `prop::sample::select(options)`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty set");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Run one property: `cases` deterministic cases, panic on the first
+/// failure with the case's seed and message.
+pub fn run_prop(name: &str, cases: u32, mut f: impl FnMut(&mut TestRng) -> Result<(), String>) {
+    for case in 0..cases {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        seed ^= u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::new(seed);
+        if let Err(msg) = f(&mut rng) {
+            panic!("property '{name}' failed at case {case} (seed {seed:#x}):\n{msg}");
+        }
+    }
+}
+
+/// Assert inside a property body (reports instead of unwinding mid-case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left), ::std::stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// The property-test entry macro. Supports the block form (with optional
+/// `#![proptest_config(...)]`) and the immediate closure form.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    // The closure form is matched by its literal `ProptestConfig` prefix
+    // rather than an `expr` fragment: an `expr` fragment would commit the
+    // parser and turn the plain `fn`-form below into a hard error.
+    (ProptestConfig::with_cases($n:expr), |($($pat:pat in $strat:expr),* $(,)?)| $body:block) => {{
+        let __cfg: $crate::ProptestConfig = $crate::ProptestConfig::with_cases($n);
+        $crate::run_prop("closure_property", __cfg.cases, |__rng| {
+            $(let $pat = $crate::Strategy::sample(&($strat), __rng);)*
+            (|| -> ::std::result::Result<(), ::std::string::String> {
+                $body
+                ::std::result::Result::Ok(())
+            })()
+        });
+    }};
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expand each `fn name(bindings) { body }` into a test runner.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_prop(::std::stringify!($name), __cfg.cases, |__rng| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), __rng);)+
+                    (|| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            crate::run_prop("det", 8, |rng| {
+                out.push((0u32..100).sample(rng));
+                Ok(())
+            });
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        crate::run_prop("bounds", 256, |rng| {
+            let x = (10u32..20).sample(rng);
+            assert!((10..20).contains(&x));
+            let y = (1usize..=3).sample(rng);
+            assert!((1..=3).contains(&y));
+            let f = (0.5f64..2.0).sample(rng);
+            assert!((0.5..2.0).contains(&f));
+            let n = (-5i64..5).sample(rng);
+            assert!((-5..5).contains(&n));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn vec_and_select_strategies() {
+        crate::run_prop("coll", 64, |rng| {
+            let v = prop::collection::vec(any::<u8>(), 2..5).sample(rng);
+            assert!((2..5).contains(&v.len()));
+            let s = prop::sample::select(vec![1, 3, 5]).sample(rng);
+            assert!([1, 3, 5].contains(&s));
+            let p = ".{2,4}".sample(rng);
+            assert!((2..=4).contains(&p.chars().count()));
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn block_form_works(x in 0u32..10, v in prop::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(x * 2, x + x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_form_works(x in 0u8..=255) {
+            prop_assert!(u32::from(x) < 256);
+        }
+    }
+
+    #[test]
+    fn closure_form_works() {
+        let mut runs = 0;
+        proptest!(ProptestConfig::with_cases(7), |(a in 0u32..5, b in 0u32..5)| {
+            runs += 1;
+            prop_assert!(a < 5 && b < 5);
+        });
+        assert_eq!(runs, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_info() {
+        crate::run_prop("fails", 4, |_| Err("boom".into()));
+    }
+}

@@ -95,6 +95,12 @@ impl SharedDatabase {
         self.inner.read().query(q)
     }
 
+    /// Set ingest-time extraction parallelism (takes the write lock
+    /// briefly; applies to subsequent ingests).
+    pub fn set_parallelism(&self, parallelism: vdb_core::parallel::Parallelism) {
+        self.inner.write().set_parallelism(parallelism);
+    }
+
     /// Number of videos.
     pub fn len(&self) -> usize {
         self.inner.read().len()
@@ -167,6 +173,74 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(db.len(), 7);
+    }
+
+    #[test]
+    fn readers_see_consistent_answers_during_ingest() {
+        use vdb_core::parallel::Parallelism;
+
+        // One writer ingests clips (through the parallel extraction path)
+        // while readers hammer variance queries. Every answer a reader
+        // observes must reference a fully-registered video: its analysis
+        // must be retrievable and its shot index valid. A torn ingest
+        // (index updated before the analysis is stored, or vice versa)
+        // would surface here as a missing analysis or an out-of-range
+        // shot.
+        let db = SharedDatabase::new();
+        db.set_parallelism(Parallelism::Threads(2));
+        db.ingest("seed", &small_video(42), vec![], vec![]).unwrap();
+
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for r in 0..3u64 {
+                let db = db.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    let mut last_len = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        i += 1;
+                        // The database only ever grows.
+                        let len = db.len();
+                        assert!(len >= last_len, "video count went backwards");
+                        last_len = len;
+                        let q = VarianceQuery::new((r * 13 + i) as f64 % 40.0, 2.0);
+                        for ans in db.query(&q) {
+                            db.read(|d| {
+                                let analysis = d
+                                    .analysis(ans.key.video)
+                                    .expect("answer references unregistered video");
+                                assert!(
+                                    (ans.key.shot as usize) < analysis.shots.len(),
+                                    "answer references out-of-range shot"
+                                );
+                            });
+                        }
+                    }
+                });
+            }
+            for i in 0..6u64 {
+                db.ingest(format!("clip-{i}"), &small_video(100 + i), vec![], vec![])
+                    .unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(db.len(), 7);
+    }
+
+    #[test]
+    fn parallel_ingest_equals_serial_ingest() {
+        use vdb_core::parallel::Parallelism;
+        let video = small_video(9);
+        let serial_db = SharedDatabase::new();
+        let parallel_db = SharedDatabase::new();
+        parallel_db.set_parallelism(Parallelism::Threads(4));
+        let a = serial_db.ingest("v", &video, vec![], vec![]).unwrap();
+        let b = parallel_db.ingest("v", &video, vec![], vec![]).unwrap();
+        assert_eq!(a, b);
+        let sa = serial_db.read(|d| d.analysis(a).unwrap().clone());
+        let sb = parallel_db.read(|d| d.analysis(b).unwrap().clone());
+        assert_eq!(sa, sb, "parallel ingest must store identical artifacts");
     }
 
     #[test]

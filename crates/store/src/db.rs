@@ -15,6 +15,7 @@ use std::path::Path;
 use vdb_core::analyzer::{AnalyzerConfig, VideoAnalyzer};
 use vdb_core::frame::Video;
 use vdb_core::index::{IndexEntry, ShotKey, VarianceIndex, VarianceQuery};
+use vdb_core::parallel::Parallelism;
 use vdb_core::pixel::Rgb;
 use vdb_core::sbd::SbdStats;
 use vdb_core::scenetree::{NodeId, SceneTree};
@@ -224,6 +225,13 @@ impl VideoDatabase {
     /// The analysis configuration in use.
     pub fn config(&self) -> AnalyzerConfig {
         self.config
+    }
+
+    /// Set the worker-thread policy for ingest-time feature extraction.
+    /// The analysis is identical for every setting (the parallel path is
+    /// bit-equivalent to serial); only ingest latency changes.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.config.parallelism = parallelism;
     }
 
     /// The taxonomy (for resolving genre/form names).

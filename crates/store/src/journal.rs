@@ -113,12 +113,7 @@ impl JournaledDatabase {
         forms: Vec<FormId>,
     ) -> Result<u64, DbError> {
         let id = self.db.ingest(name, video, genres, forms)?;
-        let meta = self
-            .db
-            .catalog()
-            .get(id)
-            .expect("just ingested")
-            .clone();
+        let meta = self.db.catalog().get(id).expect("just ingested").clone();
         let analysis_payload = self.db.analysis(id).expect("just ingested").encode()?;
         self.append_record(TAG_META, &serde_json::to_vec(&meta)?)?;
         self.append_record(TAG_ANALYSIS, &analysis_payload)?;
@@ -287,7 +282,10 @@ mod tests {
         let before = std::fs::metadata(&path).unwrap().len();
         j.compact().unwrap();
         let after = std::fs::metadata(&path).unwrap().len();
-        assert!(after < before, "compaction must shrink: {before} -> {after}");
+        assert!(
+            after < before,
+            "compaction must shrink: {before} -> {after}"
+        );
         drop(j);
         let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
         assert_eq!(j.db().len(), 1);

@@ -1,0 +1,82 @@
+//! Golden regression: the exact cascade behavior on one pinned clip.
+//!
+//! `build_script(Genre::Sitcom, 16, Some(9.0), (80, 60), 555)` is the
+//! same clip the end-to-end suite ingests. This test pins its *exact*
+//! per-frame [`StageDecision`] sequence and boundary list, so any change
+//! to feature extraction, thresholds, or the cascade's stage order shows
+//! up as a diff in review rather than a silent accuracy drift. If a
+//! change to the pipeline is *intentional*, re-capture by printing the
+//! encoded sequence below and update the constants.
+//!
+//! Decision encoding, one char per adjacent frame pair:
+//! `1` = SameBySign, `2` = SameBySignature, `3` = SameByTracking,
+//! `B` = Boundary.
+
+use vdb_core::analyzer::{AnalyzerConfig, VideoAnalyzer};
+use vdb_core::parallel::Parallelism;
+use vdb_core::sbd::StageDecision;
+use vdb_synth::script::generate;
+use vdb_synth::{build_script, Genre};
+
+const GOLDEN_FRAMES: usize = 147;
+const GOLDEN_DECISIONS: &str = "11111B111111111111B111111111311111111111B12111B1111111111B111111B111111B1111111B2111121B111111111B111111122B11121B111111121B1111111111312211111111";
+const GOLDEN_BOUNDARIES: &[usize] = &[6, 19, 41, 47, 58, 65, 72, 80, 88, 98, 108, 114, 124];
+
+fn encode(decisions: &[StageDecision]) -> String {
+    decisions
+        .iter()
+        .map(|d| match d {
+            StageDecision::SameBySign => '1',
+            StageDecision::SameBySignature => '2',
+            StageDecision::SameByTracking => '3',
+            StageDecision::Boundary => 'B',
+        })
+        .collect()
+}
+
+#[test]
+fn pinned_decision_sequence_and_boundaries() {
+    let script = build_script(Genre::Sitcom, 16, Some(9.0), (80, 60), 555);
+    let clip = generate(&script);
+    let analysis = VideoAnalyzer::new().analyze(&clip.video).unwrap();
+
+    assert_eq!(analysis.frame_count(), GOLDEN_FRAMES);
+    assert_eq!(
+        encode(&analysis.segmentation.decisions),
+        GOLDEN_DECISIONS,
+        "per-frame cascade decisions drifted"
+    );
+    assert_eq!(
+        analysis.segmentation.boundaries, GOLDEN_BOUNDARIES,
+        "boundary list drifted"
+    );
+    // The stats are a recount of the decision string; pin them too so a
+    // bookkeeping bug can't slip through while decisions stay right.
+    let stats = &analysis.segmentation.stats;
+    assert_eq!(
+        (
+            stats.pairs,
+            stats.stage1_same,
+            stats.stage2_same,
+            stats.stage3_same,
+            stats.boundaries
+        ),
+        (146, 122, 9, 2, 13)
+    );
+    assert_eq!(analysis.shots().len(), GOLDEN_BOUNDARIES.len() + 1);
+}
+
+#[test]
+fn parallel_path_reproduces_the_golden_sequence() {
+    let script = build_script(Genre::Sitcom, 16, Some(9.0), (80, 60), 555);
+    let clip = generate(&script);
+    let cfg = AnalyzerConfig {
+        parallelism: Parallelism::Threads(4),
+        ..AnalyzerConfig::default()
+    };
+    let analysis = VideoAnalyzer::with_config(cfg)
+        .analyze(&clip.video)
+        .unwrap();
+    assert_eq!(encode(&analysis.segmentation.decisions), GOLDEN_DECISIONS);
+    assert_eq!(analysis.segmentation.boundaries, GOLDEN_BOUNDARIES);
+}
