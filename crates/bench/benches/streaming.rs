@@ -1,0 +1,91 @@
+//! Batch vs. streaming vs. parallel analysis throughput on one synthetic
+//! clip, in frames/second.
+//!
+//! All three entry points drive the same `AnalysisEngine`, so the outputs
+//! are bit-identical (asserted once up front); what differs is the driving
+//! pattern and its overhead:
+//!
+//! * `batch` — `VideoAnalyzer::analyze`: one engine per call, whole video
+//!   at once (the pre-refactor serial baseline's shape);
+//! * `engine` — a warm, reused `AnalysisEngine`: the scratch arena is
+//!   allocated once outside the timing loop, isolating the steady-state
+//!   cost the store's ingest path pays per clip;
+//! * `streaming/push` — frame-at-a-time pushes, the live-capture pattern;
+//! * `streaming/chunks` — `push_frames` in 30-frame batches;
+//! * `parallel` — the engine's sharded extraction front-end with 2/4
+//!   workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_core::analyzer::{AnalyzerConfig, VideoAnalyzer};
+use vdb_core::parallel::Parallelism;
+use vdb_core::pipeline::AnalysisEngine;
+use vdb_core::streaming::StreamingAnalyzer;
+use vdb_synth::script::generate;
+use vdb_synth::{build_script, Genre};
+
+fn bench_streaming(c: &mut Criterion) {
+    let script = build_script(Genre::Sitcom, 16, Some(9.0), (160, 120), 555);
+    let video = generate(&script).video;
+    let frames = video.frames();
+
+    // The three paths must agree before their speed is worth comparing.
+    let reference = VideoAnalyzer::new().analyze(&video).unwrap();
+    let mut check = StreamingAnalyzer::default();
+    check.push_frames(frames).unwrap();
+    assert_eq!(check.finish().unwrap(), reference);
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(frames.len() as u64));
+
+    group.bench_function("batch", |b| {
+        let analyzer = VideoAnalyzer::new();
+        b.iter(|| analyzer.analyze(black_box(&video)).unwrap());
+    });
+
+    group.bench_function("engine", |b| {
+        let mut engine = AnalysisEngine::default();
+        engine.analyze(&video).unwrap(); // warm the scratch arena
+        b.iter(|| engine.analyze(black_box(&video)).unwrap());
+    });
+
+    group.bench_function("streaming/push", |b| {
+        b.iter(|| {
+            let mut s = StreamingAnalyzer::default();
+            for f in black_box(frames) {
+                s.push(f).unwrap();
+            }
+            s.finish().unwrap()
+        });
+    });
+
+    group.bench_function("streaming/chunks", |b| {
+        b.iter(|| {
+            let mut s = StreamingAnalyzer::default();
+            for chunk in black_box(frames).chunks(30) {
+                s.push_frames(chunk).unwrap();
+            }
+            s.finish().unwrap()
+        });
+    });
+
+    for threads in [2usize, 4] {
+        let cfg = AnalyzerConfig {
+            parallelism: Parallelism::Threads(threads),
+            ..AnalyzerConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &cfg, |b, &cfg| {
+            b.iter(|| {
+                let mut s = StreamingAnalyzer::new(cfg);
+                s.push_frames(black_box(frames)).unwrap();
+                s.finish().unwrap()
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

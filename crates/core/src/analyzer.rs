@@ -9,10 +9,11 @@
 
 use crate::error::Result;
 use crate::frame::Video;
-use crate::parallel::{extract_features_with, Parallelism};
+use crate::parallel::Parallelism;
+use crate::pipeline::AnalysisEngine;
 use crate::pixel::Rgb;
-use crate::sbd::{CameraTrackingDetector, SbdConfig, Segmentation};
-use crate::scenetree::{build_scene_tree_with_config, SceneTree, SceneTreeConfig};
+use crate::sbd::{SbdConfig, Segmentation};
+use crate::scenetree::{SceneTree, SceneTreeConfig};
 use crate::shot::Shot;
 use crate::variance::ShotFeature;
 use serde::{Deserialize, Serialize};
@@ -68,7 +69,13 @@ impl VideoAnalysis {
     }
 }
 
-/// The full Steps 1–3 pipeline.
+/// The full Steps 1–3 pipeline, as a one-call batch facade.
+///
+/// A thin driver over [`AnalysisEngine`] — the analysis logic itself lives
+/// in [`crate::pipeline`]; this type only packages "one video in, one
+/// [`VideoAnalysis`] out". Code analyzing many clips back to back should
+/// hold an [`AnalysisEngine`] directly so its scratch arena is reused
+/// across clips.
 #[derive(Debug, Clone, Default)]
 pub struct VideoAnalyzer {
     config: AnalyzerConfig,
@@ -92,27 +99,7 @@ impl VideoAnalyzer {
 
     /// Run Steps 1–3 on a video.
     pub fn analyze(&self, video: &Video) -> Result<VideoAnalysis> {
-        let detector = CameraTrackingDetector::with_config(self.config.sbd);
-        let frame_features = extract_features_with(video, self.config.parallelism)?;
-        let segmentation = detector.segment_features(&frame_features);
-        let signs_ba: Vec<Rgb> = frame_features.iter().map(|f| f.sign_ba).collect();
-        let signs_oa: Vec<Rgb> = frame_features.iter().map(|f| f.sign_oa).collect();
-        let scene_tree =
-            build_scene_tree_with_config(&segmentation.shots, &signs_ba, self.config.scene_tree);
-        let features = segmentation
-            .shots
-            .iter()
-            .map(|s| {
-                ShotFeature::from_signs(&signs_ba[s.start..=s.end], &signs_oa[s.start..=s.end])
-            })
-            .collect();
-        Ok(VideoAnalysis {
-            signs_ba,
-            signs_oa,
-            segmentation,
-            scene_tree,
-            features,
-        })
+        AnalysisEngine::new(self.config).analyze(video)
     }
 }
 

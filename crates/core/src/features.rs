@@ -11,11 +11,33 @@
 
 use crate::error::Result;
 use crate::frame::{FrameBuf, Video};
-use crate::geometry::AreaLayout;
+use crate::geometry::{AreaLayout, PixelGrid};
 use crate::pixel::Rgb;
-use crate::pyramid::{reduce_grid_to_signature, reduce_line_to_sign};
+use crate::pyramid::{reduce_grid_to_signature_into, reduce_line_to_sign_with, ReduceScratch};
 use crate::signature::Signature;
 use serde::{Deserialize, Serialize};
+
+/// Reusable working memory for per-frame feature extraction.
+///
+/// Extraction needs four temporaries per frame — the TBA and FOA pixel
+/// grids, the intermediate pyramid levels, and the FOA's throwaway
+/// signature. A `ScratchBuffers` owns all of them and is threaded through
+/// [`FeatureExtractor::extract_with`], so after the first frame (warm-up)
+/// the only per-frame allocation left is the returned [`FrameFeatures`]'s
+/// own `Signature` — the pyramid reductions themselves are allocation-free
+/// (asserted via [`crate::pyramid::reduction_allocs`]).
+///
+/// The buffers grow to the largest frame layout ever seen and carry no
+/// frame content between uses, so one scratch may be reused across clips
+/// of different dimensions. Not shareable across threads: each parallel
+/// extraction worker owns its own.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchBuffers {
+    tba: PixelGrid,
+    foa: PixelGrid,
+    reduce: ReduceScratch,
+    sig_oa: Vec<Rgb>,
+}
 
 /// The features extracted from one frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,16 +75,35 @@ impl FeatureExtractor {
 
     /// Extract features for a single frame.
     ///
+    /// Allocates fresh working memory per call; hot paths keep a
+    /// [`ScratchBuffers`] and use [`FeatureExtractor::extract_with`].
+    ///
     /// # Panics
     /// Debug-asserts that the frame matches the extractor's dimensions; the
     /// video-level APIs validate this up front.
     pub fn extract(&self, frame: &FrameBuf) -> Result<FrameFeatures> {
-        let tba = self.layout.extract_tba(frame);
-        let signature = reduce_grid_to_signature(&tba)?;
-        let sign_ba = reduce_line_to_sign(&signature)?;
-        let foa = self.layout.extract_foa(frame);
-        let sig_oa = reduce_grid_to_signature(&foa)?;
-        let sign_oa = reduce_line_to_sign(&sig_oa)?;
+        self.extract_with(frame, &mut ScratchBuffers::default())
+    }
+
+    /// Extract features for a single frame, reusing `scratch` for every
+    /// temporary. Bit-identical to [`FeatureExtractor::extract`]; after
+    /// warm-up the pyramid reductions allocate nothing and the only
+    /// per-frame allocation is the returned signature.
+    pub fn extract_with(
+        &self,
+        frame: &FrameBuf,
+        scratch: &mut ScratchBuffers,
+    ) -> Result<FrameFeatures> {
+        self.layout.extract_tba_into(frame, &mut scratch.tba);
+        // The BA signature outlives the call inside `FrameFeatures`, so it
+        // gets its own allocation — sized up front so the reduction never
+        // grows it.
+        let mut signature = Vec::with_capacity(self.layout.l);
+        reduce_grid_to_signature_into(&scratch.tba, &mut scratch.reduce, &mut signature)?;
+        let sign_ba = reduce_line_to_sign_with(&signature, &mut scratch.reduce)?;
+        self.layout.extract_foa_into(frame, &mut scratch.foa);
+        reduce_grid_to_signature_into(&scratch.foa, &mut scratch.reduce, &mut scratch.sig_oa)?;
+        let sign_oa = reduce_line_to_sign_with(&scratch.sig_oa, &mut scratch.reduce)?;
         Ok(FrameFeatures {
             sign_ba,
             sign_oa,
@@ -157,6 +198,26 @@ mod tests {
             extract_features(&v),
             Err(CoreError::FrameTooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn scratch_extraction_matches_fresh_extraction_across_dims() {
+        // One scratch cycled through two different layouts (and back) must
+        // not leak any state between frames.
+        let mut scratch = ScratchBuffers::default();
+        for dims in [(80u32, 60u32), (160, 120), (80, 60)] {
+            let ex = FeatureExtractor::new(dims.0, dims.1).unwrap();
+            for seed in 0..4u8 {
+                let frame = FrameBuf::from_fn(dims.0, dims.1, |x, y| {
+                    Rgb::gray(((x * 3 + y * 5) as u8).wrapping_add(seed * 37))
+                });
+                assert_eq!(
+                    ex.extract_with(&frame, &mut scratch).unwrap(),
+                    ex.extract(&frame).unwrap(),
+                    "dims {dims:?} seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 
 /// A small rectangular grid of pixels (rows × cols), the unit the Gaussian
 /// pyramid reduces. Produced by TBA/FOA extraction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PixelGrid {
     rows: usize,
     cols: usize,
@@ -44,14 +44,30 @@ impl PixelGrid {
     }
 
     /// Build by evaluating `f(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Rgb) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+    pub fn from_fn(rows: usize, cols: usize, f: impl FnMut(usize, usize) -> Rgb) -> Self {
+        let mut grid = PixelGrid::default();
+        grid.fill_from_fn(rows, cols, f);
+        grid
+    }
+
+    /// Refill this grid in place by evaluating `f(row, col)`, resizing to
+    /// `rows × cols`. The backing storage is reused, so a grid cycled
+    /// through frames of one layout allocates only on its first fill.
+    pub fn fill_from_fn(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> Rgb,
+    ) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.reserve(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
-                data.push(f(r, c));
+                self.data.push(f(r, c));
             }
         }
-        PixelGrid { rows, cols, data }
     }
 
     /// Number of rows.
@@ -168,11 +184,20 @@ impl AreaLayout {
     /// regardless of the exact frame dimensions. Rotation is *outward*
     /// (Figure 2): the strip is continuous where each column meets the bar.
     pub fn extract_tba(&self, frame: &FrameBuf) -> PixelGrid {
+        let mut grid = PixelGrid::default();
+        self.extract_tba_into(frame, &mut grid);
+        grid
+    }
+
+    /// [`AreaLayout::extract_tba`] into a reusable grid (see
+    /// [`PixelGrid::fill_from_fn`]): no allocation once the grid has
+    /// warmed up to this layout's `w × L`.
+    pub fn extract_tba_into(&self, frame: &FrameBuf, grid: &mut PixelGrid) {
         debug_assert_eq!(frame.dims(), (self.frame_width, self.frame_height));
         let (w_raw, h_raw, l_raw) = (self.w_raw, self.h_raw, self.l_raw);
         let c = self.frame_width as i64;
         let r = self.frame_height as i64;
-        PixelGrid::from_fn(self.w, self.l, |t, u| {
+        grid.fill_from_fn(self.w, self.l, |t, u| {
             // Nearest-neighbor back-projection into the raw strip.
             let rt = ((t as f64 + 0.5) * w_raw as f64 / self.w as f64) as i64;
             let ru = ((u as f64 + 0.5) * l_raw as f64 / self.l as f64) as i64;
@@ -202,9 +227,17 @@ impl AreaLayout {
     /// and bottom region of Figure 1); the snapped grid samples it with
     /// nearest-neighbor.
     pub fn extract_foa(&self, frame: &FrameBuf) -> PixelGrid {
+        let mut grid = PixelGrid::default();
+        self.extract_foa_into(frame, &mut grid);
+        grid
+    }
+
+    /// [`AreaLayout::extract_foa`] into a reusable grid: no allocation once
+    /// the grid has warmed up to this layout's `h × b`.
+    pub fn extract_foa_into(&self, frame: &FrameBuf, grid: &mut PixelGrid) {
         debug_assert_eq!(frame.dims(), (self.frame_width, self.frame_height));
         let (w_raw, h_raw, b_raw) = (self.w_raw, self.h_raw, self.b_raw);
-        PixelGrid::from_fn(self.h, self.b, |row, col| {
+        grid.fill_from_fn(self.h, self.b, |row, col| {
             let rr = ((row as f64 + 0.5) * h_raw as f64 / self.h as f64) as i64;
             let rc = ((col as f64 + 0.5) * b_raw as f64 / self.b as f64) as i64;
             let rr = rr.clamp(0, h_raw as i64 - 1);

@@ -46,6 +46,7 @@ pub mod frame;
 pub mod geometry;
 pub mod index;
 pub mod parallel;
+pub mod pipeline;
 pub mod pixel;
 pub mod pyramid;
 pub mod relationship;
@@ -62,9 +63,10 @@ pub use error::{CoreError, Result};
 pub use frame::{FrameBuf, Video};
 pub use index::{IndexEntry, Match, ShotKey, VarianceIndex, VarianceQuery};
 pub use parallel::Parallelism;
+pub use pipeline::{AnalysisEngine, PushOutcome};
 pub use pixel::Rgb;
 pub use sbd::{CameraTrackingDetector, SbdConfig, Segmentation};
 pub use scenetree::{build_scene_tree, SceneTree};
 pub use shot::Shot;
-pub use streaming::{PushOutcome, StreamingAnalyzer};
+pub use streaming::StreamingAnalyzer;
 pub use variance::ShotFeature;

@@ -18,7 +18,7 @@
 //! reported is the one the serial loop would have hit first.
 
 use crate::error::Result;
-use crate::features::{FeatureExtractor, FrameFeatures};
+use crate::features::{FeatureExtractor, FrameFeatures, ScratchBuffers};
 use crate::frame::{FrameBuf, Video};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,9 +62,25 @@ pub fn extract_features_parallel(
     frames: &[FrameBuf],
     threads: usize,
 ) -> Result<Vec<FrameFeatures>> {
+    extract_features_reusing(extractor, frames, threads, &mut ScratchBuffers::default())
+}
+
+/// [`extract_features_parallel`] with an explicit scratch arena: the serial
+/// path extracts through `scratch` (allocation-free after warm-up), the
+/// sharded path gives each worker its own private arena for the duration
+/// of the batch. This is the pipeline engine's extraction front-end.
+pub fn extract_features_reusing(
+    extractor: &FeatureExtractor,
+    frames: &[FrameBuf],
+    threads: usize,
+    scratch: &mut ScratchBuffers,
+) -> Result<Vec<FrameFeatures>> {
     let threads = threads.min(frames.len());
     if threads <= 1 {
-        return frames.iter().map(|f| extractor.extract(f)).collect();
+        return frames
+            .iter()
+            .map(|f| extractor.extract_with(f, scratch))
+            .collect();
     }
 
     // Work queue: an atomic cursor over frame indices; results land in
@@ -74,13 +90,16 @@ pub fn extract_features_parallel(
     slots.resize_with(frames.len(), || Mutex::new(None));
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= frames.len() {
-                    break;
+            scope.spawn(|| {
+                let mut scratch = ScratchBuffers::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= frames.len() {
+                        break;
+                    }
+                    let result = extractor.extract_with(&frames[i], &mut scratch);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(result);
                 }
-                let result = extractor.extract(&frames[i]);
-                *slots[i].lock().expect("slot lock poisoned") = Some(result);
             });
         }
     });

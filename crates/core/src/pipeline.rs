@@ -1,0 +1,449 @@
+//! The one incremental analysis engine behind every analysis entry point.
+//!
+//! The paper's framework is a single conceptual pipeline — per-frame
+//! TBA/FOA extraction and pyramid reduction (§2), the SBD cascade
+//! (Figure 4), shot assembly, the scene tree (§3), and the variance index
+//! features (§4). [`AnalysisEngine`] is its only implementation:
+//!
+//! ```text
+//!            frames ──► feature extraction ──► SBD cascade ──► shot assembly
+//!                       (parallel shards,      (sequential,     │
+//!                        per-worker scratch)    decide_pair)    ▼
+//!            VideoAnalysis ◄── index features ◄── scene tree ◄── shots
+//! ```
+//!
+//! * [`crate::analyzer::VideoAnalyzer`] is a thin batch driver: one
+//!   `push_frames` over the whole video, then [`AnalysisEngine::finish`];
+//! * [`crate::streaming::StreamingAnalyzer`] is a stateful wrapper that
+//!   forwards `push`/`push_frames`/`finish`;
+//! * [`crate::parallel`] is the sharded feature-extraction front-end the
+//!   engine calls — it never touches the cascade.
+//!
+//! Batch, streaming, and parallel results are therefore equal **by
+//! construction** (they run the same code on the same features), rather
+//! than by the three-way equivalence test that historically pinned three
+//! separate implementations together.
+//!
+//! The engine owns a [`ScratchBuffers`] arena so the serial hot path
+//! performs no per-frame heap allocation in extraction or pyramid
+//! reduction after warm-up (see [`crate::pyramid::reduction_allocs`]); the
+//! arena survives [`AnalysisEngine::finish`] and is reused across clips,
+//! even clips of different dimensions.
+
+use crate::analyzer::{AnalyzerConfig, VideoAnalysis};
+use crate::error::{CoreError, Result};
+use crate::features::{FeatureExtractor, FrameFeatures, ScratchBuffers};
+use crate::frame::{FrameBuf, Video};
+use crate::parallel::extract_features_reusing;
+use crate::pixel::Rgb;
+use crate::sbd::{CameraTrackingDetector, SbdStats, Segmentation, StageDecision};
+use crate::scenetree::build_scene_tree_with_config;
+use crate::shot::Shot;
+use crate::variance::ShotFeature;
+
+/// What the engine reports about the newest frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// First frame of the stream.
+    First,
+    /// Same shot as the previous frame (with the deciding stage).
+    Same(StageDecision),
+    /// This frame starts a new shot.
+    Boundary,
+}
+
+/// The cascade bookkeeping: per-pair decisions, per-stage statistics,
+/// boundary list, and incremental shot assembly.
+///
+/// This struct is the *only* place the repo turns [`StageDecision`]s into
+/// shots — batch, streaming, parallel, and the slice-level
+/// [`segment_features`] all funnel through [`CascadeState::record`].
+#[derive(Debug, Clone, Default)]
+struct CascadeState {
+    signs_ba: Vec<Rgb>,
+    signs_oa: Vec<Rgb>,
+    decisions: Vec<StageDecision>,
+    stats: SbdStats,
+    boundaries: Vec<usize>,
+    shot_start: usize,
+    shots: Vec<Shot>,
+    prev: Option<FrameFeatures>,
+}
+
+impl CascadeState {
+    /// Fold one pair decision into decisions/stats/boundaries/shots.
+    /// `boundary_frame` is the index of the pair's *second* frame — the
+    /// frame a new shot would start at.
+    fn record(&mut self, d: StageDecision, boundary_frame: usize) -> PushOutcome {
+        self.stats.pairs += 1;
+        match d {
+            StageDecision::SameBySign => self.stats.stage1_same += 1,
+            StageDecision::SameBySignature => self.stats.stage2_same += 1,
+            StageDecision::SameByTracking => self.stats.stage3_same += 1,
+            StageDecision::Boundary => self.stats.boundaries += 1,
+        }
+        self.decisions.push(d);
+        if d == StageDecision::Boundary {
+            self.shots.push(Shot {
+                id: self.shots.len(),
+                start: self.shot_start,
+                end: boundary_frame - 1,
+            });
+            self.boundaries.push(boundary_frame);
+            self.shot_start = boundary_frame;
+            PushOutcome::Boundary
+        } else {
+            PushOutcome::Same(d)
+        }
+    }
+
+    /// Advance by one frame's features (the streaming driver).
+    fn push(&mut self, detector: &CameraTrackingDetector, features: FrameFeatures) -> PushOutcome {
+        let outcome = match &self.prev {
+            None => PushOutcome::First,
+            Some(prev) => {
+                let d = detector.decide_pair(prev, &features);
+                self.record(d, self.signs_ba.len())
+            }
+        };
+        self.signs_ba.push(features.sign_ba);
+        self.signs_oa.push(features.sign_oa);
+        self.prev = Some(features);
+        outcome
+    }
+
+    /// Close the last shot and emit the [`Segmentation`]. `frames` is the
+    /// total frame count (zero yields an empty segmentation).
+    fn into_segmentation(mut self, frames: usize) -> Segmentation {
+        if frames > 0 {
+            self.shots.push(Shot {
+                id: self.shots.len(),
+                start: self.shot_start,
+                end: frames - 1,
+            });
+        }
+        Segmentation {
+            shots: self.shots,
+            boundaries: self.boundaries,
+            decisions: self.decisions,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Segment an already-extracted feature sequence into shots.
+///
+/// The slice-level driver over the same cascade bookkeeping the engine
+/// uses; [`CameraTrackingDetector::segment_features`] delegates here.
+pub fn segment_features(
+    detector: &CameraTrackingDetector,
+    features: &[FrameFeatures],
+) -> Segmentation {
+    let mut state = CascadeState::default();
+    for (i, pair) in features.windows(2).enumerate() {
+        state.record(detector.decide_pair(&pair[0], &pair[1]), i + 1);
+    }
+    state.into_segmentation(features.len())
+}
+
+/// The canonical Steps 1–3 pipeline, consumed incrementally.
+///
+/// Frames go in (`push_frame` / `push_frames` / `analyze`); a
+/// [`VideoAnalysis`] comes out of [`AnalysisEngine::finish`]. Between the
+/// two the engine keeps only O(signs) state — the previous frame's
+/// features plus the per-frame sign history the scene tree and variance
+/// features need; frames themselves are never retained.
+///
+/// `finish` resets the per-clip state, so one engine can be reused for
+/// clip after clip (as [`crate::analyzer::VideoAnalyzer`] and the store's
+/// ingest paths do), amortizing its scratch arena across the whole
+/// workload.
+#[derive(Debug)]
+pub struct AnalysisEngine {
+    config: AnalyzerConfig,
+    detector: CameraTrackingDetector,
+    extractor: Option<FeatureExtractor>,
+    dims: Option<(u32, u32)>,
+    scratch: ScratchBuffers,
+    state: CascadeState,
+}
+
+impl Default for AnalysisEngine {
+    fn default() -> Self {
+        Self::new(AnalyzerConfig::default())
+    }
+}
+
+impl AnalysisEngine {
+    /// Engine with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        AnalysisEngine {
+            detector: CameraTrackingDetector::with_config(config.sbd),
+            config,
+            extractor: None,
+            dims: None,
+            scratch: ScratchBuffers::default(),
+            state: CascadeState::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Replace the configuration. Applies to frames pushed from now on;
+    /// call between clips (typically right after [`AnalysisEngine::finish`])
+    /// so one clip is analyzed under one set of thresholds.
+    pub fn set_config(&mut self, config: AnalyzerConfig) {
+        self.detector = CameraTrackingDetector::with_config(config.sbd);
+        self.config = config;
+    }
+
+    /// Frames consumed since the last `finish`.
+    pub fn frame_count(&self) -> usize {
+        self.state.signs_ba.len()
+    }
+
+    /// Boundaries confirmed so far in the current clip (final: streaming
+    /// decisions never change retroactively).
+    pub fn boundaries(&self) -> &[usize] {
+        &self.state.boundaries
+    }
+
+    /// Consume the next frame. All frames of one clip must share the first
+    /// frame's dimensions; a mismatched frame is rejected without being
+    /// consumed.
+    pub fn push_frame(&mut self, frame: &FrameBuf) -> Result<PushOutcome> {
+        self.check_dims(frame, 0)?;
+        self.ensure_extractor(frame)?;
+        let features = self
+            .extractor
+            .as_ref()
+            .expect("created above")
+            .extract_with(frame, &mut self.scratch)?;
+        Ok(self.state.push(&self.detector, features))
+    }
+
+    /// Consume a batch of frames: features are extracted up front (sharded
+    /// per the config's [`crate::parallel::Parallelism`]), then fed through
+    /// the sequential cascade in order. Equivalent to calling
+    /// [`AnalysisEngine::push_frame`] once per frame, only faster.
+    ///
+    /// On error nothing is consumed: the cascade only ever sees a batch
+    /// whose every frame extracted successfully.
+    pub fn push_frames(&mut self, frames: &[FrameBuf]) -> Result<Vec<PushOutcome>> {
+        let Some(first) = frames.first() else {
+            return Ok(Vec::new());
+        };
+        self.check_dims(first, 0)?;
+        self.ensure_extractor(first)?;
+        for (i, frame) in frames.iter().enumerate().skip(1) {
+            self.check_dims(frame, i)?;
+        }
+        let extractor = self.extractor.as_ref().expect("created above");
+        let threads = self.config.parallelism.effective_threads();
+        let features = extract_features_reusing(extractor, frames, threads, &mut self.scratch)?;
+        Ok(features
+            .into_iter()
+            .map(|f| self.state.push(&self.detector, f))
+            .collect())
+    }
+
+    /// Close the clip: finalize the last shot, build the scene tree and
+    /// per-shot index features. The engine is left ready for the next clip
+    /// (state cleared, scratch arena retained).
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyVideo`] if no frame was ever pushed.
+    pub fn finish(&mut self) -> Result<VideoAnalysis> {
+        if self.state.signs_ba.is_empty() {
+            return Err(CoreError::EmptyVideo);
+        }
+        let mut state = std::mem::take(&mut self.state);
+        self.extractor = None;
+        self.dims = None;
+        let signs_ba = std::mem::take(&mut state.signs_ba);
+        let signs_oa = std::mem::take(&mut state.signs_oa);
+        let frames = signs_ba.len();
+        let segmentation = state.into_segmentation(frames);
+        let scene_tree =
+            build_scene_tree_with_config(&segmentation.shots, &signs_ba, self.config.scene_tree);
+        let features = segmentation
+            .shots
+            .iter()
+            .map(|s| {
+                ShotFeature::from_signs(&signs_ba[s.start..=s.end], &signs_oa[s.start..=s.end])
+            })
+            .collect();
+        Ok(VideoAnalysis {
+            signs_ba,
+            signs_oa,
+            segmentation,
+            scene_tree,
+            features,
+        })
+    }
+
+    /// Batch driver: analyze one whole video (any state left over from an
+    /// unfinished clip is discarded first).
+    pub fn analyze(&mut self, video: &Video) -> Result<VideoAnalysis> {
+        self.reset();
+        self.push_frames(video.frames())?;
+        self.finish()
+    }
+
+    /// Drop any in-flight clip state (scratch arena retained).
+    pub fn reset(&mut self) {
+        self.state = CascadeState::default();
+        self.extractor = None;
+        self.dims = None;
+    }
+
+    fn ensure_extractor(&mut self, frame: &FrameBuf) -> Result<()> {
+        if self.extractor.is_none() {
+            let (w, h) = frame.dims();
+            self.extractor = Some(FeatureExtractor::new(w, h)?);
+            self.dims = Some((w, h));
+        }
+        Ok(())
+    }
+
+    /// All frames of a clip must share dimensions, like frames of a
+    /// [`Video`]; a stray frame is rejected without being consumed.
+    fn check_dims(&self, frame: &FrameBuf, index: usize) -> Result<()> {
+        match self.dims {
+            Some(first) if frame.dims() != first => Err(CoreError::InconsistentDimensions {
+                first,
+                other: frame.dims(),
+                frame: self.frame_count() + index,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pyramid::reduction_allocs;
+    use proptest::prelude::*;
+
+    fn clip(dims: (u32, u32), worlds: &[(u64, usize)]) -> Vec<FrameBuf> {
+        let mut frames = Vec::new();
+        for &(world, n) in worlds {
+            for t in 0..n {
+                frames.push(FrameBuf::from_fn(dims.0, dims.1, move |x, y| {
+                    let h = (u64::from(x) * 31 + u64::from(y) * 17 + t as u64)
+                        ^ world.wrapping_mul(7919);
+                    Rgb::new(
+                        (h % 251) as u8,
+                        ((h / 7) % 241) as u8,
+                        ((h / 64) % 239) as u8,
+                    )
+                }));
+            }
+        }
+        frames
+    }
+
+    #[test]
+    fn engine_equals_frame_at_a_time_equals_slice_segmentation() {
+        let frames = clip((80, 60), &[(1, 6), (2, 5), (3, 7)]);
+        let video = Video::new(frames.clone(), 3.0).unwrap();
+
+        let mut batch_engine = AnalysisEngine::default();
+        let batch = batch_engine.analyze(&video).unwrap();
+
+        let mut incremental = AnalysisEngine::default();
+        for f in &frames {
+            incremental.push_frame(f).unwrap();
+        }
+        assert_eq!(incremental.finish().unwrap(), batch);
+
+        let detector = CameraTrackingDetector::default();
+        let features: Vec<FrameFeatures> = frames
+            .iter()
+            .map(|f| FeatureExtractor::new(80, 60).unwrap().extract(f).unwrap())
+            .collect();
+        assert_eq!(segment_features(&detector, &features), batch.segmentation);
+    }
+
+    #[test]
+    fn finish_on_empty_engine_is_empty_video_error() {
+        let mut engine = AnalysisEngine::default();
+        assert!(matches!(engine.finish(), Err(CoreError::EmptyVideo)));
+    }
+
+    #[test]
+    fn engine_resets_between_clips() {
+        let mut engine = AnalysisEngine::default();
+        let small = Video::new(clip((80, 60), &[(1, 5)]), 3.0).unwrap();
+        let large = Video::new(clip((160, 120), &[(2, 5)]), 3.0).unwrap();
+        // finish() must clear the dims lock so the next clip may differ.
+        let a = engine.analyze(&small).unwrap();
+        let b = engine.analyze(&large).unwrap();
+        assert_eq!(a, AnalysisEngine::default().analyze(&small).unwrap());
+        assert_eq!(b, AnalysisEngine::default().analyze(&large).unwrap());
+        // Incremental use across clips, with finish() as the only reset.
+        for f in small.frames() {
+            engine.push_frame(f).unwrap();
+        }
+        assert_eq!(engine.finish().unwrap(), a);
+        engine.push_frames(large.frames()).unwrap();
+        assert_eq!(engine.finish().unwrap(), b);
+    }
+
+    #[test]
+    fn mismatched_dims_rejected_mid_clip() {
+        let mut engine = AnalysisEngine::default();
+        engine
+            .push_frame(&FrameBuf::filled(80, 60, Rgb::gray(40)))
+            .unwrap();
+        let err = engine.push_frame(&FrameBuf::filled(160, 120, Rgb::gray(40)));
+        assert!(matches!(
+            err,
+            Err(CoreError::InconsistentDimensions { frame: 1, .. })
+        ));
+        assert_eq!(engine.frame_count(), 1, "bad frame must not be consumed");
+    }
+
+    #[test]
+    fn warm_engine_batch_path_reduces_without_allocating() {
+        // The acceptance criterion for the scratch arena: after the first
+        // clip has warmed the buffers, an entire batch analysis performs
+        // zero heap allocations inside the pyramid reductions.
+        let video = Video::new(clip((160, 120), &[(1, 4), (2, 4)]), 3.0).unwrap();
+        let mut engine = AnalysisEngine::default();
+        engine.analyze(&video).unwrap();
+        let before = reduction_allocs();
+        for _ in 0..3 {
+            engine.analyze(&video).unwrap();
+        }
+        assert_eq!(
+            reduction_allocs(),
+            before,
+            "warm batch analysis must not allocate in the pyramid reductions"
+        );
+    }
+
+    proptest! {
+        /// Stale-state guard: one engine (one scratch arena) reused across
+        /// many clips of different dimensions yields exactly what a fresh
+        /// engine yields for each clip.
+        #[test]
+        fn prop_engine_reuse_across_clip_dims_is_stateless(
+            picks in proptest::collection::vec((0usize..3, 0u64..50, 2usize..6), 1..5)
+        ) {
+            const DIMS: [(u32, u32); 3] = [(80, 60), (160, 120), (100, 80)];
+            let mut reused = AnalysisEngine::default();
+            for (which, world, n) in picks {
+                let dims = DIMS[which];
+                let video = Video::new(clip(dims, &[(world, n), (world + 1, n)]), 3.0).unwrap();
+                let from_reused = reused.analyze(&video).unwrap();
+                let from_fresh = AnalysisEngine::default().analyze(&video).unwrap();
+                prop_assert_eq!(from_reused, from_fresh);
+            }
+        }
+    }
+}

@@ -22,9 +22,49 @@ use crate::error::{CoreError, Result};
 use crate::geometry::PixelGrid;
 use crate::pixel::Rgb;
 use crate::sizeset::in_size_set;
+use std::cell::Cell;
 
 /// The 5-tap Burt–Adelson kernel, numerators over 16.
 const KERNEL: [u32; 5] = [1, 4, 6, 4, 1];
+
+thread_local! {
+    /// Per-thread count of heap allocations made inside the reduction
+    /// routines (fresh buffers plus scratch growth). After a
+    /// [`ReduceScratch`] has warmed up, the `*_with`/`*_into` entry points
+    /// leave this counter untouched — the property the pipeline engine's
+    /// zero-allocation hot path is asserted on.
+    static REDUCTION_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations performed by this thread's pyramid reductions so far.
+///
+/// Strictly increasing; compare two readings to count the allocations in
+/// between. Thread-local, so concurrent tests and parallel extraction
+/// workers never perturb each other's readings.
+pub fn reduction_allocs() -> u64 {
+    REDUCTION_ALLOCS.with(Cell::get)
+}
+
+/// Make sure `buf` can hold `cap` pixels without reallocating mid-loop,
+/// charging the counter only when actual heap growth happens.
+fn ensure_capacity(buf: &mut Vec<Rgb>, cap: usize) {
+    if buf.capacity() < cap {
+        REDUCTION_ALLOCS.with(|c| c.set(c.get() + 1));
+        buf.reserve(cap - buf.len());
+    }
+}
+
+/// Reusable intermediate buffers for the pyramid reductions.
+///
+/// One reduction needs at most two scratch lines (current and next level);
+/// the buffers grow to the largest input ever seen and are then reused —
+/// zero allocations per frame after warm-up. One scratch must not be
+/// shared across threads (each parallel extraction worker owns its own).
+#[derive(Debug, Clone, Default)]
+pub struct ReduceScratch {
+    a: Vec<Rgb>,
+    b: Vec<Rgb>,
+}
 
 #[inline]
 fn kernel_reduce(window: &[Rgb]) -> Rgb {
@@ -43,89 +83,135 @@ fn kernel_reduce(window: &[Rgb]) -> Rgb {
     ])
 }
 
-/// One pyramid reduction step: a line of size-set length `s_j` becomes a
-/// line of length `s_{j-1}`.
+/// One pyramid reduction step into a caller-owned buffer: a line of
+/// size-set length `s_j` becomes a line of length `s_{j-1}` in `out`
+/// (cleared first). Allocation-free once `out` has the capacity.
 ///
 /// # Errors
 /// [`CoreError::NotInSizeSet`] if `line.len()` is not a size-set member
 /// greater than 1.
-pub fn reduce_step(line: &[Rgb]) -> Result<Vec<Rgb>> {
+pub fn reduce_step_into(line: &[Rgb], out: &mut Vec<Rgb>) -> Result<()> {
     let n = line.len();
     if n <= 1 || !in_size_set(n) {
         return Err(CoreError::NotInSizeSet { len: n });
     }
     let out_len = (n - 3) / 2;
-    let mut out = Vec::with_capacity(out_len);
+    out.clear();
+    ensure_capacity(out, out_len);
     for i in 0..out_len {
         out.push(kernel_reduce(&line[2 * i..2 * i + 5]));
     }
+    Ok(())
+}
+
+/// One pyramid reduction step: a line of size-set length `s_j` becomes a
+/// line of length `s_{j-1}`.
+///
+/// Allocates the output; the hot path uses [`reduce_step_into`].
+///
+/// # Errors
+/// [`CoreError::NotInSizeSet`] if `line.len()` is not a size-set member
+/// greater than 1.
+pub fn reduce_step(line: &[Rgb]) -> Result<Vec<Rgb>> {
+    let mut out = Vec::new();
+    reduce_step_into(line, &mut out)?;
     Ok(out)
+}
+
+/// Collapse a line of size-set length all the way to a single pixel
+/// (the *sign*), reusing `scratch` for the intermediate levels.
+pub fn reduce_line_to_sign_with(line: &[Rgb], scratch: &mut ReduceScratch) -> Result<Rgb> {
+    if line.len() == 1 {
+        return Ok(line[0]);
+    }
+    reduce_step_into(line, &mut scratch.a)?;
+    while scratch.a.len() > 1 {
+        reduce_step_into(&scratch.a, &mut scratch.b)?;
+        std::mem::swap(&mut scratch.a, &mut scratch.b);
+    }
+    Ok(scratch.a[0])
 }
 
 /// Collapse a line of size-set length all the way to a single pixel
 /// (the *sign*).
 pub fn reduce_line_to_sign(line: &[Rgb]) -> Result<Rgb> {
-    if line.len() == 1 {
-        return Ok(line[0]);
+    reduce_line_to_sign_with(line, &mut ReduceScratch::default())
+}
+
+/// Collapse every column of a grid to one pixel into a caller-owned
+/// buffer, producing the one-row *signature* in `out` (cleared first).
+///
+/// Intermediate pyramid levels live in `scratch`; once both `scratch` and
+/// `out` have warmed up to the grid's size, the reduction performs no heap
+/// allocation (see [`reduction_allocs`]).
+///
+/// The grid's row count must be in the size set; the column count (the
+/// signature length) must be too, so the signature can later be reduced to
+/// the sign.
+pub fn reduce_grid_to_signature_into(
+    grid: &PixelGrid,
+    scratch: &mut ReduceScratch,
+    out: &mut Vec<Rgb>,
+) -> Result<()> {
+    let rows = grid.rows();
+    let cols = grid.cols();
+    if !in_size_set(rows) {
+        return Err(CoreError::NotInSizeSet { len: rows });
     }
-    let mut cur = reduce_step(line)?;
-    while cur.len() > 1 {
-        cur = reduce_step(&cur)?;
+    if !in_size_set(cols) {
+        return Err(CoreError::NotInSizeSet { len: cols });
     }
-    Ok(cur[0])
+    out.clear();
+    ensure_capacity(out, cols);
+    if rows == 1 {
+        // Already a single line.
+        out.extend_from_slice(grid.data());
+        return Ok(());
+    }
+    // Reduce all columns in lock-step, operating on whole rows for cache
+    // friendliness: repeatedly produce a flat `(rows-3)/2 × cols` grid,
+    // ping-ponging between the two scratch buffers. Both buffers are grown
+    // to the full grid up front: the ping-pong swaps (here and in
+    // `reduce_line_to_sign_with`) migrate capacity between `a` and `b`, so
+    // sizing only the buffer a step is about to use would re-grow one of
+    // them on a later call depending on swap parity.
+    scratch.a.clear();
+    ensure_capacity(&mut scratch.a, rows * cols);
+    ensure_capacity(&mut scratch.b, rows * cols);
+    scratch.a.extend_from_slice(grid.data());
+    let mut cur_rows = rows;
+    while cur_rows > 1 {
+        let out_rows = (cur_rows - 3) / 2;
+        scratch.b.clear();
+        ensure_capacity(&mut scratch.b, out_rows * cols);
+        for i in 0..out_rows {
+            for c in 0..cols {
+                let window = [
+                    scratch.a[2 * i * cols + c],
+                    scratch.a[(2 * i + 1) * cols + c],
+                    scratch.a[(2 * i + 2) * cols + c],
+                    scratch.a[(2 * i + 3) * cols + c],
+                    scratch.a[(2 * i + 4) * cols + c],
+                ];
+                scratch.b.push(kernel_reduce(&window));
+            }
+        }
+        std::mem::swap(&mut scratch.a, &mut scratch.b);
+        cur_rows = out_rows;
+    }
+    out.extend_from_slice(&scratch.a[..cols]);
+    Ok(())
 }
 
 /// Collapse every column of a grid to one pixel, producing the one-row
 /// *signature* (Figure 3: a 13×5 TBA's five-pixel columns each become one
 /// pixel, giving a 13-pixel line).
 ///
-/// The grid's row count must be in the size set; the column count (the
-/// signature length) must be too, so the signature can later be reduced to
-/// the sign.
+/// Allocates per call; the hot path uses [`reduce_grid_to_signature_into`].
 pub fn reduce_grid_to_signature(grid: &PixelGrid) -> Result<Vec<Rgb>> {
-    let rows = grid.rows();
-    if !in_size_set(rows) {
-        return Err(CoreError::NotInSizeSet { len: rows });
-    }
-    if !in_size_set(grid.cols()) {
-        return Err(CoreError::NotInSizeSet { len: grid.cols() });
-    }
-    if rows == 1 {
-        // Already a single line.
-        return Ok(grid.data().to_vec());
-    }
-    // Reduce all columns in lock-step, operating on whole rows for cache
-    // friendliness: repeatedly produce a new grid with (rows-3)/2 rows.
-    let mut cur: Vec<Vec<Rgb>> = (0..rows)
-        .map(|r| {
-            let mut row = Vec::with_capacity(grid.cols());
-            for c in 0..grid.cols() {
-                row.push(grid.get(r, c));
-            }
-            row
-        })
-        .collect();
-    while cur.len() > 1 {
-        let out_rows = (cur.len() - 3) / 2;
-        let mut next = Vec::with_capacity(out_rows);
-        for i in 0..out_rows {
-            let row: Vec<Rgb> = (0..grid.cols())
-                .map(|c| {
-                    let window = [
-                        cur[2 * i][c],
-                        cur[2 * i + 1][c],
-                        cur[2 * i + 2][c],
-                        cur[2 * i + 3][c],
-                        cur[2 * i + 4][c],
-                    ];
-                    kernel_reduce(&window)
-                })
-                .collect();
-            next.push(row);
-        }
-        cur = next;
-    }
-    Ok(cur.pop().expect("one row remains"))
+    let mut out = Vec::new();
+    reduce_grid_to_signature_into(grid, &mut ReduceScratch::default(), &mut out)?;
+    Ok(out)
 }
 
 /// Collapse a grid all the way to its sign: signature first, then the
@@ -197,6 +283,42 @@ mod tests {
         // Signature is the ramp 20..=32; its pyramid collapses near the
         // center value 26.
         assert_eq!(sign, Rgb::gray(26));
+    }
+
+    #[test]
+    fn scratch_paths_match_allocating_paths() {
+        let grid = PixelGrid::from_fn(13, 29, |r, c| Rgb::gray(((r * 31 + c * 7) % 256) as u8));
+        let mut scratch = ReduceScratch::default();
+        let mut sig = Vec::new();
+        reduce_grid_to_signature_into(&grid, &mut scratch, &mut sig).unwrap();
+        assert_eq!(sig, reduce_grid_to_signature(&grid).unwrap());
+        assert_eq!(
+            reduce_line_to_sign_with(&sig, &mut scratch).unwrap(),
+            reduce_line_to_sign(&sig).unwrap()
+        );
+    }
+
+    #[test]
+    fn warm_scratch_reduces_without_allocating() {
+        let grid_a = PixelGrid::from_fn(13, 253, |r, c| Rgb::gray(((r * 3 + c) % 256) as u8));
+        let grid_b = PixelGrid::from_fn(13, 253, |r, c| Rgb::gray(((r * 5 + c * 2) % 256) as u8));
+        let mut scratch = ReduceScratch::default();
+        let mut sig = Vec::new();
+        // Warm-up pass allocates; every pass after it must not.
+        reduce_grid_to_signature_into(&grid_a, &mut scratch, &mut sig).unwrap();
+        reduce_line_to_sign_with(&sig, &mut scratch).unwrap();
+        let before = reduction_allocs();
+        for _ in 0..10 {
+            reduce_grid_to_signature_into(&grid_b, &mut scratch, &mut sig).unwrap();
+            reduce_line_to_sign_with(&sig, &mut scratch).unwrap();
+            reduce_grid_to_signature_into(&grid_a, &mut scratch, &mut sig).unwrap();
+            reduce_line_to_sign_with(&sig, &mut scratch).unwrap();
+        }
+        assert_eq!(
+            reduction_allocs(),
+            before,
+            "warm reductions must not allocate"
+        );
     }
 
     #[test]

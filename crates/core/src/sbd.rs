@@ -214,48 +214,12 @@ impl CameraTrackingDetector {
     }
 
     /// Segment a feature sequence into shots.
+    ///
+    /// Delegates to the pipeline's cascade bookkeeping
+    /// ([`crate::pipeline::segment_features`]) — the decision loop lives in
+    /// one place for batch, streaming, and slice-level callers alike.
     pub fn segment_features(&self, features: &[FrameFeatures]) -> Segmentation {
-        let mut decisions = Vec::with_capacity(features.len().saturating_sub(1));
-        let mut boundaries = Vec::new();
-        let mut stats = SbdStats::default();
-        for pair in features.windows(2) {
-            let d = self.decide_pair(&pair[0], &pair[1]);
-            stats.pairs += 1;
-            match d {
-                StageDecision::SameBySign => stats.stage1_same += 1,
-                StageDecision::SameBySignature => stats.stage2_same += 1,
-                StageDecision::SameByTracking => stats.stage3_same += 1,
-                StageDecision::Boundary => stats.boundaries += 1,
-            }
-            decisions.push(d);
-        }
-        let mut shots = Vec::new();
-        let mut start = 0usize;
-        for (i, d) in decisions.iter().enumerate() {
-            if *d == StageDecision::Boundary {
-                let boundary_frame = i + 1;
-                shots.push(Shot {
-                    id: shots.len(),
-                    start,
-                    end: i,
-                });
-                boundaries.push(boundary_frame);
-                start = boundary_frame;
-            }
-        }
-        if !features.is_empty() {
-            shots.push(Shot {
-                id: shots.len(),
-                start,
-                end: features.len() - 1,
-            });
-        }
-        Segmentation {
-            shots,
-            boundaries,
-            decisions,
-            stats,
-        }
+        crate::pipeline::segment_features(self, features)
     }
 
     /// Extract features and segment a video in one call.

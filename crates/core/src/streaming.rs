@@ -8,96 +8,46 @@
 //! features need (6 bytes per frame — 4.7 MB for a 24-hour broadcast day).
 //! Frames themselves are never retained.
 //!
-//! `finish()` produces exactly what the batch analyzer produces; the
-//! equivalence is tested property-style against
-//! [`crate::analyzer::VideoAnalyzer`].
+//! This type is a stateful wrapper around [`AnalysisEngine`] — every push
+//! runs the same cascade code the batch analyzer runs, so `finish()`
+//! produces exactly what the batch analyzer produces by construction.
 
 use crate::analyzer::{AnalyzerConfig, VideoAnalysis};
 use crate::error::Result;
-use crate::features::{FeatureExtractor, FrameFeatures};
 use crate::frame::FrameBuf;
-use crate::parallel::extract_features_parallel;
-use crate::pixel::Rgb;
-use crate::sbd::{CameraTrackingDetector, SbdStats, Segmentation, StageDecision};
-use crate::scenetree::build_scene_tree_with_config;
-use crate::shot::Shot;
-use crate::variance::ShotFeature;
+use crate::pipeline::AnalysisEngine;
 
-/// What [`StreamingAnalyzer::push`] reports about the newest frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PushOutcome {
-    /// First frame of the stream.
-    First,
-    /// Same shot as the previous frame (with the deciding stage).
-    Same(StageDecision),
-    /// This frame starts a new shot.
-    Boundary,
-}
+pub use crate::pipeline::PushOutcome;
 
 /// Frame-at-a-time analyzer.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct StreamingAnalyzer {
-    config: AnalyzerConfig,
-    detector: CameraTrackingDetector,
-    extractor: Option<FeatureExtractor>,
-    dims: Option<(u32, u32)>,
-    prev: Option<FrameFeatures>,
-    signs_ba: Vec<Rgb>,
-    signs_oa: Vec<Rgb>,
-    decisions: Vec<StageDecision>,
-    stats: SbdStats,
-    boundaries: Vec<usize>,
-    shot_start: usize,
-    shots: Vec<Shot>,
-}
-
-impl Default for StreamingAnalyzer {
-    fn default() -> Self {
-        Self::new(AnalyzerConfig::default())
-    }
+    engine: AnalysisEngine,
 }
 
 impl StreamingAnalyzer {
     /// Analyzer with the given configuration.
     pub fn new(config: AnalyzerConfig) -> Self {
         StreamingAnalyzer {
-            detector: CameraTrackingDetector::with_config(config.sbd),
-            config,
-            extractor: None,
-            dims: None,
-            prev: None,
-            signs_ba: Vec::new(),
-            signs_oa: Vec::new(),
-            decisions: Vec::new(),
-            stats: SbdStats::default(),
-            boundaries: Vec::new(),
-            shot_start: 0,
-            shots: Vec::new(),
+            engine: AnalysisEngine::new(config),
         }
     }
 
     /// Frames consumed so far.
     pub fn frame_count(&self) -> usize {
-        self.signs_ba.len()
+        self.engine.frame_count()
     }
 
     /// Boundaries confirmed so far (final: streaming decisions never
     /// change retroactively).
     pub fn boundaries(&self) -> &[usize] {
-        &self.boundaries
+        self.engine.boundaries()
     }
 
     /// Consume the next frame. All frames must share the first frame's
     /// dimensions; a mismatched frame is rejected without being consumed.
     pub fn push(&mut self, frame: &FrameBuf) -> Result<PushOutcome> {
-        self.check_dims(frame, 0)?;
-        self.ensure_extractor(frame)?;
-        let features = self
-            .extractor
-            .as_ref()
-            .expect("created above")
-            .extract(frame)?;
-        Ok(self.push_features(features))
+        self.engine.push_frame(frame)
     }
 
     /// Consume a batch of frames: features are extracted up front (in
@@ -109,122 +59,16 @@ impl StreamingAnalyzer {
     /// whose every frame extracted successfully, mirroring the batch
     /// analyzer's all-or-nothing extraction.
     pub fn push_frames(&mut self, frames: &[FrameBuf]) -> Result<Vec<PushOutcome>> {
-        let Some(first) = frames.first() else {
-            return Ok(Vec::new());
-        };
-        self.check_dims(first, 0)?;
-        self.ensure_extractor(first)?;
-        for (i, frame) in frames.iter().enumerate().skip(1) {
-            self.check_dims(frame, i)?;
-        }
-        let extractor = self.extractor.as_ref().expect("created above");
-        let threads = self.config.parallelism.effective_threads();
-        let features = extract_features_parallel(extractor, frames, threads)?;
-        Ok(features
-            .into_iter()
-            .map(|f| self.push_features(f))
-            .collect())
-    }
-
-    fn ensure_extractor(&mut self, frame: &FrameBuf) -> Result<()> {
-        if self.extractor.is_none() {
-            let (w, h) = frame.dims();
-            self.extractor = Some(FeatureExtractor::new(w, h)?);
-            self.dims = Some((w, h));
-        }
-        Ok(())
-    }
-
-    /// All frames of a stream must share dimensions, like frames of a
-    /// [`crate::frame::Video`]; a stray frame is rejected without being
-    /// consumed.
-    fn check_dims(&self, frame: &FrameBuf, index: usize) -> Result<()> {
-        match self.dims {
-            Some(first) if frame.dims() != first => {
-                Err(crate::error::CoreError::InconsistentDimensions {
-                    first,
-                    other: frame.dims(),
-                    frame: self.frame_count() + index,
-                })
-            }
-            _ => Ok(()),
-        }
-    }
-
-    /// Advance the cascade with one frame's already-extracted features.
-    fn push_features(&mut self, features: FrameFeatures) -> PushOutcome {
-        let outcome = match &self.prev {
-            None => PushOutcome::First,
-            Some(prev) => {
-                let d = self.detector.decide_pair(prev, &features);
-                self.stats.pairs += 1;
-                match d {
-                    StageDecision::SameBySign => self.stats.stage1_same += 1,
-                    StageDecision::SameBySignature => self.stats.stage2_same += 1,
-                    StageDecision::SameByTracking => self.stats.stage3_same += 1,
-                    StageDecision::Boundary => self.stats.boundaries += 1,
-                }
-                self.decisions.push(d);
-                if d == StageDecision::Boundary {
-                    let boundary_frame = self.signs_ba.len();
-                    self.shots.push(Shot {
-                        id: self.shots.len(),
-                        start: self.shot_start,
-                        end: boundary_frame - 1,
-                    });
-                    self.boundaries.push(boundary_frame);
-                    self.shot_start = boundary_frame;
-                    PushOutcome::Boundary
-                } else {
-                    PushOutcome::Same(d)
-                }
-            }
-        };
-        self.signs_ba.push(features.sign_ba);
-        self.signs_oa.push(features.sign_oa);
-        self.prev = Some(features);
-        outcome
+        self.engine.push_frames(frames)
     }
 
     /// Close the stream: finalize the last shot, build the scene tree and
-    /// per-shot features. Returns `None` if no frame was ever pushed.
-    pub fn finish(mut self) -> Option<VideoAnalysis> {
-        if self.signs_ba.is_empty() {
-            return None;
-        }
-        self.shots.push(Shot {
-            id: self.shots.len(),
-            start: self.shot_start,
-            end: self.signs_ba.len() - 1,
-        });
-        let segmentation = Segmentation {
-            shots: self.shots,
-            boundaries: self.boundaries,
-            decisions: self.decisions,
-            stats: self.stats,
-        };
-        let scene_tree = build_scene_tree_with_config(
-            &segmentation.shots,
-            &self.signs_ba,
-            self.config.scene_tree,
-        );
-        let features = segmentation
-            .shots
-            .iter()
-            .map(|s| {
-                ShotFeature::from_signs(
-                    &self.signs_ba[s.start..=s.end],
-                    &self.signs_oa[s.start..=s.end],
-                )
-            })
-            .collect();
-        Some(VideoAnalysis {
-            signs_ba: self.signs_ba,
-            signs_oa: self.signs_oa,
-            segmentation,
-            scene_tree,
-            features,
-        })
+    /// per-shot features.
+    ///
+    /// # Errors
+    /// [`crate::error::CoreError::EmptyVideo`] if no frame was ever pushed.
+    pub fn finish(mut self) -> Result<VideoAnalysis> {
+        self.engine.finish()
     }
 }
 
@@ -232,7 +76,9 @@ impl StreamingAnalyzer {
 mod tests {
     use super::*;
     use crate::analyzer::VideoAnalyzer;
+    use crate::error::CoreError;
     use crate::frame::Video;
+    use crate::pixel::Rgb;
 
     fn frames_with_cuts() -> Vec<FrameBuf> {
         let mut frames = Vec::new();
@@ -286,8 +132,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_stream_yields_none() {
-        assert!(StreamingAnalyzer::default().finish().is_none());
+    fn empty_stream_is_an_explicit_error() {
+        assert!(matches!(
+            StreamingAnalyzer::default().finish(),
+            Err(CoreError::EmptyVideo)
+        ));
     }
 
     #[test]
@@ -332,7 +181,7 @@ mod tests {
         let mut s = StreamingAnalyzer::default();
         assert!(s.push_frames(&[]).unwrap().is_empty());
         assert_eq!(s.frame_count(), 0);
-        assert!(s.finish().is_none());
+        assert!(s.finish().is_err());
     }
 
     #[test]

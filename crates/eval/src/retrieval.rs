@@ -278,9 +278,12 @@ pub fn motion_class(label: &str) -> &'static str {
 
 /// Build the two movies and analyze them.
 pub fn run_table4(seed: u64) -> RetrievalExperiment {
-    let build = |tag: u64| {
+    // One engine for both movies: the scratch arena warms up on the first
+    // and is reused for the second.
+    let mut engine = vdb_core::pipeline::AnalysisEngine::default();
+    let mut build = |tag: u64| {
         let g = generate(&movie_script(seed ^ tag, 30));
-        let analysis = VideoAnalyzer::new().analyze(&g.video).expect("analyzable");
+        let analysis = engine.analyze(&g.video).expect("analyzable");
         (g.truth, analysis)
     };
     RetrievalExperiment {

@@ -46,6 +46,10 @@ impl SharedDatabase {
     /// lock (analysis dominates ingest cost), then results are registered
     /// under one short write lock, in submission order — so assigned ids
     /// are deterministic regardless of thread scheduling.
+    ///
+    /// Each worker owns one [`vdb_core::pipeline::AnalysisEngine`] for its
+    /// whole lifetime, so per-frame scratch memory is allocated once per
+    /// worker, not once per clip.
     pub fn ingest_batch(
         &self,
         items: Vec<(String, Video)>,
@@ -60,32 +64,35 @@ impl SharedDatabase {
         let next = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..workers.max(1) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                s.spawn(|| {
+                    let mut engine = vdb_core::pipeline::AnalysisEngine::new(config);
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let analysis = engine.analyze(&items[i].1).map_err(DbError::from);
+                        slots[i].lock().unwrap().replace(analysis);
                     }
-                    let analysis = vdb_core::analyzer::VideoAnalyzer::with_config(config)
-                        .analyze(&items[i].1)
-                        .map_err(DbError::from);
-                    slots[i].lock().unwrap().replace(analysis);
                 });
             }
         });
         let mut db = self.inner.write();
         items
-            .iter()
+            .into_iter()
             .zip(slots)
             .map(|((name, video), slot)| {
                 let analysis = slot.into_inner().unwrap().expect("slot filled")?;
-                Ok(db.ingest_precomputed(
-                    name.clone(),
-                    video.dims(),
-                    video.fps(),
-                    analysis,
-                    vec![],
-                    vec![],
-                ))
+                Ok(
+                    db.ingest_precomputed(
+                        name,
+                        video.dims(),
+                        video.fps(),
+                        analysis,
+                        vec![],
+                        vec![],
+                    ),
+                )
             })
             .collect()
     }

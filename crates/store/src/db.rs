@@ -12,10 +12,11 @@ use crate::codec::{self, Codec};
 use crate::pages::{read_segment_file, SegmentError, SegmentWriter};
 use std::collections::HashMap;
 use std::path::Path;
-use vdb_core::analyzer::{AnalyzerConfig, VideoAnalyzer};
+use vdb_core::analyzer::{AnalyzerConfig, VideoAnalysis};
 use vdb_core::frame::Video;
 use vdb_core::index::{IndexEntry, ShotKey, VarianceIndex, VarianceQuery};
 use vdb_core::parallel::Parallelism;
+use vdb_core::pipeline::AnalysisEngine;
 use vdb_core::pixel::Rgb;
 use vdb_core::sbd::SbdStats;
 use vdb_core::scenetree::{NodeId, SceneTree};
@@ -206,6 +207,10 @@ pub struct VideoDatabase {
     analyses: HashMap<u64, StoredAnalysis>,
     index: VarianceIndex,
     config: AnalyzerConfig,
+    /// The resident analysis engine: one per database, reused across
+    /// ingests so its scratch arena warms up once per dimension class
+    /// rather than once per video. Kept in sync with `config`.
+    engine: AnalysisEngine,
 }
 
 impl VideoDatabase {
@@ -218,6 +223,7 @@ impl VideoDatabase {
     pub fn with_config(config: AnalyzerConfig) -> Self {
         VideoDatabase {
             config,
+            engine: AnalysisEngine::new(config),
             ..Self::default()
         }
     }
@@ -232,6 +238,7 @@ impl VideoDatabase {
     /// bit-equivalent to serial); only ingest latency changes.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         self.config.parallelism = parallelism;
+        self.engine.set_config(self.config);
     }
 
     /// The taxonomy (for resolving genre/form names).
@@ -278,21 +285,11 @@ impl VideoDatabase {
         genres: Vec<GenreId>,
         forms: Vec<FormId>,
     ) -> Result<u64, DbError> {
-        let analysis = VideoAnalyzer::with_config(self.config).analyze(video)?;
+        let analysis = self.engine.analyze(video)?;
         let id = self
             .catalog
             .register(name, genres, forms, video.len(), video.fps(), video.dims());
-        let stored = StoredAnalysis {
-            video: id,
-            shots: analysis.segmentation.shots.clone(),
-            features: analysis.features.clone(),
-            signs_ba: analysis.signs_ba,
-            signs_oa: analysis.signs_oa,
-            scene_tree: analysis.scene_tree,
-            stats: analysis.segmentation.stats,
-        };
-        self.insert_into_index(&stored);
-        self.analyses.insert(id, stored);
+        self.store_analysis(id, analysis);
         Ok(id)
     }
 
@@ -307,25 +304,38 @@ impl VideoDatabase {
         name: impl Into<String>,
         dims: (u32, u32),
         fps: f64,
-        analysis: vdb_core::analyzer::VideoAnalysis,
+        analysis: VideoAnalysis,
         genres: Vec<GenreId>,
         forms: Vec<FormId>,
     ) -> u64 {
         let id = self
             .catalog
             .register(name, genres, forms, analysis.frame_count(), fps, dims);
+        self.store_analysis(id, analysis);
+        id
+    }
+
+    /// Decompose an owned analysis into the stored form (no copies of the
+    /// shot list, features, or sign histories) and index it.
+    fn store_analysis(&mut self, id: u64, analysis: VideoAnalysis) {
+        let VideoAnalysis {
+            signs_ba,
+            signs_oa,
+            segmentation,
+            scene_tree,
+            features,
+        } = analysis;
         let stored = StoredAnalysis {
             video: id,
-            shots: analysis.segmentation.shots.clone(),
-            features: analysis.features.clone(),
-            signs_ba: analysis.signs_ba,
-            signs_oa: analysis.signs_oa,
-            scene_tree: analysis.scene_tree,
-            stats: analysis.segmentation.stats,
+            shots: segmentation.shots,
+            features,
+            signs_ba,
+            signs_oa,
+            scene_tree,
+            stats: segmentation.stats,
         };
         self.insert_into_index(&stored);
         self.analyses.insert(id, stored);
-        id
     }
 
     /// Aggregate statistics over the whole database.

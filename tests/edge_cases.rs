@@ -29,13 +29,13 @@ fn zero_frames_is_a_construction_error() {
 }
 
 #[test]
-fn empty_stream_and_empty_batches_yield_none() {
+fn empty_stream_and_empty_batches_yield_empty_video_error() {
     let mut s = StreamingAnalyzer::new(parallel_cfg(4));
     for _ in 0..3 {
         assert!(s.push_frames(&[]).unwrap().is_empty());
     }
     assert_eq!(s.frame_count(), 0);
-    assert!(s.finish().is_none());
+    assert!(matches!(s.finish(), Err(CoreError::EmptyVideo)));
 }
 
 #[test]
@@ -92,7 +92,7 @@ fn below_minimum_dims_error_never_panic() {
     assert!(s.push(&FrameBuf::black(8, 8)).is_err());
     assert!(s.push_frames(&vec![FrameBuf::black(8, 8); 2]).is_err());
     assert_eq!(s.frame_count(), 0);
-    assert!(s.finish().is_none());
+    assert!(matches!(s.finish(), Err(CoreError::EmptyVideo)));
 
     // The extractor itself refuses construction.
     assert!(FeatureExtractor::new(8, 8).is_err());
