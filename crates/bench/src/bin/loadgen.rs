@@ -1,0 +1,156 @@
+//! `loadgen` — closed-loop load generator for the `vdbd` serving layer.
+//!
+//! ```text
+//! loadgen [--requests N] [--clips N] [--connections a,b,c] [--addr HOST:PORT]
+//! ```
+//!
+//! By default it starts an in-process server over a synthetic database and
+//! drives it over loopback at 1, 4, and 16 connections (a fresh server per
+//! level, so counters and latency histograms are per-level), printing a
+//! throughput/latency table from the server's own `ServerMetrics`.
+//! With `--addr` it drives an external `vdbd` instead and reports
+//! client-side wall-clock throughput only.
+
+use std::process::exit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use vdb_server::{Client, Server, ServerConfig, ServerStore};
+
+struct Args {
+    requests: usize,
+    clips: usize,
+    connections: Vec<usize>,
+    addr: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: loadgen [--requests N] [--clips N] [--connections a,b,c] [--addr HOST:PORT]");
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        requests: 2000,
+        clips: 4,
+        connections: vec![1, 4, 16],
+        addr: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--requests" => out.requests = value.parse().unwrap_or_else(|_| usage()),
+            "--clips" => out.clips = value.parse().unwrap_or_else(|_| usage()),
+            "--connections" => {
+                out.connections = value
+                    .split(',')
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if out.connections.is_empty() {
+                    usage()
+                }
+            }
+            "--addr" => out.addr = Some(value),
+            _ => usage(),
+        }
+    }
+    out
+}
+
+/// The request mix: read-heavy browsing, the serving layer's design load.
+fn request_line(i: usize) -> String {
+    match i % 5 {
+        0 => "stats".to_string(),
+        1 => format!("query ba=0.{} oa=1{} alpha=4 beta=4 limit=8", i % 10, i % 7),
+        2 => "tree 0".to_string(),
+        3 => format!("board {} 6", i % 2),
+        _ => "list".to_string(),
+    }
+}
+
+/// Drive `total` requests through `conns` persistent connections; returns
+/// elapsed wall-clock seconds.
+fn drive(addr: std::net::SocketAddr, conns: usize, total: usize) -> f64 {
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..conns {
+            let next = &next;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let line = request_line(i);
+                    let resp = client.request(&line).expect("response");
+                    assert!(resp.ok, "'{line}' failed: {}", resp.text);
+                }
+            });
+        }
+    });
+    started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(addr) = &args.addr {
+        let addr = match std::net::ToSocketAddrs::to_socket_addrs(&addr.as_str())
+            .ok()
+            .and_then(|mut a| a.next())
+        {
+            Some(a) => a,
+            None => {
+                eprintln!("loadgen: bad address '{addr}'");
+                exit(2);
+            }
+        };
+        println!("target {addr} ({} requests per level)", args.requests);
+        println!("{:>5}  {:>9}  {:>9}", "conns", "elapsed", "qps");
+        for &conns in &args.connections {
+            let secs = drive(addr, conns, args.requests);
+            println!(
+                "{conns:>5}  {:>8.2}s  {:>9.0}",
+                secs,
+                args.requests as f64 / secs
+            );
+        }
+        return;
+    }
+
+    println!(
+        "in-process vdbd, {} synthetic clips, {} requests per level",
+        args.clips, args.requests
+    );
+    println!(
+        "{:>5}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "conns", "elapsed", "qps", "p50", "p99"
+    );
+    for &conns in &args.connections {
+        // Fresh server per level: latency quantiles are per-level too.
+        let store = ServerStore::memory();
+        store.write(|backend| {
+            use vdb_store::shell::{execute_mutation, Command};
+            execute_mutation(backend, &Command::Demo(args.clips)).expect("demo is a mutation")
+        });
+        let config = ServerConfig {
+            workers: conns.max(1),
+            ..ServerConfig::default()
+        };
+        let handle = Server::bind(store, config).expect("bind").serve();
+        let secs = drive(handle.addr(), conns, args.requests);
+        let snapshot = handle.shutdown().expect("clean shutdown");
+        assert_eq!(snapshot.total_requests(), args.requests as u64);
+        assert_eq!(snapshot.total_errors(), 0);
+        let (p50, p99) = snapshot.overall_latency();
+        println!(
+            "{conns:>5}  {:>8.2}s  {:>9.0}  {:>6}us  {:>6}us",
+            secs,
+            args.requests as f64 / secs,
+            p50,
+            p99
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! `vdbc` — a scriptable client for `vdbd`.
+//!
+//! ```text
+//! vdbc <addr> <command...>     # one request, print the response
+//! vdbc <addr>                  # read command lines from stdin
+//! ```
+//!
+//! Exits 0 iff every request got an ok response. Error responses are
+//! printed with an `error:` prefix and flip the exit code to 1; transport
+//! failures exit 2.
+
+use std::io::BufRead;
+use std::process::exit;
+use vdb_server::client::{Client, ClientError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first() else {
+        eprintln!("usage: vdbc <addr> [command...]");
+        exit(2);
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("vdbc: could not connect to {addr}: {e}");
+            exit(2);
+        }
+    };
+    let mut any_error = false;
+    let mut run = |client: &mut Client, line: &str| -> bool {
+        match client.request(line) {
+            Ok(resp) => {
+                if resp.ok {
+                    print!("{}", resp.text);
+                    if !resp.text.ends_with('\n') && !resp.text.is_empty() {
+                        println!();
+                    }
+                } else {
+                    println!("error: {}", resp.text);
+                    any_error = true;
+                }
+                true
+            }
+            Err(ClientError::ServerClosed) => {
+                eprintln!("vdbc: server closed the connection");
+                false
+            }
+            Err(e) => {
+                eprintln!("vdbc: {e}");
+                any_error = true;
+                false
+            }
+        }
+    };
+
+    if args.len() > 1 {
+        let line = args[1..].join(" ");
+        if !run(&mut client, &line) {
+            exit(2);
+        }
+    } else {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("vdbc: input error: {e}");
+                    exit(2);
+                }
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if !run(&mut client, trimmed) {
+                break;
+            }
+            if trimmed == "shutdown" || trimmed == "quit" {
+                break;
+            }
+        }
+    }
+    exit(if any_error { 1 } else { 0 });
+}

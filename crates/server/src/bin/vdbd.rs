@@ -1,0 +1,179 @@
+//! `vdbd` — the video database daemon.
+//!
+//! ```text
+//! vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N]
+//!      [--idle-timeout SECS] [--metrics-interval SECS]
+//! ```
+//!
+//! Binds (port 0 picks an ephemeral port), prints `vdbd listening on
+//! <addr>` on stdout, and serves until a wire `shutdown` command or
+//! SIGTERM/SIGINT, at which point it stops accepting, drains in-flight
+//! requests, syncs the journal, and exits 0.
+
+use std::process::exit;
+use std::time::Duration;
+use vdb_core::analyzer::AnalyzerConfig;
+use vdb_server::server::{Server, ServerConfig, ServerStore};
+use vdb_store::shell::{self, Command};
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store.
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        }
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn pending() -> bool {
+        SIGNALED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn pending() -> bool {
+        false
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N] [--idle-timeout SECS] [--metrics-interval SECS]"
+    );
+    exit(2);
+}
+
+struct Args {
+    config: ServerConfig,
+    journal: Option<String>,
+    demo: usize,
+}
+
+fn parse_args() -> Args {
+    let mut config = ServerConfig {
+        metrics_log_interval: Some(Duration::from_secs(60)),
+        ..ServerConfig::default()
+    };
+    let mut journal = None;
+    let mut demo = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("vdbd: {flag} needs {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("an address"),
+            "--journal" => journal = Some(value("a path")),
+            "--workers" => match value("a count").parse() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => usage(),
+            },
+            "--demo" => match value("a count").parse() {
+                Ok(n) => demo = n,
+                Err(_) => usage(),
+            },
+            "--idle-timeout" => match value("seconds").parse() {
+                Ok(secs) => config.idle_timeout = Duration::from_secs(secs),
+                Err(_) => usage(),
+            },
+            "--metrics-interval" => match value("seconds").parse::<u64>() {
+                Ok(0) => config.metrics_log_interval = None,
+                Ok(secs) => config.metrics_log_interval = Some(Duration::from_secs(secs)),
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => {
+                eprintln!("vdbd: unknown flag '{flag}'");
+                usage()
+            }
+        }
+    }
+    Args {
+        config,
+        journal,
+        demo,
+    }
+}
+
+fn main() {
+    let Args {
+        config,
+        journal,
+        demo,
+    } = parse_args();
+
+    let store = match &journal {
+        Some(path) => match ServerStore::open_journal(path, AnalyzerConfig::default()) {
+            Ok(store) => {
+                eprintln!("vdbd: journal {path}: {} videos", store.read(|db| db.len()));
+                store
+            }
+            Err(e) => {
+                eprintln!("vdbd: could not open journal {path}: {e}");
+                exit(1);
+            }
+        },
+        None => ServerStore::memory(),
+    };
+    if demo > 0 {
+        let out = store.write(|backend| {
+            shell::execute_mutation(backend, &Command::Demo(demo)).expect("demo is a mutation")
+        });
+        eprint!("{out}");
+    }
+
+    let server = match Server::bind(store, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("vdbd: bind failed: {e}");
+            exit(1);
+        }
+    };
+    // The smoke script and supervisors parse this line for the port.
+    println!("vdbd listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    sig::install();
+    let handle = server.serve();
+    let flag = handle.shutdown_flag();
+    std::thread::spawn(move || loop {
+        if sig::pending() {
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            break;
+        }
+        if flag.load(std::sync::atomic::Ordering::SeqCst) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    });
+
+    match handle.join() {
+        Ok(snapshot) => {
+            eprintln!("vdbd: clean shutdown — {}", snapshot.one_line());
+        }
+        Err(e) => {
+            eprintln!("vdbd: shutdown failed to sync journal: {e}");
+            exit(1);
+        }
+    }
+}

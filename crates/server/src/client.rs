@@ -1,0 +1,106 @@
+//! A blocking client for the `vdbd` wire protocol.
+//!
+//! One [`Client`] wraps one connection; requests are strictly
+//! send-then-receive (the protocol has no pipelining), so the type needs
+//! no internal locking. Used by the integration tests, the `vdbc` binary,
+//! and the `loadgen` benchmark driver.
+
+use crate::protocol::{
+    decode_response, read_frame, write_frame, FrameError, Response, DEFAULT_MAX_FRAME,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's bytes did not decode as a response frame.
+    Protocol(FrameError),
+    /// The server answered with an error status ([`Client::expect_ok`]).
+    Server(String),
+    /// The server closed the connection before responding (e.g. it is
+    /// draining for shutdown and the request arrived too late).
+    ServerClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::ServerClosed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other),
+        }
+    }
+}
+
+/// One connection to a `vdbd` server.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect with a 30-second response timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        };
+        client.set_timeout(Some(Duration::from_secs(30)))?;
+        Ok(client)
+    }
+
+    /// Change the per-response timeout (`None` blocks forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Send one command line and wait for its response.
+    pub fn request(&mut self, line: &str) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, line.as_bytes())?;
+        match read_frame(&mut self.stream, self.max_frame)? {
+            Some(payload) => Ok(decode_response(&payload)?),
+            None => Err(ClientError::ServerClosed),
+        }
+    }
+
+    /// Send one command and require an ok status; the error branch
+    /// carries the server's message.
+    pub fn expect_ok(&mut self, line: &str) -> Result<String, ClientError> {
+        let resp = self.request(line)?;
+        if resp.ok {
+            Ok(resp.text)
+        } else {
+            Err(ClientError::Server(format!("'{line}': {}", resp.text)))
+        }
+    }
+
+    /// Split off the raw stream (for tests that need to write garbage).
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+}

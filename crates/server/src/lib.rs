@@ -1,0 +1,37 @@
+//! # vdb-server
+//!
+//! The serving layer: everything the `vdbsh` REPL can do, on the wire for
+//! many concurrent users.
+//!
+//! * [`protocol`] — length-prefixed request/response frames with a
+//!   max-size limit and a one-byte status;
+//! * [`server`] — [`server::Server`]: acceptor + fixed worker pool over
+//!   blocking sockets, per-connection timeouts, malformed-frame isolation,
+//!   graceful drain on shutdown, optional journal-backed durability;
+//! * [`metrics`] — [`metrics::ServerMetrics`]: lock-free per-command
+//!   counters and latency histograms (p50/p99), surfaced by the `metrics`
+//!   wire command and a periodic log line;
+//! * [`client`] — [`client::Client`]: the blocking client used by tests,
+//!   `vdbc`, and the `loadgen` benchmark.
+//!
+//! Two binaries ship with the crate: `vdbd` (the daemon) and `vdbc` (a
+//! scriptable client).
+//!
+//! ```text
+//! $ vdbd --addr 127.0.0.1:4650 --journal corpus.vdbj --workers 8 &
+//! vdbd listening on 127.0.0.1:4650
+//! $ printf 'demo 2\nquery ba=0.2 oa=12 limit=3\nshutdown\n' | vdbc 127.0.0.1:4650
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use metrics::{CommandKind, MetricsSnapshot, ServerMetrics};
+pub use protocol::{Response, DEFAULT_MAX_FRAME};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStore};

@@ -1,0 +1,392 @@
+//! Server observability: lock-free per-command counters and latency
+//! histograms.
+//!
+//! Workers record into [`ServerMetrics`] with relaxed atomics (no lock is
+//! ever taken on the request path); readers take a [`MetricsSnapshot`]
+//! whenever they like — the `metrics` wire command, the periodic log line,
+//! and tests all consume the same snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Latency buckets: bucket `i` counts requests with latency in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`). 32 buckets cover
+/// up to ~35 minutes, far beyond any sane request.
+const BUCKETS: usize = 32;
+
+/// The kinds of request the server distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// `ping` liveness probe.
+    Ping,
+    /// `help`.
+    Help,
+    /// `list`.
+    List,
+    /// `stats` (database statistics + server summary).
+    Stats,
+    /// `metrics` (this registry, rendered).
+    Metrics,
+    /// `query <text>`.
+    Query,
+    /// `board <video> [cards]`.
+    Board,
+    /// `tree <video>`.
+    Tree,
+    /// `demo [n]` ingest.
+    Demo,
+    /// `remove <video>`.
+    Remove,
+    /// `quit` (close this connection).
+    Quit,
+    /// `shutdown` (stop the server).
+    Shutdown,
+    /// Anything else (unknown commands, rejected save/load, non-UTF-8).
+    Other,
+}
+
+impl CommandKind {
+    /// Every kind, in display order.
+    pub const ALL: [CommandKind; 13] = [
+        CommandKind::Ping,
+        CommandKind::Help,
+        CommandKind::List,
+        CommandKind::Stats,
+        CommandKind::Metrics,
+        CommandKind::Query,
+        CommandKind::Board,
+        CommandKind::Tree,
+        CommandKind::Demo,
+        CommandKind::Remove,
+        CommandKind::Quit,
+        CommandKind::Shutdown,
+        CommandKind::Other,
+    ];
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|k| *k == self).expect("listed")
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommandKind::Ping => "ping",
+            CommandKind::Help => "help",
+            CommandKind::List => "list",
+            CommandKind::Stats => "stats",
+            CommandKind::Metrics => "metrics",
+            CommandKind::Query => "query",
+            CommandKind::Board => "board",
+            CommandKind::Tree => "tree",
+            CommandKind::Demo => "demo",
+            CommandKind::Remove => "remove",
+            CommandKind::Quit => "quit",
+            CommandKind::Shutdown => "shutdown",
+            CommandKind::Other => "other",
+        }
+    }
+}
+
+#[derive(Default)]
+struct CommandStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+}
+
+fn bucket_of(us: u64) -> usize {
+    ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The server's counter registry. One instance per server, shared by all
+/// workers; all methods are `&self` and lock-free.
+#[derive(Default)]
+pub struct ServerMetrics {
+    per_command: [CommandStats; CommandKind::ALL.len()],
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed request.
+    pub fn record_request(
+        &self,
+        kind: CommandKind,
+        ok: bool,
+        bytes_in: u64,
+        bytes_out: u64,
+        latency: Duration,
+    ) {
+        let stats = &self.per_command[kind.index()];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        stats.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        stats.latency_buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a closed connection.
+    pub fn connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a protocol violation (oversized frame, torn frame, …) that
+    /// cost the offending client its connection.
+    pub fn protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let commands = CommandKind::ALL
+            .iter()
+            .map(|&kind| {
+                let s = &self.per_command[kind.index()];
+                let buckets: Vec<u64> = s
+                    .latency_buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect();
+                let requests = s.requests.load(Ordering::Relaxed);
+                CommandSnapshot {
+                    kind,
+                    requests,
+                    errors: s.errors.load(Ordering::Relaxed),
+                    bytes_in: s.bytes_in.load(Ordering::Relaxed),
+                    bytes_out: s.bytes_out.load(Ordering::Relaxed),
+                    mean_us: s
+                        .latency_sum_us
+                        .load(Ordering::Relaxed)
+                        .checked_div(requests)
+                        .unwrap_or(0),
+                    p50_us: quantile(&buckets, 0.50),
+                    p99_us: quantile(&buckets, 0.99),
+                    buckets,
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            commands,
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Approximate quantile from power-of-two buckets: the upper bound of the
+/// bucket containing the target rank (0 when empty).
+fn quantile(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64 * q).ceil() as u64).max(1);
+    let mut seen = 0;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= target {
+            return 1u64 << i;
+        }
+    }
+    1u64 << (BUCKETS - 1)
+}
+
+/// Counters for one command kind at snapshot time.
+#[derive(Debug, Clone)]
+pub struct CommandSnapshot {
+    /// Which command.
+    pub kind: CommandKind,
+    /// Requests handled.
+    pub requests: u64,
+    /// Requests answered with an error status.
+    pub errors: u64,
+    /// Request bytes read (frame headers included).
+    pub bytes_in: u64,
+    /// Response bytes written (frame headers included).
+    pub bytes_out: u64,
+    /// Mean handling latency, µs.
+    pub mean_us: u64,
+    /// Median handling latency, µs (bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile handling latency, µs (bucket upper bound).
+    pub p99_us: u64,
+    /// The raw power-of-two latency histogram (bucket `i` counts requests
+    /// in `[2^(i-1), 2^i)` µs), for cross-command aggregation.
+    pub buckets: Vec<u64>,
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Per-command counters (every kind, including zero rows).
+    pub commands: Vec<CommandSnapshot>,
+    /// Connections accepted since start.
+    pub connections_opened: u64,
+    /// Connections closed since start.
+    pub connections_closed: u64,
+    /// Protocol violations that closed a connection.
+    pub protocol_errors: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total requests across all commands.
+    pub fn total_requests(&self) -> u64 {
+        self.commands.iter().map(|c| c.requests).sum()
+    }
+
+    /// Total error responses across all commands.
+    pub fn total_errors(&self) -> u64 {
+        self.commands.iter().map(|c| c.errors).sum()
+    }
+
+    /// Total bytes read / written.
+    pub fn total_bytes(&self) -> (u64, u64) {
+        self.commands
+            .iter()
+            .fold((0, 0), |(i, o), c| (i + c.bytes_in, o + c.bytes_out))
+    }
+
+    /// Overall `(p50, p99)` handling latency in µs, merged across every
+    /// command's histogram (bucket upper bounds).
+    pub fn overall_latency(&self) -> (u64, u64) {
+        let mut merged = vec![0u64; BUCKETS];
+        for c in &self.commands {
+            for (m, b) in merged.iter_mut().zip(&c.buckets) {
+                *m += b;
+            }
+        }
+        (quantile(&merged, 0.50), quantile(&merged, 0.99))
+    }
+
+    /// Multi-line table (the `metrics` wire command's payload).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  {:<9} {:>9} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9}",
+            "command", "requests", "errors", "bytes_in", "bytes_out", "mean_us", "p50_us", "p99_us"
+        );
+        for c in &self.commands {
+            if c.requests == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<9} {:>9} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9}",
+                c.kind.label(),
+                c.requests,
+                c.errors,
+                c.bytes_in,
+                c.bytes_out,
+                c.mean_us,
+                c.p50_us,
+                c.p99_us
+            );
+        }
+        let (bytes_in, bytes_out) = self.total_bytes();
+        let _ = writeln!(
+            out,
+            "  total: {} requests ({} errors), {}/{} bytes in/out, {} conns open, {} closed, {} protocol errors",
+            self.total_requests(),
+            self.total_errors(),
+            bytes_in,
+            bytes_out,
+            self.connections_opened,
+            self.connections_closed,
+            self.protocol_errors
+        );
+        out
+    }
+
+    /// One-line summary (the periodic log line).
+    pub fn one_line(&self) -> String {
+        let (bytes_in, bytes_out) = self.total_bytes();
+        let query = self
+            .commands
+            .iter()
+            .find(|c| c.kind == CommandKind::Query)
+            .expect("query row always present");
+        format!(
+            "{} reqs ({} errs, {} proto), {}/{} B in/out, {} conns, query p50={}us p99={}us",
+            self.total_requests(),
+            self.total_errors(),
+            self.protocol_errors,
+            bytes_in,
+            bytes_out,
+            self.connections_opened,
+            query.p50_us,
+            query.p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServerMetrics::new();
+        m.record_request(CommandKind::Query, true, 20, 100, Duration::from_micros(30));
+        m.record_request(CommandKind::Query, true, 20, 90, Duration::from_micros(40));
+        m.record_request(
+            CommandKind::Query,
+            false,
+            10,
+            8,
+            Duration::from_micros(2000),
+        );
+        m.record_request(CommandKind::List, true, 9, 50, Duration::from_micros(5));
+        m.connection_opened();
+        m.connection_closed();
+        m.protocol_error();
+        let snap = m.snapshot();
+        assert_eq!(snap.total_requests(), 4);
+        assert_eq!(snap.total_errors(), 1);
+        assert_eq!(snap.total_bytes(), (59, 248));
+        assert_eq!(snap.protocol_errors, 1);
+        let q = &snap.commands[CommandKind::Query.index()];
+        assert_eq!(q.requests, 3);
+        assert_eq!(q.errors, 1);
+        assert_eq!(q.mean_us, (30 + 40 + 2000) / 3);
+        // p50 falls in the [32,64) bucket → upper bound 64; p99 in the
+        // 2000µs bucket → upper bound 2048.
+        assert_eq!(q.p50_us, 64);
+        assert_eq!(q.p99_us, 2048);
+        assert!(snap.render().contains("query"));
+        assert!(!snap.render().contains("board"), "zero rows omitted");
+        assert!(snap.one_line().contains("4 reqs"));
+    }
+
+    #[test]
+    fn quantile_edges() {
+        assert_eq!(quantile(&[0; BUCKETS], 0.5), 0);
+        let mut b = [0u64; BUCKETS];
+        b[3] = 10;
+        assert_eq!(quantile(&b, 0.5), 8);
+        assert_eq!(quantile(&b, 0.99), 8);
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! The wire protocol: length-prefixed frames with a one-byte status.
+//!
+//! Every message in either direction is one *frame*:
+//!
+//! ```text
+//! [len: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! A request payload is a UTF-8 command line (the same syntax as the
+//! `vdbsh` REPL — see [`vdb_store::shell`]). A response payload is a
+//! status byte (`+` ok, `-` error) followed by UTF-8 text. Frames larger
+//! than the receiver's configured maximum are a protocol violation: the
+//! receiver reports an error and closes the connection, because the byte
+//! stream cannot be resynchronized without trusting the bogus length.
+
+use std::io::{self, Read, Write};
+
+/// Default upper bound on a frame payload (1 MiB). Command lines and
+/// rendered scene trees are orders of magnitude smaller; anything bigger
+/// is a corrupt or hostile length prefix.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Response status byte for success.
+pub const STATUS_OK: u8 = b'+';
+/// Response status byte for an error.
+pub const STATUS_ERR: u8 = b'-';
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Whether the command succeeded.
+    pub ok: bool,
+    /// The command output (or error message).
+    pub text: String,
+}
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The declared payload length exceeds the receiver's maximum.
+    TooLarge {
+        /// The declared payload length.
+        declared: u32,
+        /// The receiver's limit.
+        max: usize,
+    },
+    /// The peer closed the stream mid-frame.
+    Torn,
+    /// The payload was not a valid message (e.g. an empty response).
+    Malformed(&'static str),
+    /// Underlying socket error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Torn => write!(f, "connection closed mid-frame"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Encode a response payload.
+pub fn encode_response(ok: bool, text: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + text.len());
+    payload.push(if ok { STATUS_OK } else { STATUS_ERR });
+    payload.extend_from_slice(text.as_bytes());
+    payload
+}
+
+/// Decode a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
+    let (&status, text) = payload
+        .split_first()
+        .ok_or(FrameError::Malformed("empty response"))?;
+    let ok = match status {
+        STATUS_OK => true,
+        STATUS_ERR => false,
+        _ => return Err(FrameError::Malformed("bad status byte")),
+    };
+    let text = std::str::from_utf8(text)
+        .map_err(|_| FrameError::Malformed("response is not UTF-8"))?
+        .to_string();
+    Ok(Response { ok, text })
+}
+
+/// Read one frame, blocking until it is complete. Returns `Ok(None)` on a
+/// clean end-of-stream at a frame boundary. (The server uses its own
+/// deadline-aware reader; this one serves clients, which wait on exactly
+/// one in-flight response.)
+pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::Torn)
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let declared = u32::from_le_bytes(header);
+    if declared as usize > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let mut payload = vec![0u8; declared as usize];
+    let mut filled = 0;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(FrameError::Torn),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"stats").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"stats");
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 64).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_torn_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        assert!(matches!(
+            read_frame(&mut &buf[..], 10),
+            Err(FrameError::TooLarge { declared: 100, .. })
+        ));
+        // Truncated payload.
+        assert!(matches!(
+            read_frame(&mut &buf[..50], 200),
+            Err(FrameError::Torn)
+        ));
+        // Truncated header.
+        assert!(matches!(
+            read_frame(&mut &buf[..2], 200),
+            Err(FrameError::Torn)
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let ok = encode_response(true, "hello\nworld");
+        assert_eq!(
+            decode_response(&ok).unwrap(),
+            Response {
+                ok: true,
+                text: "hello\nworld".into()
+            }
+        );
+        let err = encode_response(false, "nope");
+        assert!(!decode_response(&err).unwrap().ok);
+        assert!(decode_response(&[]).is_err());
+        assert!(decode_response(b"?x").is_err());
+        assert!(decode_response(&[STATUS_OK, 0xff, 0xfe]).is_err());
+    }
+}

@@ -1,0 +1,590 @@
+//! The serving core: a fixed-size worker pool over blocking sockets.
+//!
+//! One acceptor thread hands connections to `workers` handler threads
+//! through a queue; each worker owns one connection at a time and runs its
+//! requests to completion (so the pool size bounds concurrent
+//! connections — excess connections queue until a worker frees up).
+//! Blocking reads use short socket timeouts as a poll interval, which is
+//! what makes idle timeouts and prompt graceful shutdown possible without
+//! an async runtime:
+//!
+//! * a connection silent longer than `idle_timeout` is closed;
+//! * a frame that starts but does not complete within `frame_timeout` is
+//!   treated as torn and costs the client its connection;
+//! * on shutdown (wire `shutdown` command, [`ServerHandle::trigger_shutdown`],
+//!   or a signal forwarded by `vdbd`) the acceptor stops accepting and
+//!   every worker *drains*: requests already sent by clients are still
+//!   read, executed, and answered for `drain_grace` before the connection
+//!   closes — no in-flight request loses its reply.
+//!
+//! Protocol violations (oversized length prefix, torn frame) close only
+//! the offending connection and are counted in [`ServerMetrics`]; they can
+//! never take down a worker.
+
+use crate::metrics::{CommandKind, MetricsSnapshot, ServerMetrics};
+use crate::protocol::{encode_response, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use parking_lot::RwLock;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vdb_core::analyzer::AnalyzerConfig;
+use vdb_store::backend::DbBackend;
+use vdb_store::db::{DbError, VideoDatabase};
+use vdb_store::journal::JournaledDatabase;
+use vdb_store::shell::{self, Command};
+use vdb_store::SharedDatabase;
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (== max concurrent connections).
+    pub workers: usize,
+    /// Close a connection with no traffic for this long.
+    pub idle_timeout: Duration,
+    /// A frame whose first byte has arrived must complete within this.
+    pub frame_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Reject request frames larger than this.
+    pub max_frame: usize,
+    /// Socket poll granularity (shutdown/idle checks happen this often).
+    pub poll_interval: Duration,
+    /// After shutdown, keep reading already-sent requests for this long.
+    pub drain_grace: Duration,
+    /// Emit a one-line metrics log to stderr this often (`None` = never).
+    pub metrics_log_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().max(2))
+                .unwrap_or(4),
+            idle_timeout: Duration::from_secs(30),
+            frame_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_frame: DEFAULT_MAX_FRAME,
+            poll_interval: Duration::from_millis(20),
+            drain_grace: Duration::from_millis(250),
+            metrics_log_interval: None,
+        }
+    }
+}
+
+/// The database a server serves: ephemeral in-memory, or durable behind a
+/// journal (every `demo` ingest and `remove` tombstone is flushed before
+/// its response goes out).
+#[derive(Clone)]
+pub enum ServerStore {
+    /// Shared in-memory database.
+    Memory(SharedDatabase),
+    /// Journal-backed database.
+    Journaled(Arc<RwLock<JournaledDatabase>>),
+}
+
+impl ServerStore {
+    /// An empty in-memory store.
+    pub fn memory() -> Self {
+        ServerStore::Memory(SharedDatabase::new())
+    }
+
+    /// Wrap an existing shared database.
+    pub fn from_shared(db: SharedDatabase) -> Self {
+        ServerStore::Memory(db)
+    }
+
+    /// Open (or create) a journal-backed store.
+    pub fn open_journal(path: impl Into<PathBuf>, config: AnalyzerConfig) -> Result<Self, DbError> {
+        Ok(ServerStore::Journaled(Arc::new(RwLock::new(
+            JournaledDatabase::open(path, config)?,
+        ))))
+    }
+
+    /// Run a closure under a shared read lock.
+    pub fn read<R>(&self, f: impl FnOnce(&VideoDatabase) -> R) -> R {
+        match self {
+            ServerStore::Memory(shared) => shared.read(f),
+            ServerStore::Journaled(j) => f(j.read().db()),
+        }
+    }
+
+    /// Run a closure under the exclusive write lock.
+    pub fn write<R>(&self, f: impl FnOnce(&mut dyn DbBackend) -> R) -> R {
+        match self {
+            ServerStore::Memory(shared) => shared.write(|db| f(db)),
+            ServerStore::Journaled(j) => f(&mut *j.write()),
+        }
+    }
+
+    /// Flush any buffered journal bytes (no-op for the in-memory store).
+    pub fn sync(&self) -> Result<(), DbError> {
+        match self {
+            ServerStore::Memory(_) => Ok(()),
+            ServerStore::Journaled(j) => j.write().sync(),
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    store: ServerStore,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Bind the listening socket (so the ephemeral port is known before
+    /// any thread starts).
+    pub fn bind(store: ServerStore, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            addr,
+            store,
+            config,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Start the acceptor, worker pool, and (if configured) the metrics
+    /// logger. Returns immediately.
+    pub fn serve(self) -> ServerHandle {
+        let Server {
+            listener,
+            addr,
+            store,
+            config,
+        } = self;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::new());
+        let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(config.workers + 2);
+
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let poll = config.poll_interval;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vdbd-accept".into())
+                    .spawn(move || accept_loop(listener, tx, shutdown, poll))
+                    .expect("spawn acceptor"),
+            );
+        }
+        for i in 0..config.workers.max(1) {
+            let ctx = WorkerCtx {
+                rx: Arc::clone(&rx),
+                store: store.clone(),
+                metrics: Arc::clone(&metrics),
+                shutdown: Arc::clone(&shutdown),
+                config: config.clone(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("vdbd-worker-{i}"))
+                    .spawn(move || worker_loop(ctx))
+                    .expect("spawn worker"),
+            );
+        }
+        if let Some(interval) = config.metrics_log_interval {
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let poll = config.poll_interval.max(Duration::from_millis(50));
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vdbd-metrics".into())
+                    .spawn(move || {
+                        let mut last = Instant::now();
+                        while !shutdown.load(Ordering::SeqCst) {
+                            std::thread::sleep(poll);
+                            if last.elapsed() >= interval {
+                                eprintln!("vdbd: {}", metrics.snapshot().one_line());
+                                last = Instant::now();
+                            }
+                        }
+                    })
+                    .expect("spawn metrics logger"),
+            );
+        }
+        ServerHandle {
+            addr,
+            shutdown,
+            metrics,
+            store,
+            threads,
+        }
+    }
+}
+
+/// A running server: the address it listens on, its metrics, and the
+/// shutdown controls.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+    store: ServerStore,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the server's counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The store being served (e.g. for pre-loading data in tests).
+    pub fn store(&self) -> &ServerStore {
+        &self.store
+    }
+
+    /// The shared shutdown flag — setting it is equivalent to
+    /// [`ServerHandle::trigger_shutdown`] (used by `vdbd`'s signal
+    /// handler).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Begin graceful shutdown: stop accepting, drain in-flight requests.
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the server to finish (after a wire `shutdown`, a
+    /// [`ServerHandle::trigger_shutdown`], or the signal flag), then sync
+    /// the journal. Returns the final metrics.
+    pub fn join(self) -> Result<MetricsSnapshot, DbError> {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.store.sync()?;
+        Ok(self.metrics.snapshot())
+    }
+
+    /// Trigger shutdown and wait for the drain to complete.
+    pub fn shutdown(self) -> Result<MetricsSnapshot, DbError> {
+        self.trigger_shutdown();
+        self.join()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    poll: Duration,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(poll),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("vdbd: accept error: {e}");
+                std::thread::sleep(poll);
+            }
+        }
+    }
+    // A client that finished its TCP handshake before shutdown may already
+    // have sent a request, even if we have not accept()ed it yet. Drain
+    // the backlog into the worker queue so those requests get their
+    // replies too; only then drop `tx` (disconnecting the queue).
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+struct WorkerCtx {
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    store: ServerStore,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    loop {
+        // Take the queue lock only to poll, never while handling a
+        // connection. recv_timeout would hold the lock and starve the
+        // other workers; try_recv + sleep keeps dispatch fair at
+        // poll-interval granularity.
+        let next = ctx.rx.lock().unwrap_or_else(|e| e.into_inner()).try_recv();
+        match next {
+            Ok(stream) => handle_connection(stream, &ctx),
+            Err(TryRecvError::Disconnected) => break,
+            Err(TryRecvError::Empty) => std::thread::sleep(ctx.config.poll_interval),
+        }
+    }
+}
+
+enum FrameRead {
+    /// A complete frame.
+    Frame(Vec<u8>),
+    /// No bytes arrived within one poll interval.
+    Idle,
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+}
+
+/// Read one frame with the stream's poll-interval read timeout. Returns
+/// `Idle` if no byte arrived; once a frame has started it must complete
+/// within `frame_timeout` or the frame counts as torn.
+fn try_read_frame(
+    stream: &mut TcpStream,
+    max: usize,
+    frame_timeout: Duration,
+) -> Result<FrameRead, FrameError> {
+    let mut header = [0u8; 4];
+    let mut deadline: Option<Instant> = None;
+    let mut fill = |buf: &mut [u8], deadline: &mut Option<Instant>| -> Result<bool, FrameError> {
+        let mut got = 0;
+        while got < buf.len() {
+            match stream.read(&mut buf[got..]) {
+                Ok(0) => {
+                    return if got == 0 && deadline.is_none() {
+                        Ok(false) // clean EOF before any frame byte
+                    } else {
+                        Err(FrameError::Torn)
+                    };
+                }
+                Ok(n) => {
+                    got += n;
+                    if deadline.is_none() {
+                        *deadline = Some(Instant::now() + frame_timeout);
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    match *deadline {
+                        None => return Ok(true), // still idle, caller re-polls
+                        Some(d) if Instant::now() >= d => return Err(FrameError::Torn),
+                        Some(_) => {}
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        Ok(true)
+    };
+
+    if !fill(&mut header, &mut deadline)? {
+        return Ok(FrameRead::Eof);
+    }
+    if deadline.is_none() {
+        return Ok(FrameRead::Idle);
+    }
+    let declared = u32::from_le_bytes(header);
+    if declared as usize > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let mut payload = vec![0u8; declared as usize];
+    if !payload.is_empty() && !fill(&mut payload, &mut deadline)? {
+        return Err(FrameError::Torn);
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &WorkerCtx) {
+    let cfg = &ctx.config;
+    if stream.set_read_timeout(Some(cfg.poll_interval)).is_err()
+        || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    ctx.metrics.connection_opened();
+    let mut idle_deadline = Instant::now() + cfg.idle_timeout;
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        if drain_deadline.is_none() && ctx.shutdown.load(Ordering::SeqCst) {
+            drain_deadline = Some(Instant::now() + cfg.drain_grace);
+        }
+        match try_read_frame(&mut stream, cfg.max_frame, cfg.frame_timeout) {
+            Ok(FrameRead::Idle) => {
+                let now = Instant::now();
+                if let Some(d) = drain_deadline {
+                    if now >= d {
+                        break;
+                    }
+                } else if now >= idle_deadline {
+                    break;
+                }
+            }
+            Ok(FrameRead::Eof) => break,
+            Ok(FrameRead::Frame(payload)) => {
+                idle_deadline = Instant::now() + cfg.idle_timeout;
+                let started = Instant::now();
+                let bytes_in = 4 + payload.len() as u64;
+                let (kind, result) = match std::str::from_utf8(&payload) {
+                    Ok(line) => dispatch(ctx, line),
+                    Err(_) => (
+                        CommandKind::Other,
+                        Err("request is not valid UTF-8".to_string()),
+                    ),
+                };
+                let (ok, text) = match result {
+                    Ok(text) => (true, text),
+                    Err(text) => (false, text),
+                };
+                let response = encode_response(ok, &text);
+                let bytes_out = 4 + response.len() as u64;
+                // Count before replying, so a client that has its reply is
+                // guaranteed to be visible in the metrics.
+                ctx.metrics
+                    .record_request(kind, ok, bytes_in, bytes_out, started.elapsed());
+                if write_frame(&mut stream, &response).is_err() || kind == CommandKind::Quit {
+                    break;
+                }
+            }
+            Err(e) => {
+                // Protocol violation or socket failure: this connection is
+                // done, the server is not. Oversized frames get a parting
+                // error response (the declared length was read cleanly);
+                // after a torn frame there is nothing sane to say.
+                ctx.metrics.protocol_error();
+                if matches!(e, FrameError::TooLarge { .. }) {
+                    let _ = write_frame(&mut stream, &encode_response(false, &e.to_string()));
+                }
+                break;
+            }
+        }
+    }
+    ctx.metrics.connection_closed();
+}
+
+/// Execute one request line. The error side of the result becomes a
+/// `-` status response.
+fn dispatch(ctx: &WorkerCtx, line: &str) -> (CommandKind, Result<String, String>) {
+    match line.trim() {
+        "ping" => return (CommandKind::Ping, Ok("pong".to_string())),
+        "metrics" => return (CommandKind::Metrics, Ok(ctx.metrics.snapshot().render())),
+        "shutdown" => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            return (
+                CommandKind::Shutdown,
+                Ok("shutting down: draining connections".to_string()),
+            );
+        }
+        _ => {}
+    }
+    let cmd = Command::parse(line);
+    let kind = kind_of(&cmd);
+    match &cmd {
+        Command::Quit => (kind, Ok("bye".to_string())),
+        Command::Unknown(word) => (
+            kind,
+            Err(format!(
+                "unknown command '{word}' (try 'help'; wire extras: ping, metrics, shutdown)"
+            )),
+        ),
+        Command::Save(_) | Command::Load { .. } => (
+            kind,
+            Err(
+                "save/load are not available over the wire; run vdbd with --journal for durability"
+                    .to_string(),
+            ),
+        ),
+        Command::Help => {
+            let text = ctx
+                .store
+                .read(|db| shell::execute_readonly(db, &cmd))
+                .expect("help is readonly");
+            (
+                kind,
+                Ok(format!(
+                    "{text}server commands:\n  ping              liveness probe\n  metrics           server counters and latency quantiles\n  shutdown          stop the server (drains in-flight requests)\n"
+                )),
+            )
+        }
+        Command::Stats => {
+            let text = ctx
+                .store
+                .read(|db| shell::execute_readonly(db, &cmd))
+                .expect("stats is readonly");
+            let snap = ctx.metrics.snapshot();
+            (
+                kind,
+                Ok(format!(
+                    "{text}  server: {} requests ({} errors), {} connections, {} protocol errors\n",
+                    snap.total_requests(),
+                    snap.total_errors(),
+                    snap.connections_opened,
+                    snap.protocol_errors
+                )),
+            )
+        }
+        _ if cmd.is_readonly() => {
+            let text = ctx
+                .store
+                .read(|db| shell::execute_readonly(db, &cmd))
+                .expect("readonly command");
+            (kind, Ok(text))
+        }
+        _ if cmd.is_mutation() => {
+            let text = ctx
+                .store
+                .write(|backend| {
+                    let out = shell::execute_mutation(backend, &cmd).expect("mutation command");
+                    // Durable stores flush before the response leaves.
+                    backend.sync().map(|()| out)
+                })
+                .unwrap_or_else(|e| format!("  journal sync failed: {e}\n"));
+            (kind, Ok(text))
+        }
+        _ => (kind, Err("command not available over the wire".to_string())),
+    }
+}
+
+fn kind_of(cmd: &Command) -> CommandKind {
+    match cmd {
+        Command::Help => CommandKind::Help,
+        Command::List => CommandKind::List,
+        Command::Stats => CommandKind::Stats,
+        Command::Query(_) => CommandKind::Query,
+        Command::Board(..) => CommandKind::Board,
+        Command::Tree(_) => CommandKind::Tree,
+        Command::Demo(_) => CommandKind::Demo,
+        Command::Remove(_) => CommandKind::Remove,
+        Command::Quit => CommandKind::Quit,
+        Command::Empty
+        | Command::Usage(_)
+        | Command::Unknown(_)
+        | Command::Save(_)
+        | Command::Load { .. } => CommandKind::Other,
+    }
+}

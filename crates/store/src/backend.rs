@@ -1,0 +1,142 @@
+//! A common mutation surface over the two database flavours.
+//!
+//! The REPL ([`crate::shell`]) and the network server (`vdb-server`) both
+//! run the same commands against either a plain in-memory
+//! [`VideoDatabase`] or a durable [`JournaledDatabase`]. [`DbBackend`]
+//! abstracts exactly the mutations those command surfaces need — ingest,
+//! remove, sync — so command execution is written once and the journal's
+//! append-on-write semantics (including `TAG_REMOVE` tombstones) come for
+//! free wherever a journal is plugged in.
+
+use crate::catalog::{FormId, GenreId};
+use crate::db::{DbError, VideoDatabase};
+use crate::journal::JournaledDatabase;
+use vdb_core::frame::Video;
+
+/// The mutation surface shared by the REPL and the server: a database that
+/// can ingest clips, remove them, and (if durable) sync to disk.
+pub trait DbBackend: Send {
+    /// Read access to the underlying in-memory database.
+    fn db(&self) -> &VideoDatabase;
+
+    /// Ingest one clip (analysis runs inline). Durable backends persist
+    /// the clip before returning.
+    fn ingest_clip(
+        &mut self,
+        name: String,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> Result<u64, DbError>;
+
+    /// Remove a video. Durable backends append a tombstone record
+    /// (`TAG_REMOVE`) before returning.
+    fn remove_video(&mut self, id: u64) -> Result<(), DbError>;
+
+    /// Whether mutations survive process death without an explicit save.
+    fn is_durable(&self) -> bool {
+        false
+    }
+
+    /// Flush any buffered writes to the OS.
+    fn sync(&mut self) -> Result<(), DbError> {
+        Ok(())
+    }
+}
+
+impl DbBackend for VideoDatabase {
+    fn db(&self) -> &VideoDatabase {
+        self
+    }
+
+    fn ingest_clip(
+        &mut self,
+        name: String,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> Result<u64, DbError> {
+        self.ingest(name, video, genres, forms)
+    }
+
+    fn remove_video(&mut self, id: u64) -> Result<(), DbError> {
+        self.remove(id)
+    }
+}
+
+impl DbBackend for JournaledDatabase {
+    fn db(&self) -> &VideoDatabase {
+        JournaledDatabase::db(self)
+    }
+
+    fn ingest_clip(
+        &mut self,
+        name: String,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> Result<u64, DbError> {
+        self.ingest(name, video, genres, forms)
+    }
+
+    fn remove_video(&mut self, id: u64) -> Result<(), DbError> {
+        self.remove(id)
+    }
+
+    fn is_durable(&self) -> bool {
+        true
+    }
+
+    fn sync(&mut self) -> Result<(), DbError> {
+        self.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_synth::script::{generate, ShotSpec, VideoScript};
+
+    fn clip(seed: u64) -> Video {
+        let mut script = VideoScript::small(seed);
+        script.push_shot(ShotSpec::fixed(0, 6));
+        script.push_shot(ShotSpec::fixed(1, 6));
+        generate(&script).video
+    }
+
+    fn roundtrip(backend: &mut dyn DbBackend) -> u64 {
+        let id = backend
+            .ingest_clip("clip".into(), &clip(1), vec![], vec![])
+            .unwrap();
+        assert_eq!(backend.db().len(), 1);
+        backend.sync().unwrap();
+        id
+    }
+
+    #[test]
+    fn memory_backend() {
+        let mut db = VideoDatabase::new();
+        let id = roundtrip(&mut db);
+        assert!(!DbBackend::is_durable(&db));
+        DbBackend::remove_video(&mut db, id).unwrap();
+        assert!(DbBackend::db(&db).is_empty());
+    }
+
+    #[test]
+    fn journaled_backend_is_durable() {
+        let dir = std::env::temp_dir().join(format!("vdb-backend-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("backend.vdbj");
+        let mut j =
+            JournaledDatabase::open(&path, vdb_core::analyzer::AnalyzerConfig::default()).unwrap();
+        let id = roundtrip(&mut j);
+        assert!(DbBackend::is_durable(&j));
+        DbBackend::remove_video(&mut j, id).unwrap();
+        drop(j);
+        // Both the ingest and the tombstone were journaled.
+        let j =
+            JournaledDatabase::open(&path, vdb_core::analyzer::AnalyzerConfig::default()).unwrap();
+        assert!(j.db().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

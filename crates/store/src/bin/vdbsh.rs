@@ -2,30 +2,55 @@
 //!
 //! ```text
 //! cargo run -p vdb-store --release --bin vdbsh [database.vdbs]
+//! cargo run -p vdb-store --release --bin vdbsh -- --journal db.vdbj
 //! ```
 //!
-//! Type `help` for commands; also works non-interactively with commands on
-//! stdin. All command logic lives (tested) in [`vdb_store::shell`].
+//! With `--journal`, every `demo`/`remove` writes through to the journal
+//! (same durability as `vdbd`'s journal mode). Type `help` for commands;
+//! also works non-interactively with commands on stdin. All command logic
+//! lives (tested) in [`vdb_store::shell`].
 
 use std::io::{BufRead, Write as _};
 use std::path::Path;
+use std::process::exit;
 use vdb_core::analyzer::AnalyzerConfig;
-use vdb_store::shell::{run_command, ShellOutcome};
+use vdb_store::shell::{Shell, ShellOutcome};
 use vdb_store::VideoDatabase;
 
+fn usage() -> ! {
+    eprintln!("usage: vdbsh [snapshot.vdbs | --journal journal.vdbj]");
+    exit(2);
+}
+
 fn main() {
-    let mut db = match std::env::args().nth(1) {
-        Some(path) => match VideoDatabase::load(Path::new(&path), AnalyzerConfig::default()) {
-            Ok(db) => {
-                eprintln!("loaded {} videos from {path}", db.len());
-                db
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shell = match args.as_slice() {
+        [] => Shell::new(),
+        [flag, path] if flag == "--journal" => {
+            match Shell::open_journal(path, AnalyzerConfig::default()) {
+                Ok(sh) => {
+                    eprintln!("journal {path}: {} videos", sh.db().len());
+                    sh
+                }
+                Err(e) => {
+                    eprintln!("could not open journal {path}: {e}");
+                    exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("could not load {path}: {e}; starting empty");
-                VideoDatabase::new()
+        }
+        [path] if !path.starts_with('-') => {
+            match VideoDatabase::load(Path::new(path), AnalyzerConfig::default()) {
+                Ok(db) => {
+                    eprintln!("loaded {} videos from {path}", db.len());
+                    Shell::with_db(db)
+                }
+                Err(e) => {
+                    eprintln!("could not load {path}: {e}; starting empty");
+                    Shell::new()
+                }
             }
-        },
-        None => VideoDatabase::new(),
+        }
+        _ => usage(),
     };
     eprintln!("vdbsh — type 'help' for commands");
     let stdin = std::io::stdin();
@@ -35,7 +60,7 @@ fn main() {
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
             Ok(0) => break,
-            Ok(_) => match run_command(&mut db, line.trim()) {
+            Ok(_) => match shell.run(line.trim()) {
                 ShellOutcome::Continue(output) => print!("{output}"),
                 ShellOutcome::Quit => break,
             },
@@ -44,5 +69,8 @@ fn main() {
                 break;
             }
         }
+    }
+    if shell.dirty() {
+        eprintln!("note: unsaved changes were discarded (use 'save <path>' next time)");
     }
 }

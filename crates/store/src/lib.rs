@@ -13,11 +13,15 @@
 //! * [`query`] — a small textual query language (`"ba=0.5 oa=15
 //!   genre=comedy limit=5"`) over the variance index;
 //! * [`session`] — non-linear browsing cursors over scene trees;
-//! * [`concurrent`] — a read-mostly shared wrapper.
+//! * [`concurrent`] — a read-mostly shared wrapper;
+//! * [`shell`] / [`backend`] — the command surface shared by the `vdbsh`
+//!   REPL and the `vdb-server` network daemon, over either an in-memory
+//!   or a journal-backed database.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod catalog;
 pub mod codec;
 pub mod concurrent;
@@ -28,6 +32,7 @@ pub mod query;
 pub mod session;
 pub mod shell;
 
+pub use backend::DbBackend;
 pub use catalog::{Catalog, FormId, GenreId, Taxonomy, VideoMeta};
 pub use concurrent::SharedDatabase;
 pub use db::{DbError, QueryAnswer, StoredAnalysis, VideoDatabase};

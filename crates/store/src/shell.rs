@@ -1,5 +1,8 @@
-//! The command interpreter behind the `vdbsh` binary, as a library so it
-//! is testable: commands in, text out.
+//! The command interpreter behind the `vdbsh` binary — and, since the
+//! serving layer landed, the shared command surface of `vdbd`: commands
+//! are parsed into [`Command`] values and executed against any
+//! [`DbBackend`], so the REPL and the network server stay in parity by
+//! construction.
 //!
 //! ```text
 //! demo [n]            ingest n synthetic demo movies (default 2)
@@ -8,16 +11,20 @@
 //! query <text>        e.g. query ba=0.5 oa=15 limit=5
 //! board <video> [n]   storyboard of a video (n cards, default 6)
 //! tree <video>        full scene tree
+//! remove <video>      remove a video (journals a tombstone when durable)
 //! save <path>         persist
-//! load <path>         replace the database from a file
+//! load <path>         replace the database from a file (load! to discard
+//!                     unsaved changes)
 //! help                this text
 //! quit
 //! ```
 
+use crate::backend::DbBackend;
 use crate::db::VideoDatabase;
+use crate::journal::JournaledDatabase;
 use crate::session::storyboard;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use vdb_core::analyzer::AnalyzerConfig;
 
 /// Outcome of interpreting one command line.
@@ -29,47 +36,132 @@ pub enum ShellOutcome {
     Quit,
 }
 
-const HELP: &str = "commands:\n  demo [n]          ingest n synthetic demo movies\n  list              list videos\n  stats             database statistics\n  query <text>      e.g. query ba=0.5 oa=15 limit=5\n  board <video> [n] storyboard of a video\n  tree <video>      full scene tree\n  save <path>       persist the database\n  load <path>       replace the database from a file\n  help              this text\n  quit\n";
+const HELP: &str = "commands:\n  demo [n]          ingest n synthetic demo movies\n  list              list videos\n  stats             database statistics\n  query <text>      e.g. query ba=0.5 oa=15 limit=5\n  board <video> [n] storyboard of a video\n  tree <video>      full scene tree\n  remove <video>    remove a video\n  save <path>       persist the database\n  load <path>       replace the database from a file (load! forces)\n  help              this text\n  quit\n";
 
-fn demo(db: &mut VideoDatabase, n: usize, out: &mut String) {
-    use vdb_synth::script::generate;
-    let start = db.len() as u64;
-    for i in 0..n {
-        let seed = 9000 + start + i as u64;
-        let clip = generate(&vdb_synth::build_script(
-            vdb_synth::Genre::Movie,
-            12,
-            Some(9.0),
-            (80, 60),
-            seed,
-        ));
-        match db.ingest(format!("demo-movie-{seed}"), &clip.video, vec![], vec![]) {
-            Ok(id) => {
-                let shots = db.analysis(id).map(|a| a.shots.len()).unwrap_or(0);
-                let _ = writeln!(out, "ingested video {id} ({shots} shots)");
-            }
-            Err(e) => {
-                let _ = writeln!(out, "ingest failed: {e}");
-            }
+/// One parsed command line.
+///
+/// Parsing never fails: malformed lines become [`Command::Usage`] or
+/// [`Command::Unknown`], which execute to the matching diagnostic text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// A blank line.
+    Empty,
+    /// `help`.
+    Help,
+    /// `quit` / `exit`.
+    Quit,
+    /// `demo [n]` — ingest synthetic demo movies.
+    Demo(usize),
+    /// `list`.
+    List,
+    /// `stats`.
+    Stats,
+    /// `query <text>` — the raw query text (see [`crate::query`]).
+    Query(String),
+    /// `board <video> [cards]`.
+    Board(u64, usize),
+    /// `tree <video>`.
+    Tree(u64),
+    /// `remove <video>`.
+    Remove(u64),
+    /// `save <path>`.
+    Save(String),
+    /// `load <path>`; `force` is true for `load!`.
+    Load {
+        /// The snapshot file to load.
+        path: String,
+        /// Discard unsaved changes without complaint (`load!`).
+        force: bool,
+    },
+    /// A recognized command with missing/invalid operands; the payload is
+    /// the usage line to print.
+    Usage(&'static str),
+    /// An unrecognized command word.
+    Unknown(String),
+}
+
+impl Command {
+    /// Parse one command line. Never fails; see [`Command::Usage`] and
+    /// [`Command::Unknown`].
+    pub fn parse(line: &str) -> Command {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return Command::Empty;
+        };
+        match cmd {
+            "quit" | "exit" => Command::Quit,
+            "help" => Command::Help,
+            "demo" => Command::Demo(parts.next().and_then(|v| v.parse().ok()).unwrap_or(2)),
+            "list" => Command::List,
+            "stats" => Command::Stats,
+            "query" => Command::Query(parts.collect::<Vec<_>>().join(" ")),
+            "board" => match parts.next().and_then(|v| v.parse().ok()) {
+                None => Command::Usage("  usage: board <video> [cards]\n"),
+                Some(id) => {
+                    Command::Board(id, parts.next().and_then(|v| v.parse().ok()).unwrap_or(6))
+                }
+            },
+            "tree" => match parts.next().and_then(|v| v.parse().ok()) {
+                None => Command::Usage("  usage: tree <video>\n"),
+                Some(id) => Command::Tree(id),
+            },
+            "remove" => match parts.next().and_then(|v| v.parse().ok()) {
+                None => Command::Usage("  usage: remove <video>\n"),
+                Some(id) => Command::Remove(id),
+            },
+            "save" => match parts.next() {
+                Some(path) => Command::Save(path.to_string()),
+                None => Command::Usage("  usage: save <path>\n"),
+            },
+            "load" | "load!" => match parts.next() {
+                Some(path) => Command::Load {
+                    path: path.to_string(),
+                    force: cmd == "load!",
+                },
+                None => Command::Usage("  usage: load <path>\n"),
+            },
+            other => Command::Unknown(other.to_string()),
         }
+    }
+
+    /// Whether executing this command only reads the database (safe under
+    /// a shared read lock).
+    pub fn is_readonly(&self) -> bool {
+        matches!(
+            self,
+            Command::Empty
+                | Command::Help
+                | Command::List
+                | Command::Stats
+                | Command::Query(_)
+                | Command::Board(..)
+                | Command::Tree(_)
+                | Command::Usage(_)
+                | Command::Unknown(_)
+        )
+    }
+
+    /// Whether this command mutates the database through a
+    /// [`DbBackend`] (see [`execute_mutation`]).
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, Command::Demo(_) | Command::Remove(_))
     }
 }
 
-/// Interpret one command line against the database.
-pub fn run_command(db: &mut VideoDatabase, line: &str) -> ShellOutcome {
+/// Execute a read-only command against the database. Returns `None` if the
+/// command is not read-only (callers dispatch those to
+/// [`execute_mutation`] or handle them at their own layer, like
+/// `save`/`load`/`quit`).
+pub fn execute_readonly(db: &VideoDatabase, cmd: &Command) -> Option<String> {
     let mut out = String::new();
-    let mut parts = line.split_whitespace();
-    let Some(cmd) = parts.next() else {
-        return ShellOutcome::Continue(out);
-    };
     match cmd {
-        "quit" | "exit" => return ShellOutcome::Quit,
-        "help" => out.push_str(HELP),
-        "demo" => {
-            let n = parts.next().and_then(|v| v.parse().ok()).unwrap_or(2);
-            demo(db, n, &mut out);
+        Command::Empty => {}
+        Command::Help => out.push_str(HELP),
+        Command::Usage(usage) => out.push_str(usage),
+        Command::Unknown(word) => {
+            let _ = writeln!(out, "  unknown command '{word}' (try 'help')");
         }
-        "list" => {
+        Command::List => {
             for meta in db.catalog().all() {
                 let _ = writeln!(
                     out,
@@ -81,7 +173,7 @@ pub fn run_command(db: &mut VideoDatabase, line: &str) -> ShellOutcome {
                 );
             }
         }
-        "stats" => {
+        Command::Stats => {
             let s = db.stats();
             let _ = writeln!(
                 out,
@@ -89,98 +181,239 @@ pub fn run_command(db: &mut VideoDatabase, line: &str) -> ShellOutcome {
                 s.videos, s.shots, s.frames, s.scene_nodes, s.max_tree_height, s.index_rows
             );
         }
-        "query" => {
-            let text: String = parts.collect::<Vec<_>>().join(" ");
-            match db.query_str(&text) {
-                Ok(answers) => {
-                    let _ = writeln!(out, "  {} answers", answers.len());
-                    for a in answers.iter().take(10) {
-                        let _ = writeln!(
-                            out,
-                            "  video {} shot#{:<3} Var^BA={:6.2} Var^OA={:6.2} -> {} (rep frame {})",
-                            a.key.video,
-                            a.key.shot + 1,
-                            a.var_ba,
-                            a.var_oa,
-                            a.scene_name,
-                            a.rep_frame
-                        );
-                    }
+        Command::Query(text) => match db.query_str(text) {
+            Ok(answers) => {
+                let _ = writeln!(out, "  {} answers", answers.len());
+                for a in answers.iter().take(10) {
+                    let _ = writeln!(
+                        out,
+                        "  video {} shot#{:<3} Var^BA={:6.2} Var^OA={:6.2} -> {} (rep frame {})",
+                        a.key.video,
+                        a.key.shot + 1,
+                        a.var_ba,
+                        a.var_oa,
+                        a.scene_name,
+                        a.rep_frame
+                    );
                 }
-                Err(e) => {
-                    let _ = writeln!(out, "  {e}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  {e}");
+            }
+        },
+        Command::Board(id, cards) => match db.analysis(*id) {
+            Ok(a) => {
+                for card in storyboard(a, *cards) {
+                    let _ = writeln!(
+                        out,
+                        "  [{:>3}..{:<3}] {:<8} rep frame {:>3}  ({} shots)",
+                        card.frame_range.0,
+                        card.frame_range.1,
+                        card.name,
+                        card.rep_frame,
+                        card.shot_count
+                    );
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  {e}");
+            }
+        },
+        Command::Tree(id) => match db.analysis(*id) {
+            Ok(a) => out.push_str(&a.scene_tree.render_ascii()),
+            Err(e) => {
+                let _ = writeln!(out, "  {e}");
+            }
+        },
+        _ => return None,
+    }
+    Some(out)
+}
+
+/// Execute a mutating command against any backend (in-memory or
+/// journaled). Returns `None` if the command is not a mutation.
+pub fn execute_mutation(backend: &mut dyn DbBackend, cmd: &Command) -> Option<String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Demo(n) => {
+            use vdb_synth::script::generate;
+            let start = backend.db().len() as u64;
+            for i in 0..*n {
+                let seed = 9000 + start + i as u64;
+                let clip = generate(&vdb_synth::build_script(
+                    vdb_synth::Genre::Movie,
+                    12,
+                    Some(9.0),
+                    (80, 60),
+                    seed,
+                ));
+                match backend.ingest_clip(format!("demo-movie-{seed}"), &clip.video, vec![], vec![])
+                {
+                    Ok(id) => {
+                        let shots = backend
+                            .db()
+                            .analysis(id)
+                            .map(|a| a.shots.len())
+                            .unwrap_or(0);
+                        let _ = writeln!(out, "ingested video {id} ({shots} shots)");
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "ingest failed: {e}");
+                    }
                 }
             }
         }
-        "board" => match parts.next().and_then(|v| v.parse().ok()) {
-            None => out.push_str("  usage: board <video> [cards]\n"),
-            Some(id) => {
-                let n = parts.next().and_then(|v| v.parse().ok()).unwrap_or(6);
-                match db.analysis(id) {
-                    Ok(a) => {
-                        for card in storyboard(a, n) {
-                            let _ = writeln!(
-                                out,
-                                "  [{:>3}..{:<3}] {:<8} rep frame {:>3}  ({} shots)",
-                                card.frame_range.0,
-                                card.frame_range.1,
-                                card.name,
-                                card.rep_frame,
-                                card.shot_count
-                            );
-                        }
-                    }
-                    Err(e) => {
-                        let _ = writeln!(out, "  {e}");
-                    }
-                }
+        Command::Remove(id) => match backend.remove_video(*id) {
+            Ok(()) => {
+                let _ = writeln!(out, "  removed video {id}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  {e}");
             }
         },
-        "tree" => match parts.next().and_then(|v| v.parse().ok()) {
-            None => out.push_str("  usage: tree <video>\n"),
-            Some(id) => match db.analysis(id) {
-                Ok(a) => out.push_str(&a.scene_tree.render_ascii()),
-                Err(e) => {
-                    let _ = writeln!(out, "  {e}");
-                }
-            },
-        },
-        "save" => match parts.next() {
-            Some(path) => match db.save(Path::new(path)) {
+        _ => return None,
+    }
+    Some(out)
+}
+
+/// The REPL state: a database backend plus unsaved-changes tracking.
+///
+/// In memory mode, mutations mark the shell dirty and `load` refuses to
+/// discard them without `load!`. In journal mode every mutation is durable
+/// on return, so the shell is never dirty (and `load`, which would detach
+/// the database from its journal, is rejected).
+pub struct Shell {
+    backend: ShellBackend,
+    dirty: bool,
+}
+
+enum ShellBackend {
+    Memory(VideoDatabase),
+    Journaled(JournaledDatabase),
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Shell {
+    /// An empty in-memory shell.
+    pub fn new() -> Self {
+        Shell::with_db(VideoDatabase::new())
+    }
+
+    /// A shell over an existing in-memory database.
+    pub fn with_db(db: VideoDatabase) -> Self {
+        Shell {
+            backend: ShellBackend::Memory(db),
+            dirty: false,
+        }
+    }
+
+    /// A shell over a journal file (created if absent): every `demo` /
+    /// `remove` is durable the moment the prompt returns.
+    pub fn open_journal(
+        path: impl Into<PathBuf>,
+        config: AnalyzerConfig,
+    ) -> Result<Self, crate::db::DbError> {
+        Ok(Shell {
+            backend: ShellBackend::Journaled(JournaledDatabase::open(path, config)?),
+            dirty: false,
+        })
+    }
+
+    /// Read access to the database.
+    pub fn db(&self) -> &VideoDatabase {
+        match &self.backend {
+            ShellBackend::Memory(db) => db,
+            ShellBackend::Journaled(j) => j.db(),
+        }
+    }
+
+    /// Whether there are in-memory changes not yet saved to disk.
+    pub fn dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Whether this shell writes through to a journal.
+    pub fn is_journaled(&self) -> bool {
+        matches!(self.backend, ShellBackend::Journaled(_))
+    }
+
+    fn backend_mut(&mut self) -> &mut dyn DbBackend {
+        match &mut self.backend {
+            ShellBackend::Memory(db) => db,
+            ShellBackend::Journaled(j) => j,
+        }
+    }
+
+    /// Interpret one command line.
+    pub fn run(&mut self, line: &str) -> ShellOutcome {
+        let cmd = Command::parse(line);
+        if cmd == Command::Quit {
+            return ShellOutcome::Quit;
+        }
+        if let Some(out) = execute_readonly(self.db(), &cmd) {
+            return ShellOutcome::Continue(out);
+        }
+        if cmd.is_mutation() {
+            let durable = self.backend_mut().is_durable();
+            let before = self.db().len();
+            let out = execute_mutation(self.backend_mut(), &cmd).expect("mutation command");
+            if !durable && self.db().len() != before {
+                self.dirty = true;
+            }
+            return ShellOutcome::Continue(out);
+        }
+        let mut out = String::new();
+        match cmd {
+            Command::Save(path) => match self.db().save(Path::new(&path)) {
                 Ok(()) => {
+                    self.dirty = false;
                     let _ = writeln!(out, "  saved to {path}");
                 }
                 Err(e) => {
-                    let _ = writeln!(out, "  {e}");
+                    let _ = writeln!(out, "  save failed for '{path}': {e}");
                 }
             },
-            None => out.push_str("  usage: save <path>\n"),
-        },
-        "load" => match parts.next() {
-            Some(path) => match VideoDatabase::load(Path::new(path), AnalyzerConfig::default()) {
-                Ok(loaded) => {
-                    *db = loaded;
-                    let _ = writeln!(out, "  loaded {} videos", db.len());
+            Command::Load { path, force } => {
+                if self.is_journaled() {
+                    let _ = writeln!(
+                        out,
+                        "  load is not available in journal mode (the journal is the database)"
+                    );
+                } else if self.dirty && !force {
+                    let _ = writeln!(
+                        out,
+                        "  refusing to load over unsaved changes (use 'save <path>' first, or 'load! {path}' to discard them)"
+                    );
+                } else {
+                    match VideoDatabase::load(Path::new(&path), AnalyzerConfig::default()) {
+                        Ok(loaded) => {
+                            self.backend = ShellBackend::Memory(loaded);
+                            self.dirty = false;
+                            let _ = writeln!(out, "  loaded {} videos", self.db().len());
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "  load failed for '{path}': {e}");
+                        }
+                    }
                 }
-                Err(e) => {
-                    let _ = writeln!(out, "  {e}");
-                }
-            },
-            None => out.push_str("  usage: load <path>\n"),
-        },
-        other => {
-            let _ = writeln!(out, "  unknown command '{other}' (try 'help')");
+            }
+            _ => unreachable!("readonly and mutation commands handled above"),
         }
+        ShellOutcome::Continue(out)
     }
-    ShellOutcome::Continue(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn exec(db: &mut VideoDatabase, line: &str) -> String {
-        match run_command(db, line) {
+    fn exec(sh: &mut Shell, line: &str) -> String {
+        match sh.run(line) {
             ShellOutcome::Continue(s) => s,
             ShellOutcome::Quit => panic!("unexpected quit"),
         }
@@ -188,38 +421,50 @@ mod tests {
 
     #[test]
     fn demo_list_stats_flow() {
-        let mut db = VideoDatabase::new();
-        let out = exec(&mut db, "demo 2");
+        let mut sh = Shell::new();
+        let out = exec(&mut sh, "demo 2");
         assert!(out.contains("ingested video 0"));
         assert!(out.contains("ingested video 1"));
-        let out = exec(&mut db, "list");
+        let out = exec(&mut sh, "list");
         assert!(out.contains("demo-movie-9000"));
-        let out = exec(&mut db, "stats");
+        let out = exec(&mut sh, "stats");
         assert!(out.contains("videos 2"));
     }
 
     #[test]
     fn query_and_errors() {
-        let mut db = VideoDatabase::new();
-        exec(&mut db, "demo 1");
-        let out = exec(&mut db, "query ba=0.2 oa=12 alpha=3 beta=3");
+        let mut sh = Shell::new();
+        exec(&mut sh, "demo 1");
+        let out = exec(&mut sh, "query ba=0.2 oa=12 alpha=3 beta=3");
         assert!(out.contains("answers"));
-        let out = exec(&mut db, "query nonsense");
+        let out = exec(&mut sh, "query nonsense");
         assert!(out.contains("expected key=value"));
     }
 
     #[test]
     fn board_and_tree() {
-        let mut db = VideoDatabase::new();
-        exec(&mut db, "demo 1");
-        let out = exec(&mut db, "board 0 4");
+        let mut sh = Shell::new();
+        exec(&mut sh, "demo 1");
+        let out = exec(&mut sh, "board 0 4");
         assert!(out.contains("rep frame"));
-        let out = exec(&mut db, "tree 0");
+        let out = exec(&mut sh, "tree 0");
         assert!(out.contains("SN_"));
-        let out = exec(&mut db, "board 99");
+        let out = exec(&mut sh, "board 99");
         assert!(out.contains("unknown video"));
-        assert!(exec(&mut db, "board").contains("usage"));
-        assert!(exec(&mut db, "tree").contains("usage"));
+        assert!(exec(&mut sh, "board").contains("usage"));
+        assert!(exec(&mut sh, "tree").contains("usage"));
+    }
+
+    #[test]
+    fn remove_command() {
+        let mut sh = Shell::new();
+        exec(&mut sh, "demo 2");
+        let out = exec(&mut sh, "remove 0");
+        assert!(out.contains("removed video 0"));
+        assert_eq!(sh.db().len(), 1);
+        let out = exec(&mut sh, "remove 0");
+        assert!(out.contains("unknown video"));
+        assert!(exec(&mut sh, "remove").contains("usage"));
     }
 
     #[test]
@@ -227,24 +472,99 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("vdb-shell-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("shell.vdbs");
-        let mut db = VideoDatabase::new();
-        exec(&mut db, "demo 1");
-        let out = exec(&mut db, &format!("save {}", path.display()));
+        let mut sh = Shell::new();
+        exec(&mut sh, "demo 1");
+        assert!(sh.dirty());
+        let out = exec(&mut sh, &format!("save {}", path.display()));
         assert!(out.contains("saved"));
-        let mut fresh = VideoDatabase::new();
+        assert!(!sh.dirty());
+        let mut fresh = Shell::new();
         let out = exec(&mut fresh, &format!("load {}", path.display()));
         assert!(out.contains("loaded 1 videos"));
-        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh.db().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_refuses_to_discard_unsaved_changes() {
+        let dir = std::env::temp_dir().join(format!("vdb-shell-dirty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("one.vdbs");
+        let mut donor = Shell::new();
+        exec(&mut donor, "demo 1");
+        exec(&mut donor, &format!("save {}", path.display()));
+
+        let mut sh = Shell::new();
+        exec(&mut sh, "demo 2");
+        let out = exec(&mut sh, &format!("load {}", path.display()));
+        assert!(out.contains("refusing to load over unsaved changes"));
+        assert_eq!(sh.db().len(), 2, "dirty database untouched");
+        let out = exec(&mut sh, &format!("load! {}", path.display()));
+        assert!(out.contains("loaded 1 videos"));
+        assert!(!sh.dirty());
+        // Clean shells load without force.
+        let out = exec(&mut sh, &format!("load {}", path.display()));
+        assert!(out.contains("loaded 1 videos"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_error_names_the_path() {
+        let mut sh = Shell::new();
+        let out = exec(&mut sh, "load /no/such/dir/missing.vdbs");
+        assert!(
+            out.contains("load failed for '/no/such/dir/missing.vdbs'"),
+            "error must name the offending path: {out}"
+        );
+    }
+
+    #[test]
+    fn journal_mode_persists_demo_and_remove() {
+        let dir = std::env::temp_dir().join(format!("vdb-shell-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shell.vdbj");
+        {
+            let mut sh = Shell::open_journal(&path, AnalyzerConfig::default()).unwrap();
+            assert!(sh.is_journaled());
+            exec(&mut sh, "demo 2");
+            assert!(!sh.dirty(), "journal mode is never dirty");
+            let out = exec(&mut sh, "remove 0");
+            assert!(out.contains("removed video 0"));
+            let out = exec(&mut sh, "load anything.vdbs");
+            assert!(out.contains("not available in journal mode"));
+        }
+        // The tombstone went through TAG_REMOVE: video 0 stays gone.
+        let sh = Shell::open_journal(&path, AnalyzerConfig::default()).unwrap();
+        assert_eq!(sh.db().len(), 1);
+        assert!(sh.db().catalog().get(0).is_none());
+        assert!(sh.db().catalog().get(1).is_some());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn quit_help_unknown_empty() {
-        let mut db = VideoDatabase::new();
-        assert_eq!(run_command(&mut db, "quit"), ShellOutcome::Quit);
-        assert_eq!(run_command(&mut db, "exit"), ShellOutcome::Quit);
-        assert!(exec(&mut db, "help").contains("commands:"));
-        assert!(exec(&mut db, "frobnicate").contains("unknown command"));
-        assert_eq!(exec(&mut db, "   "), "");
+        let mut sh = Shell::new();
+        assert_eq!(sh.run("quit"), ShellOutcome::Quit);
+        assert_eq!(sh.run("exit"), ShellOutcome::Quit);
+        assert!(exec(&mut sh, "help").contains("commands:"));
+        assert!(exec(&mut sh, "frobnicate").contains("unknown command"));
+        assert_eq!(exec(&mut sh, "   "), "");
+    }
+
+    #[test]
+    fn command_classification() {
+        assert!(Command::parse("list").is_readonly());
+        assert!(Command::parse("query ba=1 oa=1").is_readonly());
+        assert!(Command::parse("demo 3").is_mutation());
+        assert!(Command::parse("remove 1").is_mutation());
+        let save = Command::parse("save x.vdbs");
+        assert!(!save.is_readonly() && !save.is_mutation());
+        assert_eq!(
+            Command::parse("load! x.vdbs"),
+            Command::Load {
+                path: "x.vdbs".into(),
+                force: true
+            }
+        );
     }
 }

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving layer: start vdbd on an ephemeral
+# port, run a scripted client session through vdbc, shut the server down
+# over the wire, and check that both sides exit clean. CI runs this after
+# the test suite; it is also handy locally:
+#
+#   cargo build --bins && scripts/server_smoke.sh [target/debug]
+set -euo pipefail
+
+BIN_DIR="${1:-target/debug}"
+VDBD="$BIN_DIR/vdbd"
+VDBC="$BIN_DIR/vdbc"
+[ -x "$VDBD" ] && [ -x "$VDBC" ] || {
+    echo "server_smoke: $VDBD / $VDBC not built (run: cargo build --bins)" >&2
+    exit 1
+}
+
+WORKDIR="$(mktemp -d)"
+DAEMON_OUT="$WORKDIR/vdbd.out"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+"$VDBD" --addr 127.0.0.1:0 --demo 2 --metrics-interval 0 >"$DAEMON_OUT" 2>"$WORKDIR/vdbd.err" &
+DAEMON_PID=$!
+
+# vdbd prints "vdbd listening on <addr>" once the socket is bound.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^vdbd listening on //p' "$DAEMON_OUT")"
+    [ -n "$ADDR" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "server_smoke: vdbd died before binding:" >&2
+        cat "$WORKDIR/vdbd.err" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server_smoke: vdbd never reported its address" >&2; exit 1; }
+echo "server_smoke: vdbd up on $ADDR"
+
+expect_contains() { # <needle> <haystack-label> <<< haystack
+    local needle="$1" label="$2" out
+    out="$(cat)"
+    case "$out" in
+    *"$needle"*) ;;
+    *)
+        echo "server_smoke: $label output missing '$needle':" >&2
+        echo "$out" >&2
+        exit 1
+        ;;
+    esac
+}
+
+"$VDBC" "$ADDR" ping | expect_contains "pong" "ping"
+"$VDBC" "$ADDR" stats | expect_contains "videos 2" "stats"
+"$VDBC" "$ADDR" query "ba=0.4 oa=14 alpha=4 beta=4 limit=5" | expect_contains "answers" "query"
+"$VDBC" "$ADDR" board 0 4 | expect_contains "rep frame" "board"
+
+# A scripted multi-command session over one connection, ending in a wire
+# shutdown. vdbc exits 0 only if every response had an ok status.
+"$VDBC" "$ADDR" <<'EOF' | expect_contains "shutting down" "session"
+list
+tree 1
+metrics
+shutdown
+EOF
+
+# The daemon must drain and exit 0 on its own after the wire shutdown.
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "server_smoke: vdbd still running after shutdown command" >&2
+    exit 1
+fi
+wait "$DAEMON_PID" || {
+    echo "server_smoke: vdbd exited non-zero:" >&2
+    cat "$WORKDIR/vdbd.err" >&2
+    exit 1
+}
+DAEMON_PID=""
+grep -q "clean shutdown" "$WORKDIR/vdbd.err" || {
+    echo "server_smoke: vdbd did not report a clean shutdown:" >&2
+    cat "$WORKDIR/vdbd.err" >&2
+    exit 1
+}
+echo "server_smoke: OK"
