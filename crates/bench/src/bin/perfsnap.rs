@@ -1,0 +1,235 @@
+//! `perfsnap` — one-shot performance snapshot of the full stack.
+//!
+//! Generates a deterministic synthetic corpus, ingests it through
+//! [`vdb_store::journal::JournaledDatabase`] (so the analysis pipeline,
+//! the codec, and the journal all record into the process-global
+//! [`vdb_obs`] registry), then writes `BENCH_5.json`: frames/s overall
+//! and per pipeline stage, cascade stage-hit ratios (the paper's Fig. 4
+//! cost metric), journal append/fsync latency quantiles, and the full
+//! registry dump.
+//!
+//! With `--baseline <path>` the overall frames/s is compared against a
+//! previously checked-in snapshot and the process exits non-zero when it
+//! regressed by more than `--max-regress` (default 0.25) — this is the
+//! CI perf-trajectory gate.
+//!
+//! ```text
+//! perfsnap [--out BENCH_5.json] [--baseline BENCH_5.json]
+//!          [--max-regress 0.25] [--clips 6] [--shots 10] [--seed 5]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use vdb_core::analyzer::AnalyzerConfig;
+use vdb_obs::Snapshot;
+use vdb_store::journal::JournaledDatabase;
+use vdb_synth::{build_script, generate, Genre};
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    max_regress: f64,
+    clips: usize,
+    shots: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_5.json".to_string(),
+        baseline: None,
+        max_regress: 0.25,
+        clips: 12,
+        shots: 30,
+        seed: 5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--out" => args.out = grab("--out"),
+            "--baseline" => args.baseline = Some(grab("--baseline")),
+            "--max-regress" => {
+                args.max_regress = grab("--max-regress").parse().expect("--max-regress: float")
+            }
+            "--clips" => args.clips = grab("--clips").parse().expect("--clips: integer"),
+            "--shots" => args.shots = grab("--shots").parse().expect("--shots: integer"),
+            "--seed" => args.seed = grab("--seed").parse().expect("--seed: integer"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    args
+}
+
+/// The genres cycled over when building the corpus: a spread of cutting
+/// rates and visual styles so the cascade sees realistic stage mixes.
+const GENRES: [Genre; 4] = [Genre::Sitcom, Genre::TalkShow, Genre::Drama, Genre::Cartoon];
+
+fn fps(frames: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        frames as f64 / seconds
+    } else {
+        0.0
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den > 0 {
+        num as f64 / den as f64
+    } else {
+        0.0
+    }
+}
+
+fn push_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x:.3}");
+    } else {
+        out.push('0');
+    }
+}
+
+fn stage_seconds(snap: &Snapshot, name: &str) -> f64 {
+    snap.histogram(name).map_or(0.0, |h| h.seconds())
+}
+
+fn main() {
+    let args = parse_args();
+
+    // --- Corpus generation (outside the timed window). ---
+    let mut videos = Vec::with_capacity(args.clips);
+    let mut total_frames = 0u64;
+    for i in 0..args.clips {
+        let genre = GENRES[i % GENRES.len()];
+        let script = build_script(genre, args.shots, None, (64, 48), args.seed + i as u64);
+        let clip = generate(&script);
+        total_frames += clip.video.len() as u64;
+        videos.push((format!("perfsnap-{i:03}"), clip.video));
+    }
+    eprintln!(
+        "perfsnap: corpus ready: {} clips, {} frames (seed {})",
+        args.clips, total_frames, args.seed
+    );
+
+    // --- Timed ingest through the journaled store. ---
+    let dir = std::env::temp_dir().join(format!("vdb-perfsnap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let journal_path = dir.join("perfsnap.vdbj");
+    let wall = Instant::now();
+    let mut db =
+        JournaledDatabase::open(&journal_path, AnalyzerConfig::default()).expect("open journal");
+    for (name, video) in &videos {
+        db.ingest(name.clone(), video, vec![], vec![])
+            .expect("ingest clip");
+    }
+    let wall_seconds = wall.elapsed().as_secs_f64();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Snapshot the global registry and derive the report. ---
+    let snap = vdb_obs::global().snapshot();
+    let frames = snap.counter("core.pipeline.frames").unwrap_or(0);
+    let clips = snap.counter("core.pipeline.clips").unwrap_or(0);
+    // Frame *pairs* are what the cascade classifies (the first frame of
+    // each clip has no predecessor).
+    let pairs = frames.saturating_sub(clips);
+    let overall_fps = fps(frames, wall_seconds);
+
+    let mut json = String::from("{\n  \"schema\": \"vdb-bench-5/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\"clips\": {}, \"shots_per_clip\": {}, \"seed\": {}, \"frames\": {}}},",
+        args.clips, args.shots, args.seed, frames
+    );
+    json.push_str("  \"wall_seconds\": ");
+    push_f64(&mut json, wall_seconds);
+    json.push_str(",\n  \"frames_per_sec\": {");
+    json.push_str("\"overall\": ");
+    push_f64(&mut json, overall_fps);
+    for (key, metric) in [
+        ("extract", "core.pipeline.extract_us"),
+        ("cascade", "core.pipeline.cascade_us"),
+        ("assemble", "core.pipeline.assemble_us"),
+        ("scenetree", "core.pipeline.scenetree_us"),
+        ("index", "core.pipeline.index_us"),
+    ] {
+        let _ = write!(json, ", \"{key}\": ");
+        push_f64(&mut json, fps(frames, stage_seconds(&snap, metric)));
+    }
+    json.push_str("},\n  \"cascade_hit_ratio\": {");
+    for (i, (key, metric)) in [
+        ("sign_same", "core.cascade.sign_same"),
+        ("signature_same", "core.cascade.signature_same"),
+        ("tracking_same", "core.cascade.tracking_same"),
+        ("boundaries", "core.cascade.boundaries"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{key}\": ");
+        push_f64(&mut json, ratio(snap.counter(metric).unwrap_or(0), pairs));
+    }
+    json.push_str("},\n  \"journal\": {");
+    let appends = snap.counter("store.journal.appends").unwrap_or(0);
+    let _ = write!(json, "\"appends\": {appends}");
+    for (key, metric) in [
+        ("append", "store.journal.append_us"),
+        ("fsync", "store.journal.fsync_us"),
+    ] {
+        let (p50, p99) = snap
+            .histogram(metric)
+            .map_or((0, 0), |h| (h.p50_us(), h.p99_us()));
+        let _ = write!(json, ", \"{key}_p50_us\": {p50}, \"{key}_p99_us\": {p99}");
+    }
+    json.push_str("},\n  \"registry\": ");
+    json.push_str(&vdb_obs::global().to_json());
+    json.push_str("\n}\n");
+
+    std::fs::write(&args.out, &json).expect("write snapshot");
+    eprintln!(
+        "perfsnap: {:.0} frames/s overall over {} frames; wrote {}",
+        overall_fps, frames, args.out
+    );
+
+    // --- Regression gate. ---
+    if let Some(path) = &args.baseline {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let baseline_fps = baseline_overall_fps(&text)
+            .unwrap_or_else(|| panic!("baseline {path} has no frames_per_sec.overall"));
+        let floor = baseline_fps * (1.0 - args.max_regress);
+        if overall_fps < floor {
+            eprintln!(
+                "perfsnap: REGRESSION: {overall_fps:.0} frames/s < floor {floor:.0} \
+                 (baseline {baseline_fps:.0}, max regress {:.0}%)",
+                args.max_regress * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perfsnap: within budget: {overall_fps:.0} frames/s vs baseline {baseline_fps:.0} \
+             (floor {floor:.0})"
+        );
+    }
+}
+
+/// Pull `frames_per_sec.overall` out of a previous snapshot.
+fn baseline_overall_fps(text: &str) -> Option<f64> {
+    let root = serde_json::parse(text).ok()?;
+    let fps = field(&root, "frames_per_sec")?;
+    match field(fps, "overall")? {
+        serde::Value::Float(x) => Some(*x),
+        serde::Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn field<'a>(value: &'a serde::Value, name: &str) -> Option<&'a serde::Value> {
+    match value {
+        serde::Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}

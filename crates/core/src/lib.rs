@@ -63,7 +63,7 @@ pub use error::{CoreError, Result};
 pub use frame::{FrameBuf, Video};
 pub use index::{IndexEntry, Match, ShotKey, VarianceIndex, VarianceQuery};
 pub use parallel::Parallelism;
-pub use pipeline::{AnalysisEngine, PushOutcome};
+pub use pipeline::{AnalysisEngine, PipelineMetrics, PushOutcome};
 pub use pixel::Rgb;
 pub use sbd::{CameraTrackingDetector, SbdConfig, Segmentation};
 pub use scenetree::{build_scene_tree, SceneTree};

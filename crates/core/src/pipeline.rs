@@ -40,6 +40,60 @@ use crate::sbd::{CameraTrackingDetector, SbdStats, Segmentation, StageDecision};
 use crate::scenetree::build_scene_tree_with_config;
 use crate::shot::Shot;
 use crate::variance::ShotFeature;
+use vdb_obs::{Counter, Histogram, Registry};
+
+/// The pipeline's handles into an observability registry: one span
+/// histogram per stage and the cascade's stage-hit counters (how often
+/// the cheap sign comparison vs. signature shifting vs. full tracking
+/// resolved a frame pair — the paper's Figure 4 cost metric, live).
+///
+/// Registered by name, so every engine pointed at the same registry
+/// (e.g. [`vdb_obs::global`], the default) aggregates into one set of
+/// metrics; per-stage frames/s falls out as
+/// `core.pipeline.frames / core.pipeline.<stage>_us`.
+#[derive(Debug, Clone)]
+pub struct PipelineMetrics {
+    extract_us: Histogram,
+    cascade_us: Histogram,
+    assemble_us: Histogram,
+    scenetree_us: Histogram,
+    index_us: Histogram,
+    frames: Counter,
+    clips: Counter,
+    sign_same: Counter,
+    signature_same: Counter,
+    tracking_same: Counter,
+    boundaries: Counter,
+}
+
+impl PipelineMetrics {
+    /// Get-or-register the pipeline's metrics in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        PipelineMetrics {
+            extract_us: registry.histogram("core.pipeline.extract_us"),
+            cascade_us: registry.histogram("core.pipeline.cascade_us"),
+            assemble_us: registry.histogram("core.pipeline.assemble_us"),
+            scenetree_us: registry.histogram("core.pipeline.scenetree_us"),
+            index_us: registry.histogram("core.pipeline.index_us"),
+            frames: registry.counter("core.pipeline.frames"),
+            clips: registry.counter("core.pipeline.clips"),
+            sign_same: registry.counter("core.cascade.sign_same"),
+            signature_same: registry.counter("core.cascade.signature_same"),
+            tracking_same: registry.counter("core.cascade.tracking_same"),
+            boundaries: registry.counter("core.cascade.boundaries"),
+        }
+    }
+
+    /// Fold one clip's cascade statistics into the stage-hit counters
+    /// (five counter adds per clip — the per-pair hot loop stays
+    /// untouched).
+    fn record_cascade(&self, stats: &SbdStats) {
+        self.sign_same.add(stats.stage1_same as u64);
+        self.signature_same.add(stats.stage2_same as u64);
+        self.tracking_same.add(stats.stage3_same as u64);
+        self.boundaries.add(stats.boundaries as u64);
+    }
+}
 
 /// What the engine reports about the newest frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +220,7 @@ pub struct AnalysisEngine {
     dims: Option<(u32, u32)>,
     scratch: ScratchBuffers,
     state: CascadeState,
+    obs: Option<PipelineMetrics>,
 }
 
 impl Default for AnalysisEngine {
@@ -175,8 +230,27 @@ impl Default for AnalysisEngine {
 }
 
 impl AnalysisEngine {
-    /// Engine with the given configuration.
+    /// Engine with the given configuration, instrumented into the
+    /// process-wide [`vdb_obs::global`] registry.
     pub fn new(config: AnalyzerConfig) -> Self {
+        Self::with_registry(config, vdb_obs::global())
+    }
+
+    /// Engine instrumented into a specific registry (tests and benchmarks
+    /// use a private one for count-exact isolation).
+    pub fn with_registry(config: AnalyzerConfig, registry: &Registry) -> Self {
+        Self::build(config, Some(PipelineMetrics::register(registry)))
+    }
+
+    /// Engine with no observability at all — not even the disabled-check
+    /// loads. The baseline the workspace's overhead test measures
+    /// instrumentation against; production paths should prefer
+    /// [`AnalysisEngine::new`] with a disabled registry instead.
+    pub fn without_observability(config: AnalyzerConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    fn build(config: AnalyzerConfig, obs: Option<PipelineMetrics>) -> Self {
         AnalysisEngine {
             detector: CameraTrackingDetector::with_config(config.sbd),
             config,
@@ -184,6 +258,7 @@ impl AnalysisEngine {
             dims: None,
             scratch: ScratchBuffers::default(),
             state: CascadeState::default(),
+            obs,
         }
     }
 
@@ -217,11 +292,17 @@ impl AnalysisEngine {
     pub fn push_frame(&mut self, frame: &FrameBuf) -> Result<PushOutcome> {
         self.check_dims(frame, 0)?;
         self.ensure_extractor(frame)?;
-        let features = self
-            .extractor
-            .as_ref()
-            .expect("created above")
-            .extract_with(frame, &mut self.scratch)?;
+        let features = {
+            let _span = self.obs.as_ref().map(|o| o.extract_us.start());
+            self.extractor
+                .as_ref()
+                .expect("created above")
+                .extract_with(frame, &mut self.scratch)?
+        };
+        if let Some(obs) = &self.obs {
+            obs.frames.incr();
+        }
+        let _span = self.obs.as_ref().map(|o| o.cascade_us.start());
         Ok(self.state.push(&self.detector, features))
     }
 
@@ -243,7 +324,14 @@ impl AnalysisEngine {
         }
         let extractor = self.extractor.as_ref().expect("created above");
         let threads = self.config.parallelism.effective_threads();
-        let features = extract_features_reusing(extractor, frames, threads, &mut self.scratch)?;
+        let features = {
+            let _span = self.obs.as_ref().map(|o| o.extract_us.start());
+            extract_features_reusing(extractor, frames, threads, &mut self.scratch)?
+        };
+        if let Some(obs) = &self.obs {
+            obs.frames.add(frames.len() as u64);
+        }
+        let _span = self.obs.as_ref().map(|o| o.cascade_us.start());
         Ok(features
             .into_iter()
             .map(|f| self.state.push(&self.detector, f))
@@ -266,16 +354,28 @@ impl AnalysisEngine {
         let signs_ba = std::mem::take(&mut state.signs_ba);
         let signs_oa = std::mem::take(&mut state.signs_oa);
         let frames = signs_ba.len();
-        let segmentation = state.into_segmentation(frames);
-        let scene_tree =
-            build_scene_tree_with_config(&segmentation.shots, &signs_ba, self.config.scene_tree);
-        let features = segmentation
-            .shots
-            .iter()
-            .map(|s| {
-                ShotFeature::from_signs(&signs_ba[s.start..=s.end], &signs_oa[s.start..=s.end])
-            })
-            .collect();
+        let segmentation = {
+            let _span = self.obs.as_ref().map(|o| o.assemble_us.start());
+            state.into_segmentation(frames)
+        };
+        let scene_tree = {
+            let _span = self.obs.as_ref().map(|o| o.scenetree_us.start());
+            build_scene_tree_with_config(&segmentation.shots, &signs_ba, self.config.scene_tree)
+        };
+        let features = {
+            let _span = self.obs.as_ref().map(|o| o.index_us.start());
+            segmentation
+                .shots
+                .iter()
+                .map(|s| {
+                    ShotFeature::from_signs(&signs_ba[s.start..=s.end], &signs_oa[s.start..=s.end])
+                })
+                .collect()
+        };
+        if let Some(obs) = &self.obs {
+            obs.clips.incr();
+            obs.record_cascade(&segmentation.stats);
+        }
         Ok(VideoAnalysis {
             signs_ba,
             signs_oa,
@@ -425,6 +525,72 @@ mod tests {
             before,
             "warm batch analysis must not allocate in the pyramid reductions"
         );
+    }
+
+    #[test]
+    fn instrumentation_observes_without_perturbing() {
+        let frames = clip((80, 60), &[(1, 6), (2, 5), (3, 7)]);
+        let video = Video::new(frames, 3.0).unwrap();
+
+        let registry = Registry::new();
+        let mut instrumented = AnalysisEngine::with_registry(AnalyzerConfig::default(), &registry);
+        let mut bare = AnalysisEngine::without_observability(AnalyzerConfig::default());
+        let a = instrumented.analyze(&video).unwrap();
+        let b = bare.analyze(&video).unwrap();
+        assert_eq!(a, b, "metrics must never change the analysis");
+
+        // The registry saw exactly one clip's worth of work, and the
+        // stage-hit counters are the segmentation's own stats.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.pipeline.clips"), Some(1));
+        assert_eq!(snap.counter("core.pipeline.frames"), Some(18));
+        let stats = &a.segmentation.stats;
+        assert_eq!(
+            snap.counter("core.cascade.sign_same"),
+            Some(stats.stage1_same as u64)
+        );
+        assert_eq!(
+            snap.counter("core.cascade.signature_same"),
+            Some(stats.stage2_same as u64)
+        );
+        assert_eq!(
+            snap.counter("core.cascade.tracking_same"),
+            Some(stats.stage3_same as u64)
+        );
+        assert_eq!(
+            snap.counter("core.cascade.boundaries"),
+            Some(stats.boundaries as u64)
+        );
+        // Every stage span fired.
+        for stage in [
+            "core.pipeline.extract_us",
+            "core.pipeline.cascade_us",
+            "core.pipeline.assemble_us",
+            "core.pipeline.scenetree_us",
+            "core.pipeline.index_us",
+        ] {
+            assert!(
+                snap.histogram(stage).unwrap().count > 0,
+                "{stage} never recorded"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let video = Video::new(clip((80, 60), &[(1, 5), (2, 5)]), 3.0).unwrap();
+        let registry = Registry::disabled();
+        let mut engine = AnalysisEngine::with_registry(AnalyzerConfig::default(), &registry);
+        let analysis = engine.analyze(&video).unwrap();
+        assert_eq!(
+            analysis,
+            AnalysisEngine::without_observability(AnalyzerConfig::default())
+                .analyze(&video)
+                .unwrap()
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.pipeline.frames"), Some(0));
+        assert_eq!(snap.histogram("core.pipeline.extract_us").unwrap().count, 0);
     }
 
     proptest! {

@@ -1,0 +1,92 @@
+//! Registry → JSON → parse round-trip, pinned against the workspace's
+//! serde_json shim: every counter value and every histogram
+//! count/sum/bucket must survive `Registry::to_json` verbatim.
+
+use serde::Value;
+use vdb_obs::{MetricValue, Registry, BUCKETS};
+
+fn field<'a>(v: &'a Value, name: &str) -> &'a Value {
+    match v {
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field '{name}'")),
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::Int(n) => u64::try_from(*n).expect("non-negative"),
+        other => panic!("expected integer, got {other:?}"),
+    }
+}
+
+#[test]
+fn to_json_parses_back_with_identical_counts_and_buckets() {
+    let registry = Registry::new();
+    registry.counter("core.pipeline.frames").add(147);
+    registry.counter("core.cascade.boundaries").add(13);
+    let fsync = registry.histogram("store.journal.fsync_us");
+    for us in [3, 3, 40, 40, 40, 2000, 70_000] {
+        fsync.record_us(us);
+    }
+
+    let json = registry.to_json();
+    let parsed = serde_json::parse(&json).expect("obs JSON must parse with the shim");
+
+    // Counters come back as the exact integers.
+    assert_eq!(as_u64(field(&parsed, "core.pipeline.frames")), 147);
+    assert_eq!(as_u64(field(&parsed, "core.cascade.boundaries")), 13);
+
+    // Histogram scalar fields match the live snapshot...
+    let snap = registry.snapshot();
+    let live = snap.histogram("store.journal.fsync_us").unwrap();
+    let hist = field(&parsed, "store.journal.fsync_us");
+    assert_eq!(as_u64(field(hist, "count")), live.count);
+    assert_eq!(as_u64(field(hist, "sum_us")), live.sum_us);
+    assert_eq!(as_u64(field(hist, "mean_us")), live.mean_us());
+    assert_eq!(as_u64(field(hist, "p50_us")), live.p50_us());
+    assert_eq!(as_u64(field(hist, "p99_us")), live.p99_us());
+
+    // ...and the buckets are identical, position by position.
+    let buckets = match field(hist, "buckets") {
+        Value::Array(items) => items.iter().map(as_u64).collect::<Vec<u64>>(),
+        other => panic!("expected bucket array, got {other:?}"),
+    };
+    assert_eq!(buckets.len(), BUCKETS);
+    assert_eq!(buckets, live.buckets);
+    assert_eq!(buckets.iter().sum::<u64>(), 7);
+}
+
+#[test]
+fn every_entry_round_trips() {
+    // A registry with a spread of values: the parsed object must contain
+    // exactly the snapshot's entries, nothing more or less.
+    let registry = Registry::new();
+    for i in 0..5u64 {
+        registry.counter(&format!("layer.c{i}")).add(i * 1000 + 1);
+        registry
+            .histogram(&format!("layer.h{i}_us"))
+            .record_us(1 << i);
+    }
+    let snap = registry.snapshot();
+    let parsed = serde_json::parse(&registry.to_json()).unwrap();
+    let Value::Object(fields) = &parsed else {
+        panic!("top level must be an object")
+    };
+    assert_eq!(fields.len(), snap.entries.len());
+    for entry in &snap.entries {
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                assert_eq!(as_u64(field(&parsed, &entry.name)), *v, "{}", entry.name);
+            }
+            MetricValue::Histogram(h) => {
+                let obj = field(&parsed, &entry.name);
+                assert_eq!(as_u64(field(obj, "count")), h.count, "{}", entry.name);
+                assert_eq!(as_u64(field(obj, "sum_us")), h.sum_us, "{}", entry.name);
+            }
+        }
+    }
+}

@@ -1,18 +1,22 @@
-//! Server observability: lock-free per-command counters and latency
-//! histograms.
+//! Server observability: per-command counters and latency histograms,
+//! re-based on the workspace-wide `vdb-obs` registry.
 //!
-//! Workers record into [`ServerMetrics`] with relaxed atomics (no lock is
-//! ever taken on the request path); readers take a [`MetricsSnapshot`]
-//! whenever they like — the `metrics` wire command, the periodic log line,
-//! and tests all consume the same snapshot.
+//! Workers record into [`ServerMetrics`] through lock-free `vdb-obs`
+//! handles (no lock is ever taken on the request path); readers take a
+//! [`MetricsSnapshot`] whenever they like — the `metrics` wire command,
+//! the periodic log line, and tests all consume the same snapshot.
+//!
+//! Each [`ServerMetrics`] owns a *private* [`Registry`] rather than
+//! recording into [`vdb_obs::global`]: tests and `loadgen` run several
+//! servers in one process and rely on count-exact per-server accounting.
+//! The daemon composes the whole-stack view at render time by appending
+//! the global registry's `core` and `store` sections (where the pipeline
+//! and journal record) to its own table — see the `metrics` command in
+//! [`crate::server`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
-
-/// Latency buckets: bucket `i` counts requests with latency in
-/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`). 32 buckets cover
-/// up to ~35 minutes, far beyond any sane request.
-const BUCKETS: usize = 32;
+use vdb_obs::{Counter, Histogram, HistogramSnapshot, Registry};
 
 /// The kinds of request the server distinguishes in its metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,34 +91,70 @@ impl CommandKind {
     }
 }
 
-#[derive(Default)]
-struct CommandStats {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    latency_sum_us: AtomicU64,
-    latency_buckets: [AtomicU64; BUCKETS],
-}
-
-fn bucket_of(us: u64) -> usize {
-    ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
+/// One command's registry handles.
+struct CommandHandles {
+    requests: Counter,
+    errors: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    latency: Histogram,
 }
 
 /// The server's counter registry. One instance per server, shared by all
-/// workers; all methods are `&self` and lock-free.
-#[derive(Default)]
+/// workers; all methods are `&self` and the record path is lock-free.
 pub struct ServerMetrics {
-    per_command: [CommandStats; CommandKind::ALL.len()],
-    connections_opened: AtomicU64,
-    connections_closed: AtomicU64,
-    protocol_errors: AtomicU64,
+    registry: Arc<Registry>,
+    commands: [CommandHandles; CommandKind::ALL.len()],
+    connections_opened: Counter,
+    connections_closed: Counter,
+    protocol_errors: Counter,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServerMetrics {
-    /// A zeroed registry.
+    /// A zeroed registry (private to this server instance).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// Build the per-command handles in `registry`. The registry should be
+    /// enabled and dedicated to one server; the metric names are
+    /// `server.cmd.<command>.*`, `server.connections_*`, and
+    /// `server.protocol_errors`.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        let commands = std::array::from_fn(|i| {
+            let label = CommandKind::ALL[i].label();
+            CommandHandles {
+                requests: registry.counter(&format!("server.cmd.{label}.requests")),
+                errors: registry.counter(&format!("server.cmd.{label}.errors")),
+                bytes_in: registry.counter(&format!("server.cmd.{label}.bytes_in")),
+                bytes_out: registry.counter(&format!("server.cmd.{label}.bytes_out")),
+                latency: registry.histogram(&format!("server.cmd.{label}.latency_us")),
+            }
+        });
+        ServerMetrics {
+            connections_opened: registry.counter("server.connections_opened"),
+            connections_closed: registry.counter("server.connections_closed"),
+            protocol_errors: registry.counter("server.protocol_errors"),
+            commands,
+            registry,
+        }
+    }
+
+    /// The backing registry (for JSON export of the raw metrics).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The raw registry as one JSON object (counters and histograms keyed
+    /// by `server.*` metric names).
+    pub fn to_json(&self) -> String {
+        self.registry.to_json()
     }
 
     /// Record one completed request.
@@ -126,32 +166,30 @@ impl ServerMetrics {
         bytes_out: u64,
         latency: Duration,
     ) {
-        let stats = &self.per_command[kind.index()];
-        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let handles = &self.commands[kind.index()];
+        handles.requests.incr();
         if !ok {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
+            handles.errors.incr();
         }
-        stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
-        stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        stats.latency_sum_us.fetch_add(us, Ordering::Relaxed);
-        stats.latency_buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        handles.bytes_in.add(bytes_in);
+        handles.bytes_out.add(bytes_out);
+        handles.latency.record(latency);
     }
 
     /// Record an accepted connection.
     pub fn connection_opened(&self) {
-        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+        self.connections_opened.incr();
     }
 
     /// Record a closed connection.
     pub fn connection_closed(&self) {
-        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+        self.connections_closed.incr();
     }
 
     /// Record a protocol violation (oversized frame, torn frame, …) that
     /// cost the offending client its connection.
     pub fn protocol_error(&self) {
-        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        self.protocol_errors.incr();
     }
 
     /// A point-in-time copy of every counter.
@@ -159,55 +197,28 @@ impl ServerMetrics {
         let commands = CommandKind::ALL
             .iter()
             .map(|&kind| {
-                let s = &self.per_command[kind.index()];
-                let buckets: Vec<u64> = s
-                    .latency_buckets
-                    .iter()
-                    .map(|b| b.load(Ordering::Relaxed))
-                    .collect();
-                let requests = s.requests.load(Ordering::Relaxed);
+                let handles = &self.commands[kind.index()];
+                let latency = handles.latency.snapshot();
                 CommandSnapshot {
                     kind,
-                    requests,
-                    errors: s.errors.load(Ordering::Relaxed),
-                    bytes_in: s.bytes_in.load(Ordering::Relaxed),
-                    bytes_out: s.bytes_out.load(Ordering::Relaxed),
-                    mean_us: s
-                        .latency_sum_us
-                        .load(Ordering::Relaxed)
-                        .checked_div(requests)
-                        .unwrap_or(0),
-                    p50_us: quantile(&buckets, 0.50),
-                    p99_us: quantile(&buckets, 0.99),
-                    buckets,
+                    requests: handles.requests.get(),
+                    errors: handles.errors.get(),
+                    bytes_in: handles.bytes_in.get(),
+                    bytes_out: handles.bytes_out.get(),
+                    mean_us: latency.mean_us(),
+                    p50_us: latency.p50_us(),
+                    p99_us: latency.p99_us(),
+                    latency,
                 }
             })
             .collect();
         MetricsSnapshot {
             commands,
-            connections_opened: self.connections_opened.load(Ordering::Relaxed),
-            connections_closed: self.connections_closed.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.get(),
+            connections_closed: self.connections_closed.get(),
+            protocol_errors: self.protocol_errors.get(),
         }
     }
-}
-
-/// Approximate quantile from power-of-two buckets: the upper bound of the
-/// bucket containing the target rank (0 when empty).
-fn quantile(buckets: &[u64], q: f64) -> u64 {
-    let total: u64 = buckets.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let target = ((total as f64 * q).ceil() as u64).max(1);
-    let mut seen = 0;
-    for (i, &count) in buckets.iter().enumerate() {
-        seen += count;
-        if seen >= target {
-            return 1u64 << i;
-        }
-    }
-    1u64 << (BUCKETS - 1)
 }
 
 /// Counters for one command kind at snapshot time.
@@ -229,9 +240,9 @@ pub struct CommandSnapshot {
     pub p50_us: u64,
     /// 99th-percentile handling latency, µs (bucket upper bound).
     pub p99_us: u64,
-    /// The raw power-of-two latency histogram (bucket `i` counts requests
-    /// in `[2^(i-1), 2^i)` µs), for cross-command aggregation.
-    pub buckets: Vec<u64>,
+    /// The raw power-of-two latency histogram, for cross-command
+    /// aggregation.
+    pub latency: HistogramSnapshot,
 }
 
 /// A point-in-time copy of the whole registry.
@@ -268,16 +279,14 @@ impl MetricsSnapshot {
     /// Overall `(p50, p99)` handling latency in µs, merged across every
     /// command's histogram (bucket upper bounds).
     pub fn overall_latency(&self) -> (u64, u64) {
-        let mut merged = vec![0u64; BUCKETS];
+        let mut merged = HistogramSnapshot::empty();
         for c in &self.commands {
-            for (m, b) in merged.iter_mut().zip(&c.buckets) {
-                *m += b;
-            }
+            merged.merge(&c.latency);
         }
-        (quantile(&merged, 0.50), quantile(&merged, 0.99))
+        (merged.p50_us(), merged.p99_us())
     }
 
-    /// Multi-line table (the `metrics` wire command's payload).
+    /// Multi-line table (the `metrics` wire command's server section).
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -379,14 +388,25 @@ mod tests {
     }
 
     #[test]
-    fn quantile_edges() {
-        assert_eq!(quantile(&[0; BUCKETS], 0.5), 0);
-        let mut b = [0u64; BUCKETS];
-        b[3] = 10;
-        assert_eq!(quantile(&b, 0.5), 8);
-        assert_eq!(quantile(&b, 0.99), 8);
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    fn two_servers_do_not_share_counters() {
+        // The per-instance registry is what keeps loadgen's and the test
+        // suite's per-server accounting exact.
+        let a = ServerMetrics::new();
+        let b = ServerMetrics::new();
+        a.record_request(CommandKind::Ping, true, 8, 9, Duration::from_micros(1));
+        assert_eq!(a.snapshot().total_requests(), 1);
+        assert_eq!(b.snapshot().total_requests(), 0);
+    }
+
+    #[test]
+    fn registry_json_exposes_the_raw_metrics() {
+        let m = ServerMetrics::new();
+        m.record_request(CommandKind::Query, true, 10, 20, Duration::from_micros(33));
+        let json = m.to_json();
+        assert!(json.contains("\"server.cmd.query.requests\":1"), "{json}");
+        assert!(
+            json.contains("\"server.cmd.query.latency_us\":{\"count\":1"),
+            "{json}"
+        );
     }
 }

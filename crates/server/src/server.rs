@@ -492,7 +492,19 @@ fn handle_connection(mut stream: TcpStream, ctx: &WorkerCtx) {
 fn dispatch(ctx: &WorkerCtx, line: &str) -> (CommandKind, Result<String, String>) {
     match line.trim() {
         "ping" => return (CommandKind::Ping, Ok("pong".to_string())),
-        "metrics" => return (CommandKind::Metrics, Ok(ctx.metrics.snapshot().render())),
+        "metrics" => {
+            // The server's own table, then the whole-stack sections: the
+            // pipeline and store record into the process-global registry,
+            // so one wire command reports every layer.
+            let mut text = ctx.metrics.snapshot().render();
+            let stack = vdb_obs::global().snapshot();
+            for prefix in ["core", "store"] {
+                if let Some(section) = stack.render_section(prefix) {
+                    text.push_str(&section);
+                }
+            }
+            return (CommandKind::Metrics, Ok(text));
+        }
         "shutdown" => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             return (
@@ -537,14 +549,19 @@ fn dispatch(ctx: &WorkerCtx, line: &str) -> (CommandKind, Result<String, String>
                 .read(|db| shell::execute_readonly(db, &cmd))
                 .expect("stats is readonly");
             let snap = ctx.metrics.snapshot();
+            let stack = vdb_obs::global().snapshot();
+            let frames = stack.counter("core.pipeline.frames").unwrap_or(0);
+            let appends = stack.counter("store.journal.appends").unwrap_or(0);
             (
                 kind,
                 Ok(format!(
-                    "{text}  server: {} requests ({} errors), {} connections, {} protocol errors\n",
+                    "{text}  server: {} requests ({} errors), {} connections, {} protocol errors\n  stack: {} frames analyzed, {} journal appends (see 'metrics')\n",
                     snap.total_requests(),
                     snap.total_errors(),
                     snap.connections_opened,
-                    snap.protocol_errors
+                    snap.protocol_errors,
+                    frames,
+                    appends
                 )),
             )
         }

@@ -357,3 +357,41 @@ fn per_connection_commands_and_rejections() {
     drop(client);
     handle.shutdown().unwrap();
 }
+
+/// The `metrics` wire command reports the whole stack: after a demo
+/// ingest over the wire, the pipeline's `core.*` section from the
+/// process-global registry appears below the server's own table, and
+/// `stats` carries the one-line stack summary.
+#[test]
+fn metrics_reports_core_pipeline_sections() {
+    let handle = start_memory_server(2, 0);
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let out = client.expect_ok("demo 1").unwrap();
+    assert!(out.contains("ingested"), "{out}");
+
+    let metrics = client.expect_ok("metrics").unwrap();
+    assert!(metrics.contains("total:"), "server table first:\n{metrics}");
+    assert!(
+        metrics.contains("core:"),
+        "core section present:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("core.pipeline.frames"),
+        "pipeline counters listed:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("core.cascade.sign_same"),
+        "cascade stage-hit counters listed:\n{metrics}"
+    );
+
+    let stats = client.expect_ok("stats").unwrap();
+    assert!(
+        stats.contains("stack:") && stats.contains("frames analyzed"),
+        "{stats}"
+    );
+
+    drop(client);
+    handle.shutdown().unwrap();
+}

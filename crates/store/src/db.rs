@@ -110,6 +110,8 @@ pub struct StoredAnalysis {
 
 impl StoredAnalysis {
     pub(crate) fn encode(&self) -> Result<Vec<u8>, DbError> {
+        let obs = crate::obs::codec();
+        let _span = obs.encode_us.start();
         let mut buf = Vec::new();
         self.video.encode(&mut buf);
         self.shots.encode(&mut buf);
@@ -127,10 +129,14 @@ impl StoredAnalysis {
         ] {
             v.encode(&mut buf);
         }
+        obs.encoded_bytes.add(buf.len() as u64);
         Ok(buf)
     }
 
     pub(crate) fn decode(mut buf: &[u8]) -> Result<Self, DbError> {
+        let obs = crate::obs::codec();
+        let _span = obs.decode_us.start();
+        obs.decoded_bytes.add(buf.len() as u64);
         let buf = &mut buf;
         let video = u64::decode(buf)?;
         let shots = Vec::<Shot>::decode(buf)?;

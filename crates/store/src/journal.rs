@@ -99,6 +99,8 @@ impl JournaledDatabase {
     }
 
     fn append_record(&mut self, tag: u8, payload: &[u8]) -> Result<(), DbError> {
+        let obs = crate::obs::journal();
+        let _append_span = obs.append_us.start();
         let mut head = Vec::with_capacity(5);
         head.push(tag);
         head.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -106,7 +108,14 @@ impl JournaledDatabase {
         self.writer.write_all(payload)?;
         self.writer
             .write_all(&crate::pages::record_checksum(tag, payload).to_le_bytes())?;
-        self.writer.flush()?;
+        {
+            // The flush is the record's durability point; timed separately
+            // so fsync-path tail latency is visible on its own.
+            let _fsync_span = obs.fsync_us.start();
+            self.writer.flush()?;
+        }
+        obs.appends.incr();
+        obs.appended_bytes.add(1 + 4 + payload.len() as u64 + 4);
         Ok(())
     }
 
@@ -291,6 +300,31 @@ mod tests {
                 assert!(j.db().analysis(id).is_ok());
             }
         }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn appends_are_observed_in_the_global_registry() {
+        // The global registry is shared with every other test in this
+        // process, so assert deltas, not absolutes: one ingest appends a
+        // META and an ANALYSIS record, each with a timed flush.
+        let before = vdb_obs::global().snapshot();
+        let path = tmp("observed");
+        let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        j.ingest("watched", &clip(40), vec![], vec![]).unwrap();
+        let after = vdb_obs::global().snapshot();
+        let delta = |name: &str| after.counter(name).unwrap() - before.counter(name).unwrap_or(0);
+        assert!(delta("store.journal.appends") >= 2);
+        assert!(delta("store.journal.appended_bytes") > 0);
+        let fsyncs = |snap: &vdb_obs::Snapshot| {
+            snap.histogram("store.journal.fsync_us")
+                .map(|h| h.count)
+                .unwrap_or(0)
+        };
+        assert!(
+            fsyncs(&after) >= fsyncs(&before) + 2,
+            "every append flushes"
+        );
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 

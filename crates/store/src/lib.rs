@@ -27,6 +27,7 @@ pub mod codec;
 pub mod concurrent;
 pub mod db;
 pub mod journal;
+mod obs;
 pub mod pages;
 pub mod query;
 pub mod session;

@@ -98,6 +98,9 @@ impl<W: Write> SegmentWriter<W> {
         self.out
             .write_all(&record_checksum(tag, payload).to_le_bytes())?;
         self.records += 1;
+        let obs = crate::obs::pages();
+        obs.records_written.incr();
+        obs.bytes_written.add(1 + 4 + payload.len() as u64 + 4);
         Ok(())
     }
 
@@ -147,6 +150,9 @@ pub fn read_segment<R: Read>(mut input: R) -> Result<Vec<Record>, SegmentError> 
         if u32::from_le_bytes(check) != record_checksum(tag, &payload) {
             break; // corrupt record: stop at the last good prefix
         }
+        let obs = crate::obs::pages();
+        obs.records_read.incr();
+        obs.bytes_read.add(payload.len() as u64);
         records.push(Record { tag, payload });
     }
     Ok(records)

@@ -18,11 +18,27 @@ VDBC="$BIN_DIR/vdbc"
 WORKDIR="$(mktemp -d)"
 DAEMON_OUT="$WORKDIR/vdbd.out"
 DAEMON_PID=""
+# The daemon must die no matter how this script exits (failure, ctrl-C,
+# CI cancellation): terminate it, wait briefly, then escalate to KILL.
+# The original exit status is preserved so failures still fail the job.
 cleanup() {
-    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    status=$?
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+        for _ in $(seq 1 20); do
+            kill -0 "$DAEMON_PID" 2>/dev/null || break
+            sleep 0.1
+        done
+        if kill -0 "$DAEMON_PID" 2>/dev/null; then
+            echo "server_smoke: vdbd ignored SIGTERM; sending SIGKILL" >&2
+            kill -9 "$DAEMON_PID" 2>/dev/null || true
+        fi
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
     rm -rf "$WORKDIR"
+    exit "$status"
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
 "$VDBD" --addr 127.0.0.1:0 --demo 2 --metrics-interval 0 >"$DAEMON_OUT" 2>"$WORKDIR/vdbd.err" &
 DAEMON_PID=$!
@@ -59,6 +75,9 @@ expect_contains() { # <needle> <haystack-label> <<< haystack
 "$VDBC" "$ADDR" stats | expect_contains "videos 2" "stats"
 "$VDBC" "$ADDR" query "ba=0.4 oa=14 alpha=4 beta=4 limit=5" | expect_contains "answers" "query"
 "$VDBC" "$ADDR" board 0 4 | expect_contains "rep frame" "board"
+# The demo ingest went through the instrumented pipeline, so the metrics
+# command must report the whole-stack core section.
+"$VDBC" "$ADDR" metrics | expect_contains "core.pipeline.frames" "metrics"
 
 # A scripted multi-command session over one connection, ending in a wire
 # shutdown. vdbc exits 0 only if every response had an ok status.

@@ -80,3 +80,34 @@ fn parallel_path_reproduces_the_golden_sequence() {
     assert_eq!(encode(&analysis.segmentation.decisions), GOLDEN_DECISIONS);
     assert_eq!(analysis.segmentation.boundaries, GOLDEN_BOUNDARIES);
 }
+
+/// Observability must be a pure observer: the engine with live
+/// instrumentation and the engine with none at all produce the golden
+/// sequence bit-for-bit, and the registry's counters are exactly the
+/// segmentation's own cascade statistics.
+#[test]
+fn instrumented_engine_reproduces_the_golden_sequence() {
+    use vdb_core::pipeline::AnalysisEngine;
+    use vdb_obs::Registry;
+
+    let script = build_script(Genre::Sitcom, 16, Some(9.0), (80, 60), 555);
+    let clip = generate(&script);
+
+    let registry = Registry::new();
+    let mut instrumented = AnalysisEngine::with_registry(AnalyzerConfig::default(), &registry);
+    let watched = instrumented.analyze(&clip.video).unwrap();
+    let mut bare = AnalysisEngine::without_observability(AnalyzerConfig::default());
+    let unwatched = bare.analyze(&clip.video).unwrap();
+
+    assert_eq!(watched, unwatched, "instrumentation changed the analysis");
+    assert_eq!(encode(&watched.segmentation.decisions), GOLDEN_DECISIONS);
+    assert_eq!(watched.segmentation.boundaries, GOLDEN_BOUNDARIES);
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("core.pipeline.frames"), Some(147));
+    assert_eq!(snap.counter("core.pipeline.clips"), Some(1));
+    assert_eq!(snap.counter("core.cascade.sign_same"), Some(122));
+    assert_eq!(snap.counter("core.cascade.signature_same"), Some(9));
+    assert_eq!(snap.counter("core.cascade.tracking_same"), Some(2));
+    assert_eq!(snap.counter("core.cascade.boundaries"), Some(13));
+}
