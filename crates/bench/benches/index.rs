@@ -3,11 +3,17 @@
 //! * `query/*` — sorted-index range query vs linear scan vs quantized grid
 //!   over growing table sizes: the ablation for the index-structure choice;
 //! * `build` — index construction cost;
-//! * `insert` — incremental ingest cost.
+//! * `insert` — incremental ingest cost;
+//! * `bucket/*` — the planner-backed [`ShotIndex`]: build, range probe vs
+//!   forced scan, and top-k probe vs full ranking. The top-k gap is the
+//!   sublinear-index claim in miniature (the 1M pin lives in the
+//!   `index_scale` integration test).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use vdb_core::index::{IndexEntry, QuantizedIndex, ShotKey, VarianceIndex, VarianceQuery};
+use vdb_core::index::{
+    BucketParams, IndexEntry, QuantizedIndex, ShotIndex, ShotKey, VarianceIndex, VarianceQuery,
+};
 
 fn synthetic_entries(n: usize) -> Vec<IndexEntry> {
     (0..n)
@@ -130,11 +136,61 @@ fn bench_extended(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bucket(c: &mut Criterion) {
+    let qs = queries();
+    for n in [1_000usize, 10_000, 100_000] {
+        let entries = synthetic_entries(n);
+        let idx = ShotIndex::from_entries(entries.clone(), BucketParams::default());
+        let mut group = c.benchmark_group(format!("index/bucket/n={n}"));
+        group.throughput(Throughput::Elements(qs.len() as u64));
+        group.bench_function("range_probe", |b| {
+            b.iter(|| {
+                for q in &qs {
+                    black_box(idx.query(black_box(q)));
+                }
+            });
+        });
+        group.bench_function("range_scan", |b| {
+            b.iter(|| {
+                for q in &qs {
+                    black_box(idx.query_scan(black_box(q)));
+                }
+            });
+        });
+        group.bench_function("topk_probe", |b| {
+            b.iter(|| {
+                for q in &qs {
+                    black_box(idx.query_topk(black_box(q), 10));
+                }
+            });
+        });
+        group.bench_function("topk_scan", |b| {
+            b.iter(|| {
+                for q in &qs {
+                    black_box(idx.query_topk_scan(black_box(q), 10));
+                }
+            });
+        });
+        group.finish();
+    }
+
+    let mut group = c.benchmark_group("index/bucket/build");
+    for n in [1_000usize, 100_000] {
+        let entries = synthetic_entries(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &entries, |b, entries| {
+            b.iter(|| ShotIndex::from_entries(black_box(entries.clone()), BucketParams::default()));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_query,
     bench_build,
     bench_insert,
-    bench_extended
+    bench_extended,
+    bench_bucket
 );
 criterion_main!(benches);

@@ -3,10 +3,13 @@
 //! Generates a deterministic synthetic corpus, ingests it through
 //! [`vdb_store::journal::JournaledDatabase`] (so the analysis pipeline,
 //! the codec, and the journal all record into the process-global
-//! [`vdb_obs`] registry), then writes `BENCH_5.json`: frames/s overall
-//! and per pipeline stage, cascade stage-hit ratios (the paper's Fig. 4
-//! cost metric), journal append/fsync latency quantiles, and the full
-//! registry dump.
+//! [`vdb_obs`] registry), runs a mixed range/top-k query workload through
+//! the planner-backed shot index, then writes `BENCH_5.json`: frames/s
+//! overall and per pipeline stage, cascade stage-hit ratios (the paper's
+//! Fig. 4 cost metric), journal append/fsync latency quantiles, the
+//! `core.index.*` probe statistics (plan split, probe quantiles,
+//! candidates scored — the scan-vs-index crossover in snapshot form), and
+//! the full registry dump.
 //!
 //! With `--baseline <path>` the overall frames/s is compared against a
 //! previously checked-in snapshot and the process exits non-zero when it
@@ -123,6 +126,23 @@ fn main() {
             .expect("ingest clip");
     }
     let wall_seconds = wall.elapsed().as_secs_f64();
+
+    // --- Query workload over the planner-backed shot index. ---
+    use vdb_core::index::VarianceQuery;
+    let index_entries = db.db().index().len();
+    let query_wall = Instant::now();
+    let mut answers = 0usize;
+    for i in 0..64u32 {
+        let q = VarianceQuery::new(f64::from(i % 16) * 4.0, f64::from(i % 12) * 3.0)
+            .with_tolerances(0.5 + f64::from(i % 4) * 0.5, 2.0);
+        answers += db.db().query(&q).len();
+        answers += db.db().query_topk(&q, 10).len();
+    }
+    let query_seconds = query_wall.elapsed().as_secs_f64();
+    eprintln!(
+        "perfsnap: query workload: 128 probes over {index_entries} indexed shots, \
+         {answers} answers in {query_seconds:.3}s"
+    );
     drop(db);
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -178,6 +198,27 @@ fn main() {
     for (key, metric) in [
         ("append", "store.journal.append_us"),
         ("fsync", "store.journal.fsync_us"),
+    ] {
+        let (p50, p99) = snap
+            .histogram(metric)
+            .map_or((0, 0), |h| (h.p50_us(), h.p99_us()));
+        let _ = write!(json, ", \"{key}_p50_us\": {p50}, \"{key}_p99_us\": {p99}");
+    }
+    json.push_str("},\n  \"index\": {");
+    let _ = write!(json, "\"entries\": {index_entries}, \"queries\": 128");
+    json.push_str(", \"query_seconds\": ");
+    push_f64(&mut json, query_seconds);
+    for (key, metric) in [
+        ("plan_bucket", "core.index.plan_bucket"),
+        ("plan_scan", "core.index.plan_scan"),
+        ("candidates_scored", "core.index.candidates_scored"),
+        ("buckets_touched", "core.index.buckets_touched"),
+    ] {
+        let _ = write!(json, ", \"{key}\": {}", snap.counter(metric).unwrap_or(0));
+    }
+    for (key, metric) in [
+        ("build", "core.index.build_us"),
+        ("probe", "core.index.probe_us"),
     ] {
         let (p50, p99) = snap
             .histogram(metric)

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables on the synthetic corpus.
 //!
 //! ```text
-//! cargo run -p vdb-bench --release --bin tables [--scale F] [--seed N] [table1|table3|table4|table5|baseline-compare|sensitivity|all]
+//! cargo run -p vdb-bench --release --bin tables [--scale F] [--seed N] [table1|table3|table4|table5|baseline-compare|sensitivity|crossover|all]
 //! ```
 //!
 //! `--scale` is the fraction of each Table 5 clip's published shot-change
@@ -18,6 +18,7 @@ use vdb_eval::experiments::{
     render_baseline_comparison, render_sensitivity, run_baseline_comparison, run_sensitivity_sweep,
     run_table5, run_tolerance_sweep,
 };
+use vdb_eval::indexperf::{render_crossover, run_crossover};
 use vdb_eval::retrieval::{run_table3, run_table4, FIGURE5_SEED};
 use vdb_synth::Scale;
 
@@ -165,6 +166,12 @@ fn main() {
     if wants(&args, "ablation-zoom") {
         println!("== Zoom-robustness ablation (shift-only vs multiscale) ==\n");
         println!("{}", run_zoom_ablation(args.seed, 6));
+    }
+    if wants(&args, "crossover") {
+        println!("== Scan-vs-index crossover (bucketed shot index) ==\n");
+        let sizes = [1_000, 10_000, 100_000, 500_000];
+        let points = run_crossover(&sizes, 9, args.seed);
+        println!("{}", render_crossover(&points));
     }
     if wants(&args, "ablation-model") {
         println!("== Similarity-model ablation (basic vs §6 extended) ==\n");

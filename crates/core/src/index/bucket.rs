@@ -1,0 +1,607 @@
+//! The sorted bucket array over `D^v` — the sublinear replacement for the
+//! flat Table-4 scan.
+//!
+//! Entries are kept in one contiguous array sorted by `(D^v, ShotKey)`;
+//! on top of it sits a *bucket directory*: the `D^v` axis is cut into
+//! fixed-width buckets (width = [`BucketParams::bucket_width`], anchored
+//! at the corpus minimum) and `offsets[b]..offsets[b+1]` is the slice of
+//! the array belonging to bucket `b`. A probe therefore touches only the
+//! buckets overlapping its `D^v` window and scores only the entries
+//! inside them — the two numbers ([`ProbeStats`]) that the
+//! [`CostModel`](super::cost::CostModel) predicts and the accuracy suite
+//! checks.
+//!
+//! Two query shapes are supported, both **exact** (pinned against the
+//! brute-force linear scan by the equivalence property suite):
+//!
+//! * **range** — the paper's Eqs. 7–8 window, identical semantics to
+//!   [`VarianceIndex::query`](super::VarianceIndex::query);
+//! * **top-k** — the `k` nearest entries to the query point in
+//!   `(D^v, √Var^BA)` space, found by expanding outward from the query's
+//!   bucket and stopping once the next bucket's best possible distance
+//!   exceeds the current k-th best (ties broken by ascending
+//!   [`ShotKey`](super::ShotKey), so equal-distance buckets are still
+//!   probed).
+
+use super::{IndexEntry, Match, VarianceQuery};
+use crate::index::cost::CorpusStats;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Construction parameters of the [`BucketIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketParams {
+    /// Width of one bucket in `D^v` units. Smaller buckets touch fewer
+    /// false candidates per probe but make the directory larger; the
+    /// effective width is widened automatically when the corpus span
+    /// would otherwise explode the directory (see
+    /// [`BucketIndex::effective_width`]).
+    pub bucket_width: f64,
+    /// Number of equi-width bins in the corpus-statistics histogram the
+    /// cost model estimates from.
+    pub stats_bins: usize,
+}
+
+impl Default for BucketParams {
+    fn default() -> Self {
+        BucketParams {
+            bucket_width: 0.25,
+            stats_bins: 64,
+        }
+    }
+}
+
+impl BucketParams {
+    /// Default parameters with an explicit bucket width.
+    pub fn with_bucket_width(bucket_width: f64) -> Self {
+        BucketParams {
+            bucket_width,
+            ..Self::default()
+        }
+    }
+
+    fn sane_width(&self) -> f64 {
+        if self.bucket_width.is_finite() && self.bucket_width > 0.0 {
+            self.bucket_width
+        } else {
+            Self::default().bucket_width
+        }
+    }
+}
+
+/// How much work one probe did — the measured side of the cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Buckets visited (for a scan: 0).
+    pub buckets_touched: usize,
+    /// Entries whose predicate/distance was evaluated.
+    pub candidates: usize,
+}
+
+/// The sorted bucket array. Immutable once built; the maintained,
+/// incrementally-updated wrapper is [`ShotIndex`](super::planner::ShotIndex).
+#[derive(Debug, Clone)]
+pub struct BucketIndex {
+    params: BucketParams,
+    /// Sorted by `(D^v, key)` ascending (`total_cmp` on `D^v`).
+    entries: Vec<IndexEntry>,
+    /// Cached `D^v` per entry (parallel to `entries`).
+    dvs: Vec<f64>,
+    /// Cached `√Var^BA` per entry.
+    sbas: Vec<f64>,
+    /// Left edge of bucket 0 (the corpus minimum `D^v`).
+    origin: f64,
+    /// Effective bucket width (≥ `params.bucket_width`).
+    width: f64,
+    /// `offsets[b]..offsets[b+1]` is bucket `b`'s slice of `entries`.
+    offsets: Vec<u32>,
+    stats: CorpusStats,
+}
+
+/// Max-heap item for top-k: the *worst* current answer is at the top.
+/// Ordered by `(distance, key)` with `total_cmp`, so NaN distances are
+/// handled deterministically.
+struct Worst {
+    dist: f64,
+    entry: IndexEntry,
+}
+
+impl Worst {
+    fn rank_cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.entry.key.cmp(&other.entry.key))
+    }
+}
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank_cmp(other)
+    }
+}
+
+/// Sort comparator shared by every build path: ascending `(D^v, key)`.
+pub(crate) fn entry_order(a: &(f64, IndexEntry), b: &(f64, IndexEntry)) -> Ordering {
+    a.0.total_cmp(&b.0).then(a.1.key.cmp(&b.1.key))
+}
+
+fn match_of(entry: &IndexEntry, dv: f64, sba: f64, dq: f64, sq: f64) -> Match {
+    Match {
+        entry: *entry,
+        distance: ((dv - dq).powi(2) + (sba - sq).powi(2)).sqrt(),
+    }
+}
+
+impl BucketIndex {
+    /// Build from unsorted rows.
+    pub fn build(entries: Vec<IndexEntry>, params: BucketParams) -> Self {
+        let mut rows: Vec<(f64, IndexEntry)> = entries.into_iter().map(|e| (e.d_v(), e)).collect();
+        rows.sort_by(entry_order);
+        Self::from_sorted_rows(rows, params)
+    }
+
+    /// Build from rows already sorted by `(D^v, key)` — the incremental
+    /// merge path of `ShotIndex`. Debug builds verify the order.
+    pub(crate) fn from_sorted_rows(rows: Vec<(f64, IndexEntry)>, params: BucketParams) -> Self {
+        debug_assert!(rows
+            .windows(2)
+            .all(|w| entry_order(&w[0], &w[1]) != Ordering::Greater));
+        let n = rows.len();
+        let mut entries = Vec::with_capacity(n);
+        let mut dvs = Vec::with_capacity(n);
+        let mut sbas = Vec::with_capacity(n);
+        for (dv, e) in rows {
+            entries.push(e);
+            dvs.push(dv);
+            sbas.push(e.sqrt_ba());
+        }
+
+        let base_width = params.sane_width();
+        let (origin, width, nbuckets) = if n == 0 {
+            (0.0, base_width, 1usize)
+        } else {
+            let lo = dvs[0];
+            let hi = dvs[n - 1];
+            let span = if hi.is_finite() && lo.is_finite() {
+                (hi - lo).max(0.0)
+            } else {
+                0.0
+            };
+            // Cap the directory so a tiny width on a wide corpus cannot
+            // allocate an absurd number of buckets.
+            let cap = (4 * n + 8).min(1 << 22);
+            let mut width = base_width;
+            let mut nb = (span / width).floor() as usize + 1;
+            if nb > cap {
+                width = span / cap as f64;
+                nb = (span / width).floor() as usize + 1;
+                nb = nb.min(cap + 1);
+            }
+            (if lo.is_finite() { lo } else { 0.0 }, width, nb.max(1))
+        };
+
+        let mut offsets = vec![0u32; nbuckets + 1];
+        for &dv in &dvs {
+            let b = bucket_of(dv, origin, width, nbuckets);
+            offsets[b + 1] += 1;
+        }
+        for b in 0..nbuckets {
+            offsets[b + 1] += offsets[b];
+        }
+
+        let stats = CorpusStats::from_sorted_dvs(&dvs, params.stats_bins);
+        BucketIndex {
+            params,
+            entries,
+            dvs,
+            sbas,
+            origin,
+            width,
+            offsets,
+            stats,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All rows, sorted by `(D^v, key)`.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Cached `(D^v, entry)` rows in index order — the merge input for
+    /// incremental refresh.
+    pub(crate) fn sorted_rows(&self) -> impl Iterator<Item = (f64, IndexEntry)> + '_ {
+        self.dvs.iter().copied().zip(self.entries.iter().copied())
+    }
+
+    /// The parameters this index was built with.
+    pub fn params(&self) -> BucketParams {
+        self.params
+    }
+
+    /// The bucket width actually in use (may exceed
+    /// [`BucketParams::bucket_width`] when the directory was capped).
+    pub fn effective_width(&self) -> f64 {
+        self.width
+    }
+
+    /// Number of buckets in the directory.
+    pub fn bucket_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The corpus statistics the cost model estimates from.
+    pub fn stats(&self) -> &CorpusStats {
+        &self.stats
+    }
+
+    fn bucket_of(&self, dv: f64) -> usize {
+        bucket_of(dv, self.origin, self.width, self.bucket_count())
+    }
+
+    /// Eqs. 7–8 range query through the bucket directory, plus the probe's
+    /// work accounting. Results sorted by `(distance, key)` — identical
+    /// IDs and order to [`Self::range_scan_with_stats`].
+    pub fn range_with_stats(&self, q: &VarianceQuery) -> (Vec<Match>, ProbeStats) {
+        if self.entries.is_empty() {
+            return (Vec::new(), ProbeStats::default());
+        }
+        let dq = q.d_v();
+        let sq = q.var_ba.sqrt();
+        let lo_b = self.bucket_of(dq - q.alpha);
+        let hi_b = self.bucket_of(dq + q.alpha);
+        let (lo_b, hi_b) = (lo_b.min(hi_b), lo_b.max(hi_b));
+        let lo = self.offsets[lo_b] as usize;
+        let hi = self.offsets[hi_b + 1] as usize;
+        let stats = ProbeStats {
+            buckets_touched: hi_b - lo_b + 1,
+            candidates: hi - lo,
+        };
+        let mut out: Vec<Match> = (lo..hi)
+            .filter(|&i| q.matches(&self.entries[i]))
+            .map(|i| match_of(&self.entries[i], self.dvs[i], self.sbas[i], dq, sq))
+            .collect();
+        out.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.entry.key.cmp(&b.entry.key))
+        });
+        (out, stats)
+    }
+
+    /// Reference range probe: linear scan with the same predicate and
+    /// ordering. `candidates` is always the full table.
+    pub fn range_scan_with_stats(&self, q: &VarianceQuery) -> (Vec<Match>, ProbeStats) {
+        let dq = q.d_v();
+        let sq = q.var_ba.sqrt();
+        let mut out: Vec<Match> = (0..self.entries.len())
+            .filter(|&i| q.matches(&self.entries[i]))
+            .map(|i| match_of(&self.entries[i], self.dvs[i], self.sbas[i], dq, sq))
+            .collect();
+        out.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.entry.key.cmp(&b.entry.key))
+        });
+        (
+            out,
+            ProbeStats {
+                buckets_touched: 0,
+                candidates: self.entries.len(),
+            },
+        )
+    }
+
+    /// The `k` entries nearest to the query point in `(D^v, √Var^BA)`
+    /// space (α/β are ignored — top-k is unconditional), expanding
+    /// bucket-by-bucket outward from the query's bucket. Exact: same IDs
+    /// and order as [`Self::topk_scan_with_stats`], ties by ascending key.
+    pub fn topk_with_stats(&self, q: &VarianceQuery, k: usize) -> (Vec<Match>, ProbeStats) {
+        if self.entries.is_empty() || k == 0 {
+            return (Vec::new(), ProbeStats::default());
+        }
+        let dq = q.d_v();
+        let sq = q.var_ba.sqrt();
+        let nb = self.bucket_count();
+        let center = self.bucket_of(dq);
+        let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+        let mut stats = ProbeStats::default();
+
+        // Visit buckets in order of their minimal horizontal distance to
+        // dq; stop once that lower bound strictly exceeds the current
+        // k-th best distance (on ties we keep probing: an equal-distance
+        // entry with a smaller key must still win).
+        let mut left: isize = center as isize; // next bucket to take on the left (inclusive)
+        let mut right: usize = center + 1; // next bucket to take on the right
+        let mut center_pending = true;
+        loop {
+            let next = if center_pending {
+                center_pending = false;
+                Some(center)
+            } else {
+                let ld = if left > 0 {
+                    // left-1's right edge
+                    Some(dq - (self.origin + (left as f64) * self.width))
+                } else {
+                    None
+                };
+                let rd = if right < nb {
+                    Some((self.origin + (right as f64) * self.width) - dq)
+                } else {
+                    None
+                };
+                match (ld, rd) {
+                    (None, None) => None,
+                    (Some(_), None) => {
+                        left -= 1;
+                        Some(left as usize)
+                    }
+                    (None, Some(_)) => {
+                        right += 1;
+                        Some(right - 1)
+                    }
+                    (Some(l), Some(r)) => {
+                        if l <= r {
+                            left -= 1;
+                            Some(left as usize)
+                        } else {
+                            right += 1;
+                            Some(right - 1)
+                        }
+                    }
+                }
+            };
+            let Some(b) = next else { break };
+
+            // Horizontal lower bound on any distance inside bucket b.
+            let b_lo = self.origin + b as f64 * self.width;
+            let b_hi = b_lo + self.width;
+            let hdist = if dq < b_lo {
+                b_lo - dq
+            } else if dq > b_hi {
+                dq - b_hi
+            } else {
+                0.0
+            };
+            if heap.len() == k {
+                if let Some(worst) = heap.peek() {
+                    if hdist > worst.dist {
+                        break;
+                    }
+                }
+            }
+
+            stats.buckets_touched += 1;
+            let lo = self.offsets[b] as usize;
+            let hi = self.offsets[b + 1] as usize;
+            stats.candidates += hi - lo;
+            for i in lo..hi {
+                let cand = Worst {
+                    dist: ((self.dvs[i] - dq).powi(2) + (self.sbas[i] - sq).powi(2)).sqrt(),
+                    entry: self.entries[i],
+                };
+                if heap.len() < k {
+                    heap.push(cand);
+                } else if let Some(worst) = heap.peek() {
+                    if cand.cmp(worst) == Ordering::Less {
+                        heap.pop();
+                        heap.push(cand);
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<Match> = heap
+            .into_iter()
+            .map(|w| Match {
+                entry: w.entry,
+                distance: w.dist,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.entry.key.cmp(&b.entry.key))
+        });
+        (out, stats)
+    }
+
+    /// Reference top-k: one linear pass over the whole table.
+    pub fn topk_scan_with_stats(&self, q: &VarianceQuery, k: usize) -> (Vec<Match>, ProbeStats) {
+        let stats = ProbeStats {
+            buckets_touched: 0,
+            candidates: self.entries.len(),
+        };
+        if self.entries.is_empty() || k == 0 {
+            return (Vec::new(), ProbeStats::default());
+        }
+        let dq = q.d_v();
+        let sq = q.var_ba.sqrt();
+        let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+        for i in 0..self.entries.len() {
+            let cand = Worst {
+                dist: ((self.dvs[i] - dq).powi(2) + (self.sbas[i] - sq).powi(2)).sqrt(),
+                entry: self.entries[i],
+            };
+            if heap.len() < k {
+                heap.push(cand);
+            } else if let Some(worst) = heap.peek() {
+                if cand.cmp(worst) == Ordering::Less {
+                    heap.pop();
+                    heap.push(cand);
+                }
+            }
+        }
+        let mut out: Vec<Match> = heap
+            .into_iter()
+            .map(|w| Match {
+                entry: w.entry,
+                distance: w.dist,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.entry.key.cmp(&b.entry.key))
+        });
+        (out, stats)
+    }
+}
+
+fn bucket_of(dv: f64, origin: f64, width: f64, nbuckets: usize) -> usize {
+    // NaN and -inf land in bucket 0 (`as` saturates), +inf in the last.
+    let raw = ((dv - origin) / width).floor();
+    (raw as usize).min(nbuckets - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ShotKey;
+
+    fn entry(video: u64, shot: u32, var_ba: f64, var_oa: f64) -> IndexEntry {
+        IndexEntry {
+            key: ShotKey { video, shot },
+            var_ba,
+            var_oa,
+        }
+    }
+
+    fn corpus(n: usize) -> Vec<IndexEntry> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                entry(
+                    (i % 13) as u64,
+                    i as u32,
+                    (x * 0.613) % 64.0,
+                    (x * 0.271) % 48.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_is_calm() {
+        let idx = BucketIndex::build(vec![], BucketParams::default());
+        assert!(idx.is_empty());
+        assert_eq!(idx.bucket_count(), 1);
+        let q = VarianceQuery::new(4.0, 1.0);
+        assert!(idx.range_with_stats(&q).0.is_empty());
+        assert!(idx.topk_with_stats(&q, 5).0.is_empty());
+    }
+
+    #[test]
+    fn range_matches_scan_exactly() {
+        let idx = BucketIndex::build(corpus(500), BucketParams::with_bucket_width(0.5));
+        for i in 0..40 {
+            let q = VarianceQuery::new(f64::from(i) * 1.7, f64::from(i) * 0.9)
+                .with_tolerances(1.5, 2.0);
+            let (a, sa) = idx.range_with_stats(&q);
+            let (b, sb) = idx.range_scan_with_stats(&q);
+            assert_eq!(
+                a.iter().map(|m| m.entry.key).collect::<Vec<_>>(),
+                b.iter().map(|m| m.entry.key).collect::<Vec<_>>(),
+                "query {i}"
+            );
+            assert!(
+                sa.candidates <= sb.candidates,
+                "bucket probe must not overscan"
+            );
+            assert!(sa.buckets_touched >= 1);
+        }
+    }
+
+    #[test]
+    fn topk_matches_scan_exactly_with_ties() {
+        // Many exact duplicates force the tie-break path.
+        let mut entries = corpus(300);
+        for i in 0..50 {
+            entries.push(entry(99, i, 16.0, 4.0));
+        }
+        let idx = BucketIndex::build(entries, BucketParams::with_bucket_width(0.25));
+        for k in [1usize, 3, 10, 55, 1000] {
+            let q = VarianceQuery::new(16.0, 4.0);
+            let (a, _) = idx.topk_with_stats(&q, k);
+            let (b, _) = idx.topk_scan_with_stats(&q, k);
+            assert_eq!(a.len(), k.min(idx.len()));
+            assert_eq!(
+                a.iter().map(|m| m.entry.key).collect::<Vec<_>>(),
+                b.iter().map(|m| m.entry.key).collect::<Vec<_>>(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn topk_probe_is_sublinear_on_big_corpus() {
+        let idx = BucketIndex::build(corpus(50_000), BucketParams::default());
+        let q = VarianceQuery::new(25.0, 9.0);
+        let (hits, stats) = idx.topk_with_stats(&q, 10);
+        assert_eq!(hits.len(), 10);
+        assert!(
+            stats.candidates < idx.len() / 10,
+            "top-10 probe scored {} of {} candidates",
+            stats.candidates,
+            idx.len()
+        );
+    }
+
+    #[test]
+    fn directory_cap_widens_buckets() {
+        // 3 entries spanning a huge D^v range with a microscopic width:
+        // the cap must widen the effective bucket width instead of
+        // allocating millions of buckets.
+        let entries = vec![
+            entry(1, 0, 0.0, 1_000_000.0),
+            entry(1, 1, 4.0, 4.0),
+            entry(1, 2, 1_000_000.0, 0.0),
+        ];
+        let idx = BucketIndex::build(entries, BucketParams::with_bucket_width(1e-6));
+        assert!(idx.bucket_count() <= 4 * 3 + 9);
+        assert!(idx.effective_width() > 1e-6);
+        let (hits, _) = idx.topk_with_stats(&VarianceQuery::new(4.0, 4.0), 1);
+        assert_eq!(hits[0].entry.key.shot, 1);
+    }
+
+    #[test]
+    fn degenerate_params_fall_back_to_default_width() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let idx = BucketIndex::build(corpus(10), BucketParams::with_bucket_width(bad));
+            assert_eq!(idx.effective_width(), BucketParams::default().bucket_width);
+        }
+    }
+
+    #[test]
+    fn identical_dv_corpus_has_single_bucket() {
+        let entries: Vec<IndexEntry> = (0..20).map(|i| entry(1, i, 9.0, 4.0)).collect();
+        let idx = BucketIndex::build(entries, BucketParams::default());
+        assert_eq!(idx.bucket_count(), 1);
+        let (hits, stats) = idx.topk_with_stats(&VarianceQuery::new(9.0, 4.0), 5);
+        assert_eq!(hits.len(), 5);
+        // Ties broken by key: shots 0..5 in order.
+        let shots: Vec<u32> = hits.iter().map(|m| m.entry.key.shot).collect();
+        assert_eq!(shots, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stats.buckets_touched, 1);
+    }
+}

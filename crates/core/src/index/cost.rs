@@ -1,0 +1,361 @@
+//! The probe cost model — predicts how much work a bucket probe will do
+//! from index parameters plus a small corpus summary, in the spirit of
+//! lantern's `hnsw_cost_estimate`: every estimate is pinned by tests
+//! against the *measured* [`ProbeStats`](super::bucket::ProbeStats) of
+//! the real index.
+//!
+//! The model is deliberately tiny: a [`CorpusStats`] equi-width histogram
+//! of the `D^v` distribution (a few hundred bytes) and the effective
+//! bucket width. A range probe's window is widened to the bucket edges
+//! it would actually touch, and the candidate count is interpolated from
+//! the histogram. The [planner](super::planner) compares the resulting
+//! [`CostEstimate::total`] against the linear-scan cost `n` and picks the
+//! cheaper side — which is what makes the scan-vs-index crossover a
+//! *decision*, not a hardcode.
+
+/// Equi-width histogram summary of a corpus' `D^v` distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    n: usize,
+    dv_min: f64,
+    dv_max: f64,
+    bin_width: f64,
+    bins: Vec<u32>,
+}
+
+impl CorpusStats {
+    /// Summarise an ascending (by `total_cmp`) slice of `D^v` values into
+    /// `nbins` equi-width bins.
+    pub fn from_sorted_dvs(dvs: &[f64], nbins: usize) -> Self {
+        let nbins = nbins.clamp(1, 4096);
+        let n = dvs.len();
+        if n == 0 {
+            return CorpusStats {
+                n: 0,
+                dv_min: 0.0,
+                dv_max: 0.0,
+                bin_width: 0.0,
+                bins: vec![0; nbins],
+            };
+        }
+        // total_cmp sorts NaN above +inf, so finite extrema are a prefix.
+        let finite: Vec<f64> = dvs.iter().copied().filter(|d| d.is_finite()).collect();
+        let (dv_min, dv_max) = match (finite.first(), finite.last()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => (0.0, 0.0),
+        };
+        let span = (dv_max - dv_min).max(0.0);
+        let bin_width = span / nbins as f64;
+        let mut bins = vec![0u32; nbins];
+        for &dv in dvs {
+            let b = if bin_width <= 0.0 || !dv.is_finite() {
+                0
+            } else {
+                (((dv - dv_min) / bin_width).floor() as usize).min(nbins - 1)
+            };
+            bins[b] += 1;
+        }
+        CorpusStats {
+            n,
+            dv_min,
+            dv_max,
+            bin_width,
+            bins,
+        }
+    }
+
+    /// Number of rows summarised.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Smallest finite `D^v` seen.
+    pub fn dv_min(&self) -> f64 {
+        self.dv_min
+    }
+
+    /// Largest finite `D^v` seen.
+    pub fn dv_max(&self) -> f64 {
+        self.dv_max
+    }
+
+    /// Expected number of rows with `D^v ∈ [lo, hi]`, interpolated from
+    /// the histogram (fractional bin overlap). Returns 0 for empty or
+    /// inverted windows.
+    pub fn expected_in_window(&self, lo: f64, hi: f64) -> f64 {
+        if self.n == 0 || lo.is_nan() || hi.is_nan() || hi < lo {
+            return 0.0;
+        }
+        if self.bin_width <= 0.0 {
+            // Point-mass corpus at dv_min.
+            return if lo <= self.dv_min && self.dv_min <= hi {
+                self.n as f64
+            } else {
+                0.0
+            };
+        }
+        let mut expected = 0.0;
+        for (i, &count) in self.bins.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let b_lo = self.dv_min + i as f64 * self.bin_width;
+            let b_hi = b_lo + self.bin_width;
+            let overlap = (hi.min(b_hi) - lo.max(b_lo)).max(0.0);
+            expected += overlap / self.bin_width * f64::from(count);
+        }
+        expected.min(self.n as f64)
+    }
+}
+
+/// Relative weights of the probe's cost components, in "one candidate
+/// scored" units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Fixed per-probe setup (bucket arithmetic, window math).
+    pub probe_setup: f64,
+    /// Cost of touching one bucket (directory lookup + slice bounds).
+    pub bucket_touch: f64,
+    /// Cost of scoring one candidate row.
+    pub candidate: f64,
+    /// Cost of one row under the linear scan (predicate, no directory).
+    pub scan_candidate: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            probe_setup: 8.0,
+            bucket_touch: 2.0,
+            candidate: 1.0,
+            scan_candidate: 1.0,
+        }
+    }
+}
+
+/// A predicted probe cost, in the same units the planner compares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Predicted buckets touched.
+    pub buckets_touched: f64,
+    /// Predicted candidates scored.
+    pub candidates: f64,
+    /// Scalar cost (`probe_setup + buckets·bucket_touch + candidates·candidate`).
+    pub total: f64,
+}
+
+/// The estimator: effective bucket width + corpus statistics + weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    width: f64,
+    stats: CorpusStats,
+    weights: CostWeights,
+}
+
+impl CostModel {
+    /// Build a model for an index with the given *effective* bucket width
+    /// over a corpus summarised by `stats`.
+    pub fn new(width: f64, stats: CorpusStats, weights: CostWeights) -> Self {
+        let width = if width.is_finite() && width > 0.0 {
+            width
+        } else {
+            1.0
+        };
+        CostModel {
+            width,
+            stats,
+            weights,
+        }
+    }
+
+    /// The corpus statistics backing the model.
+    pub fn stats(&self) -> &CorpusStats {
+        &self.stats
+    }
+
+    fn finish(&self, buckets: f64, candidates: f64) -> CostEstimate {
+        CostEstimate {
+            buckets_touched: buckets,
+            candidates,
+            total: self.weights.probe_setup
+                + buckets * self.weights.bucket_touch
+                + candidates * self.weights.candidate,
+        }
+    }
+
+    /// Predicted cost of a range probe centred at `dq` with half-width
+    /// `alpha` (Eq. 7's window). The window is widened to the bucket
+    /// edges the probe would actually touch before consulting the
+    /// histogram — the model prices the index's granularity, not the
+    /// ideal window.
+    pub fn estimate_range(&self, dq: f64, alpha: f64) -> CostEstimate {
+        if self.stats.n() == 0 {
+            return self.finish(0.0, 0.0);
+        }
+        let alpha = if alpha.is_finite() {
+            alpha.max(0.0)
+        } else {
+            0.0
+        };
+        let origin = self.stats.dv_min();
+        let w = self.width;
+        let lo_b = ((dq - alpha - origin) / w).floor();
+        let hi_b = ((dq + alpha - origin) / w).floor();
+        let (lo_b, hi_b) = if lo_b.is_finite() && hi_b.is_finite() {
+            (lo_b, hi_b)
+        } else {
+            (0.0, 0.0)
+        };
+        // Clamp to the directory the index actually has.
+        let last = ((self.stats.dv_max() - origin) / w).floor().max(0.0);
+        let lo_b = lo_b.clamp(0.0, last);
+        let hi_b = hi_b.clamp(0.0, last);
+        let buckets = (hi_b - lo_b + 1.0).max(1.0);
+        let lo_edge = origin + lo_b * w;
+        let hi_edge = origin + (hi_b + 1.0) * w;
+        let candidates = self.stats.expected_in_window(lo_edge, hi_edge);
+        self.finish(buckets, candidates)
+    }
+
+    /// Predicted cost of a top-k probe centred at `dq`: expand the window
+    /// one bucket per side until the histogram expects ≥ `k` rows inside
+    /// it (or the corpus is exhausted).
+    pub fn estimate_topk(&self, dq: f64, k: usize) -> CostEstimate {
+        let n = self.stats.n();
+        if n == 0 || k == 0 {
+            return self.finish(0.0, 0.0);
+        }
+        let k = k.min(n) as f64;
+        let w = self.width;
+        let dq = if dq.is_finite() {
+            dq
+        } else {
+            self.stats.dv_min()
+        };
+        let span = (self.stats.dv_max() - self.stats.dv_min()).max(0.0);
+        let max_steps = (span / w).ceil() as usize + 2;
+        let mut half = w / 2.0;
+        let mut buckets = 1.0;
+        let mut expected = self.stats.expected_in_window(dq - half, dq + half);
+        let mut steps = 0usize;
+        while expected < k && steps < max_steps {
+            half += w;
+            buckets += 2.0;
+            expected = self.stats.expected_in_window(dq - half, dq + half);
+            steps += 1;
+        }
+        self.finish(buckets, expected.max(k))
+    }
+
+    /// Cost of answering the same query with the linear scan.
+    pub fn scan_cost(&self) -> f64 {
+        self.stats.n() as f64 * self.weights.scan_candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_stats(n: usize, lo: f64, hi: f64) -> CorpusStats {
+        let dvs: Vec<f64> = (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1).max(1) as f64)
+            .collect();
+        CorpusStats::from_sorted_dvs(&dvs, 64)
+    }
+
+    #[test]
+    fn window_expectation_tracks_uniform_density() {
+        let stats = uniform_stats(10_000, 0.0, 100.0);
+        let expected = stats.expected_in_window(10.0, 20.0);
+        let ideal = 1000.0;
+        assert!(
+            (expected - ideal).abs() < ideal * 0.05,
+            "expected {expected} rows in a 10% window"
+        );
+        assert_eq!(stats.expected_in_window(500.0, 600.0), 0.0);
+        assert_eq!(stats.expected_in_window(20.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn point_mass_corpus() {
+        let dvs = vec![4.0; 50];
+        let stats = CorpusStats::from_sorted_dvs(&dvs, 64);
+        assert_eq!(stats.expected_in_window(3.0, 5.0), 50.0);
+        assert_eq!(stats.expected_in_window(5.0, 6.0), 0.0);
+    }
+
+    #[test]
+    fn range_cost_monotone_in_alpha() {
+        let model = CostModel::new(
+            0.5,
+            uniform_stats(10_000, 0.0, 100.0),
+            CostWeights::default(),
+        );
+        let mut last = 0.0;
+        for alpha in [0.1, 0.5, 1.0, 2.0, 5.0, 20.0] {
+            let est = model.estimate_range(50.0, alpha);
+            assert!(
+                est.total >= last,
+                "alpha={alpha}: total {} fell below {last}",
+                est.total
+            );
+            last = est.total;
+        }
+    }
+
+    #[test]
+    fn range_cost_monotone_in_n() {
+        let mut last = 0.0;
+        for n in [1_000usize, 10_000, 100_000] {
+            let model = CostModel::new(0.5, uniform_stats(n, 0.0, 100.0), CostWeights::default());
+            let est = model.estimate_range(50.0, 1.0);
+            assert!(est.total > last, "n={n}");
+            last = est.total;
+        }
+    }
+
+    #[test]
+    fn topk_cost_monotone_in_k() {
+        let model = CostModel::new(
+            0.5,
+            uniform_stats(10_000, 0.0, 100.0),
+            CostWeights::default(),
+        );
+        let mut last = 0.0;
+        for k in [1usize, 10, 100, 1000, 10_000] {
+            let est = model.estimate_topk(50.0, k);
+            assert!(est.total >= last, "k={k}");
+            last = est.total;
+        }
+    }
+
+    #[test]
+    fn scan_beats_index_on_tiny_corpus() {
+        let model = CostModel::new(0.25, uniform_stats(4, 0.0, 1.0), CostWeights::default());
+        assert!(model.scan_cost() < model.estimate_range(0.5, 0.1).total);
+    }
+
+    #[test]
+    fn index_beats_scan_on_selective_probe() {
+        let model = CostModel::new(
+            0.5,
+            uniform_stats(100_000, 0.0, 100.0),
+            CostWeights::default(),
+        );
+        let est = model.estimate_range(50.0, 1.0);
+        assert!(est.total < model.scan_cost() / 10.0);
+    }
+
+    #[test]
+    fn empty_corpus_estimates_zero_work() {
+        let model = CostModel::new(
+            0.5,
+            CorpusStats::from_sorted_dvs(&[], 64),
+            CostWeights::default(),
+        );
+        assert_eq!(model.estimate_range(1.0, 1.0).candidates, 0.0);
+        assert_eq!(model.estimate_topk(1.0, 5).candidates, 0.0);
+        assert_eq!(model.scan_cost(), 0.0);
+    }
+}

@@ -1,0 +1,445 @@
+//! A small navigable-graph index over extended signature vectors — the
+//! "optional" arm of the index family, for the §6 per-channel model
+//! where the 1-d `D^v` bucket array no longer orders the space well.
+//!
+//! Single-layer NSW-style construction: each row is embedded as a
+//! 6-vector `(D^v_R, D^v_G, D^v_B, √Var^BA_R, √Var^BA_G, √Var^BA_B)`;
+//! inserts run a beam search from the entry point and link the new node
+//! bidirectionally to its [`GraphParams::max_degree`] nearest
+//! discoveries, pruning neighbour lists back to the degree bound by
+//! distance. Search is best-first beam expansion with width
+//! `max(ef_search, k)`.
+//!
+//! Unlike the bucket array this structure is **approximate**: the suite
+//! pins its *recall* against brute force (and that recall rises with the
+//! beam width), not exact equality — which is why the exact planner paths
+//! never route through it. Everything is deterministic: no randomized
+//! level draws, so the same insert order always yields the same graph.
+
+use super::{ExtendedEntry, ShotKey};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Construction/search parameters of [`SigGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphParams {
+    /// Maximum neighbours per node.
+    pub max_degree: usize,
+    /// Beam width while inserting.
+    pub ef_construction: usize,
+    /// Default beam width while searching (raised to `k` when smaller).
+    pub ef_search: usize,
+}
+
+impl Default for GraphParams {
+    fn default() -> Self {
+        GraphParams {
+            max_degree: 8,
+            ef_construction: 48,
+            ef_search: 32,
+        }
+    }
+}
+
+impl GraphParams {
+    fn sane(self) -> Self {
+        GraphParams {
+            max_degree: self.max_degree.clamp(1, 256),
+            ef_construction: self.ef_construction.clamp(1, 4096),
+            ef_search: self.ef_search.clamp(1, 4096),
+        }
+    }
+}
+
+/// The navigable graph. Immutable after [`SigGraph::build`].
+#[derive(Debug, Clone)]
+pub struct SigGraph {
+    params: GraphParams,
+    nodes: Vec<ExtendedEntry>,
+    vecs: Vec<[f64; 6]>,
+    links: Vec<Vec<u32>>,
+}
+
+fn embed(e: &ExtendedEntry) -> [f64; 6] {
+    let d = e.feature.d_v();
+    [
+        d[0],
+        d[1],
+        d[2],
+        e.feature.var_ba[0].sqrt(),
+        e.feature.var_ba[1].sqrt(),
+        e.feature.var_ba[2].sqrt(),
+    ]
+}
+
+fn dist(a: &[f64; 6], b: &[f64; 6]) -> f64 {
+    let mut sum = 0.0;
+    for i in 0..6 {
+        sum += (a[i] - b[i]).powi(2);
+    }
+    sum.sqrt()
+}
+
+/// Max-heap item ordered by `(distance, key)` — the worst kept result
+/// sits on top.
+struct Far {
+    dist: f64,
+    node: u32,
+    key: ShotKey,
+}
+
+impl Far {
+    fn rank_cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.key.cmp(&other.key))
+    }
+}
+impl PartialEq for Far {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Far {}
+impl PartialOrd for Far {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Far {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank_cmp(other)
+    }
+}
+
+/// Min-heap item (reversed ordering) for the expansion frontier.
+struct Near(Far);
+impl PartialEq for Near {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for Near {}
+impl PartialOrd for Near {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Near {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.rank_cmp(&self.0)
+    }
+}
+
+impl SigGraph {
+    /// Build by inserting rows one at a time (deterministic in the input
+    /// order).
+    pub fn build(entries: Vec<ExtendedEntry>, params: GraphParams) -> Self {
+        let params = params.sane();
+        let mut g = SigGraph {
+            params,
+            nodes: Vec::with_capacity(entries.len()),
+            vecs: Vec::with_capacity(entries.len()),
+            links: Vec::with_capacity(entries.len()),
+        };
+        for e in entries {
+            g.insert(e);
+        }
+        g
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> GraphParams {
+        self.params
+    }
+
+    fn insert(&mut self, entry: ExtendedEntry) {
+        let v = embed(&entry);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(entry);
+        self.vecs.push(v);
+        self.links.push(Vec::new());
+        if id == 0 {
+            return;
+        }
+        let found = self.beam(&v, self.params.ef_construction, Some(id as usize));
+        for &(_, nb) in found.iter().take(self.params.max_degree) {
+            self.link(id, nb);
+            self.link(nb, id);
+        }
+    }
+
+    fn link(&mut self, from: u32, to: u32) {
+        if from == to || self.links[from as usize].contains(&to) {
+            return;
+        }
+        self.links[from as usize].push(to);
+        if self.links[from as usize].len() > self.params.max_degree {
+            // Prune to the `max_degree` nearest, but always keep the most
+            // recent edge so a fresh node can never be orphaned by its
+            // own arrival.
+            let base = self.vecs[from as usize];
+            let newest = *self.links[from as usize].last().unwrap();
+            let mut ranked: Vec<(f64, u32)> = self.links[from as usize]
+                .iter()
+                .map(|&n| (dist(&base, &self.vecs[n as usize]), n))
+                .collect();
+            ranked.sort_by(|a, b| {
+                a.0.total_cmp(&b.0).then(
+                    self.nodes[a.1 as usize]
+                        .key
+                        .cmp(&self.nodes[b.1 as usize].key),
+                )
+            });
+            let mut kept: Vec<u32> = ranked
+                .iter()
+                .take(self.params.max_degree)
+                .map(|&(_, n)| n)
+                .collect();
+            if !kept.contains(&newest) {
+                kept.pop();
+                kept.push(newest);
+            }
+            self.links[from as usize] = kept;
+        }
+    }
+
+    /// Best-first beam search; returns up to `ef` hits sorted by
+    /// `(distance, key)`. `skip` excludes a node id (the node being
+    /// inserted).
+    fn beam(&self, query: &[f64; 6], ef: usize, skip: Option<usize>) -> Vec<(f64, u32)> {
+        if self.nodes.is_empty() {
+            return Vec::new();
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        let mut frontier: BinaryHeap<Near> = BinaryHeap::new();
+        let mut best: BinaryHeap<Far> = BinaryHeap::new();
+        let seed = 0u32;
+        visited[0] = true;
+        let d0 = dist(query, &self.vecs[0]);
+        let far0 = Far {
+            dist: d0,
+            node: seed,
+            key: self.nodes[0].key,
+        };
+        frontier.push(Near(Far {
+            dist: d0,
+            node: seed,
+            key: self.nodes[0].key,
+        }));
+        if skip != Some(0) {
+            best.push(far0);
+        }
+        if let Some(s) = skip {
+            if s < visited.len() {
+                visited[s] = true;
+            }
+        }
+        while let Some(Near(cur)) = frontier.pop() {
+            if best.len() >= ef {
+                if let Some(worst) = best.peek() {
+                    if cur.dist > worst.dist {
+                        break;
+                    }
+                }
+            }
+            for &nb in &self.links[cur.node as usize] {
+                let nb_us = nb as usize;
+                if visited[nb_us] {
+                    continue;
+                }
+                visited[nb_us] = true;
+                let d = dist(query, &self.vecs[nb_us]);
+                let item = Far {
+                    dist: d,
+                    node: nb,
+                    key: self.nodes[nb_us].key,
+                };
+                let admit = best.len() < ef
+                    || best
+                        .peek()
+                        .map(|w| item.rank_cmp(w) == Ordering::Less)
+                        .unwrap_or(true);
+                if admit {
+                    frontier.push(Near(Far {
+                        dist: d,
+                        node: nb,
+                        key: self.nodes[nb_us].key,
+                    }));
+                    best.push(item);
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(f64, u32)> = best.into_iter().map(|f| (f.dist, f.node)).collect();
+        out.sort_by(|a, b| {
+            a.0.total_cmp(&b.0).then(
+                self.nodes[a.1 as usize]
+                    .key
+                    .cmp(&self.nodes[b.1 as usize].key),
+            )
+        });
+        out
+    }
+
+    /// Approximate `k` nearest rows to `feature` in the 6-d signature
+    /// space, sorted by `(distance, key)`.
+    pub fn search(
+        &self,
+        feature: crate::variance::ExtendedShotFeature,
+        k: usize,
+    ) -> Vec<(ExtendedEntry, f64)> {
+        self.search_ef(feature, k, self.params.ef_search)
+    }
+
+    /// [`Self::search`] with an explicit beam width — wider beams trade
+    /// probe time for recall.
+    pub fn search_ef(
+        &self,
+        feature: crate::variance::ExtendedShotFeature,
+        k: usize,
+        ef: usize,
+    ) -> Vec<(ExtendedEntry, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let probe = ExtendedEntry {
+            key: ShotKey { video: 0, shot: 0 },
+            feature,
+        };
+        let q = embed(&probe);
+        let hits = self.beam(&q, ef.max(k).max(1), None);
+        hits.into_iter()
+            .take(k)
+            .map(|(d, n)| (self.nodes[n as usize], d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variance::ExtendedShotFeature;
+
+    fn feature(seed: u64) -> ExtendedShotFeature {
+        // Cheap deterministic LCG features in a plausible variance range.
+        let mut x = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut next = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as f64 / (1u64 << 31) as f64 * 40.0
+        };
+        ExtendedShotFeature {
+            var_ba: [next(), next(), next()],
+            var_oa: [next(), next(), next()],
+        }
+    }
+
+    fn corpus(n: usize) -> Vec<ExtendedEntry> {
+        (0..n)
+            .map(|i| ExtendedEntry {
+                key: ShotKey {
+                    video: (i / 100) as u64,
+                    shot: (i % 100) as u32,
+                },
+                feature: feature(i as u64 + 1),
+            })
+            .collect()
+    }
+
+    fn brute_topk(entries: &[ExtendedEntry], qf: ExtendedShotFeature, k: usize) -> Vec<ShotKey> {
+        let probe = ExtendedEntry {
+            key: ShotKey { video: 0, shot: 0 },
+            feature: qf,
+        };
+        let qv = embed(&probe);
+        let mut ranked: Vec<(f64, ShotKey)> = entries
+            .iter()
+            .map(|e| (dist(&qv, &embed(e)), e.key))
+            .collect();
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        ranked.into_iter().take(k).map(|(_, k)| k).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = SigGraph::build(vec![], GraphParams::default());
+        assert!(g.search(feature(7), 3).is_empty());
+        let one = corpus(1);
+        let g = SigGraph::build(one.clone(), GraphParams::default());
+        let hits = g.search(feature(7), 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.key, one[0].key);
+    }
+
+    #[test]
+    fn recall_is_high_at_default_beam() {
+        let entries = corpus(2_000);
+        let g = SigGraph::build(entries.clone(), GraphParams::default());
+        let k = 10;
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in 0..20u64 {
+            let qf = feature(10_000 + q);
+            let truth = brute_topk(&entries, qf, k);
+            let got: Vec<ShotKey> = g
+                .search_ef(qf, k, 64)
+                .into_iter()
+                .map(|(e, _)| e.key)
+                .collect();
+            hit += got.iter().filter(|kk| truth.contains(kk)).count();
+            total += k;
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.9, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn wider_beam_does_not_lose_recall() {
+        let entries = corpus(1_000);
+        let g = SigGraph::build(entries.clone(), GraphParams::default());
+        let k = 10;
+        let recall_at = |ef: usize| {
+            let mut hit = 0usize;
+            for q in 0..15u64 {
+                let qf = feature(5_000 + q);
+                let truth = brute_topk(&entries, qf, k);
+                let got: Vec<ShotKey> = g
+                    .search_ef(qf, k, ef)
+                    .into_iter()
+                    .map(|(e, _)| e.key)
+                    .collect();
+                hit += got.iter().filter(|kk| truth.contains(kk)).count();
+            }
+            hit as f64 / (15 * k) as f64
+        };
+        assert!(recall_at(128) + 1e-9 >= recall_at(4) - 0.05);
+        assert!(recall_at(entries.len()) >= 0.95);
+    }
+
+    #[test]
+    fn results_sorted_by_distance_then_key() {
+        let entries = corpus(500);
+        let g = SigGraph::build(entries, GraphParams::default());
+        let hits = g.search(feature(42), 20);
+        for w in hits.windows(2) {
+            let ord = w[0].1.total_cmp(&w[1].1).then(w[0].0.key.cmp(&w[1].0.key));
+            assert_ne!(ord, Ordering::Greater);
+        }
+    }
+}

@@ -18,6 +18,39 @@
 //! search range scan; Eq. 8 filters the survivors. A [`QuantizedIndex`]
 //! variant ("another common way to handle inexact queries is to do matching
 //! on quantized data") is provided for the ablation benchmarks.
+//!
+//! At the scale ROADMAP targets ("millions of users / millions of shots")
+//! the paper's flat table stops being enough, so the module grew into a
+//! family:
+//!
+//! * [`bucket`] — [`BucketIndex`], a sorted bucket
+//!   array over `D^v` answering range *and* top-k queries in sublinear
+//!   time, reporting exactly how much work each probe did;
+//! * [`cost`] — [`CostModel`], which predicts that work
+//!   (buckets touched, candidates scored) from the index parameters and
+//!   corpus statistics alone;
+//! * [`planner`] — [`ShotIndex`], the maintained
+//!   index used by the database layer: it plans every query (scan vs.
+//!   buckets) from the cost estimate and records probe metrics into
+//!   `vdb-obs`;
+//! * [`graph`] — [`SigGraph`], a small navigable graph
+//!   over extended (per-channel) signature vectors for approximate
+//!   nearest-neighbor exploration of the §6 model.
+//!
+//! **Tie-break contract:** every query in this family orders results by
+//! ascending `(distance, ShotKey)` — equal-distance matches come back in
+//! `(video, shot)` order. The property suites pin the bucketed structures
+//! to the brute-force linear scan under exactly this rule.
+
+pub mod bucket;
+pub mod cost;
+pub mod graph;
+pub mod planner;
+
+pub use bucket::{BucketIndex, BucketParams, ProbeStats};
+pub use cost::{CorpusStats, CostEstimate, CostModel};
+pub use graph::{GraphParams, SigGraph};
+pub use planner::{IndexRuntime, Plan, PlanChoice, ShotIndex};
 
 use crate::variance::ShotFeature;
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,610 @@
+//! The maintained shot index and its query planner.
+//!
+//! [`ShotIndex`] is what the store embeds: a [`BucketIndex`] kept current
+//! across ingests and removals, a cached [`CostModel`] rebuilt alongside
+//! it, and a planner that prices every probe against the linear scan and
+//! executes whichever side the estimate favours. The choice, the probe
+//! timings, and the work counters all flow into `vdb-obs` under
+//! `core.index.*`, which is how the scan-vs-index crossover shows up in
+//! BENCH output.
+//!
+//! Two ingestion modes:
+//!
+//! * **online** ([`ShotIndex::extend`]) — merge the batch into the sorted
+//!   array immediately (one O(n + m) refresh per batch);
+//! * **staged** ([`ShotIndex::stage`] + [`ShotIndex::finalize`] /
+//!   [`ShotIndex::adopt`]) — the journal-replay path: entries pile up
+//!   unsorted, then one refresh builds the index, *or* a persisted copy
+//!   whose [fingerprint](fingerprint_entries) matches the staged rows is
+//!   adopted without a rebuild. Staged rows are still visible to queries
+//!   (they are scanned alongside the bucket probe), so correctness never
+//!   depends on finalize discipline — only speed does.
+
+use super::bucket::{entry_order, BucketIndex, BucketParams, ProbeStats};
+use super::cost::{CostEstimate, CostModel, CostWeights};
+use super::{IndexEntry, Match, VarianceQuery};
+use std::cmp::Ordering;
+use std::sync::OnceLock;
+use vdb_obs::{global, Counter, Histogram};
+
+/// Which executor the planner chose for a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanChoice {
+    /// Linear scan over the whole table.
+    Scan,
+    /// Bucket-directory probe.
+    Buckets,
+}
+
+/// A priced decision: the estimate for the bucket probe, the scan cost it
+/// was compared against, and the winner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// The executor the probe will use.
+    pub choice: PlanChoice,
+    /// Predicted bucket-probe cost.
+    pub index_cost: CostEstimate,
+    /// Cost of the linear scan in the same units.
+    pub scan_cost: f64,
+}
+
+/// Per-instance maintenance counters — unlike the `core.index.*` globals
+/// these are not shared across databases, so tests can assert exact
+/// counts even when suites run concurrently in one process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexRuntime {
+    /// Full (re)builds of the sorted array — merges, finalizes, removals.
+    pub refreshes: u64,
+    /// Persisted copies adopted wholesale instead of rebuilding.
+    pub adoptions: u64,
+}
+
+struct IndexObs {
+    build_us: Histogram,
+    probe_us: Histogram,
+    candidates_scored: Counter,
+    buckets_touched: Counter,
+    plan_scan: Counter,
+    plan_bucket: Counter,
+    refreshes: Counter,
+    adoptions: Counter,
+}
+
+fn obs() -> &'static IndexObs {
+    static OBS: OnceLock<IndexObs> = OnceLock::new();
+    OBS.get_or_init(|| IndexObs {
+        build_us: global().histogram("core.index.build_us"),
+        probe_us: global().histogram("core.index.probe_us"),
+        candidates_scored: global().counter("core.index.candidates_scored"),
+        buckets_touched: global().counter("core.index.buckets_touched"),
+        plan_scan: global().counter("core.index.plan_scan"),
+        plan_bucket: global().counter("core.index.plan_bucket"),
+        refreshes: global().counter("core.index.refreshes"),
+        adoptions: global().counter("core.index.adoptions"),
+    })
+}
+
+/// Order-independent fingerprint of an entry set: the wrapping sum of
+/// per-entry FNV-1a hashes. Insertion order does not matter, so rows
+/// staged from journal replay compare equal to the same rows persisted
+/// sorted — and any divergence (extra, missing, or mutated row) almost
+/// surely changes the sum.
+pub fn fingerprint_entries<'a>(entries: impl Iterator<Item = &'a IndexEntry>) -> u64 {
+    let mut sum = 0u64;
+    for e in entries {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [
+            e.key.video,
+            u64::from(e.key.shot),
+            e.var_ba.to_bits(),
+            e.var_oa.to_bits(),
+        ] {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        sum = sum.wrapping_add(h);
+    }
+    sum
+}
+
+/// The maintained, planner-routed shot index.
+#[derive(Debug, Clone)]
+pub struct ShotIndex {
+    params: BucketParams,
+    weights: CostWeights,
+    bucket: BucketIndex,
+    model: CostModel,
+    staged: Vec<IndexEntry>,
+    runtime: IndexRuntime,
+}
+
+impl Default for ShotIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShotIndex {
+    /// An empty index with default parameters.
+    pub fn new() -> Self {
+        Self::with_params(BucketParams::default())
+    }
+
+    /// An empty index with explicit bucket parameters.
+    pub fn with_params(params: BucketParams) -> Self {
+        let bucket = BucketIndex::build(Vec::new(), params);
+        let model = CostModel::new(
+            bucket.effective_width(),
+            bucket.stats().clone(),
+            CostWeights::default(),
+        );
+        ShotIndex {
+            params,
+            weights: CostWeights::default(),
+            bucket,
+            model,
+            staged: Vec::new(),
+            runtime: IndexRuntime::default(),
+        }
+    }
+
+    /// Build directly from a batch of entries.
+    pub fn from_entries(entries: Vec<IndexEntry>, params: BucketParams) -> Self {
+        let mut idx = Self::with_params(params);
+        idx.extend(entries);
+        idx
+    }
+
+    /// Rows indexed (finalized + staged).
+    pub fn len(&self) -> usize {
+        self.bucket.len() + self.staged.len()
+    }
+
+    /// Whether no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finalized rows, sorted by `(D^v, key)`. Staged-but-unfinalized
+    /// rows are not included — call [`Self::finalize`] first.
+    pub fn entries(&self) -> &[IndexEntry] {
+        debug_assert!(
+            self.staged.is_empty(),
+            "entries() read with {} rows still staged",
+            self.staged.len()
+        );
+        self.bucket.entries()
+    }
+
+    /// Whether every staged row has been merged into the sorted array —
+    /// i.e. [`Self::entries`] currently describes the full row set.
+    pub fn is_finalized(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// The bucket parameters in force.
+    pub fn params(&self) -> BucketParams {
+        self.params
+    }
+
+    /// The underlying sorted bucket array.
+    pub fn bucket(&self) -> &BucketIndex {
+        &self.bucket
+    }
+
+    /// The cost model the planner consults (rebuilt on every refresh).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Per-instance maintenance counters.
+    pub fn runtime(&self) -> IndexRuntime {
+        self.runtime
+    }
+
+    /// Fingerprint of the full row set (finalized + staged); what the
+    /// store persists next to the index payload.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_entries(self.bucket.entries().iter().chain(self.staged.iter()))
+    }
+
+    /// Insert one row (merges immediately; prefer [`Self::extend`] for
+    /// batches and [`Self::stage`] for replay).
+    pub fn insert(&mut self, entry: IndexEntry) {
+        self.extend(vec![entry]);
+    }
+
+    /// Merge a batch into the sorted array (one refresh).
+    pub fn extend(&mut self, batch: Vec<IndexEntry>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.staged.extend(batch);
+        self.refresh();
+    }
+
+    /// Queue rows without rebuilding — the journal-replay path. Staged
+    /// rows remain queryable (scanned alongside the bucket probe).
+    pub fn stage(&mut self, batch: impl IntoIterator<Item = IndexEntry>) {
+        self.staged.extend(batch);
+    }
+
+    /// Merge anything staged into the sorted array. No-op when nothing is
+    /// staged.
+    pub fn finalize(&mut self) {
+        if !self.staged.is_empty() {
+            self.refresh();
+        }
+    }
+
+    /// Adopt a persisted copy of the index instead of rebuilding, if its
+    /// row set matches what is currently staged + finalized (verified by
+    /// [fingerprint](fingerprint_entries)). Returns `false` — leaving the
+    /// index untouched, caller should [`Self::finalize`] — on mismatch.
+    pub fn adopt(&mut self, entries: Vec<IndexEntry>) -> bool {
+        if fingerprint_entries(entries.iter()) != self.fingerprint() {
+            return false;
+        }
+        let mut rows: Vec<(f64, IndexEntry)> = entries.into_iter().map(|e| (e.d_v(), e)).collect();
+        if !rows
+            .windows(2)
+            .all(|w| entry_order(&w[0], &w[1]) != Ordering::Greater)
+        {
+            rows.sort_by(entry_order);
+        }
+        self.bucket = BucketIndex::from_sorted_rows(rows, self.params);
+        self.rebuild_model();
+        self.staged.clear();
+        self.runtime.adoptions += 1;
+        obs().adoptions.incr();
+        true
+    }
+
+    /// Drop every row of `video`. Returns how many were removed.
+    pub fn remove_video(&mut self, video: u64) -> usize {
+        let staged_before = self.staged.len();
+        self.staged.retain(|e| e.key.video != video);
+        let mut removed = staged_before - self.staged.len();
+        let kept: Vec<(f64, IndexEntry)> = self
+            .bucket
+            .sorted_rows()
+            .filter(|(_, e)| e.key.video != video)
+            .collect();
+        if kept.len() != self.bucket.len() {
+            removed += self.bucket.len() - kept.len();
+            let _span = obs().build_us.start();
+            self.bucket = BucketIndex::from_sorted_rows(kept, self.params);
+            self.rebuild_model();
+            self.runtime.refreshes += 1;
+            obs().refreshes.incr();
+        }
+        removed
+    }
+
+    fn refresh(&mut self) {
+        let _span = obs().build_us.start();
+        let mut fresh: Vec<(f64, IndexEntry)> =
+            self.staged.drain(..).map(|e| (e.d_v(), e)).collect();
+        fresh.sort_by(entry_order);
+        let mut merged = Vec::with_capacity(self.bucket.len() + fresh.len());
+        let mut old = self.bucket.sorted_rows().peekable();
+        let mut new = fresh.into_iter().peekable();
+        loop {
+            match (old.peek(), new.peek()) {
+                (Some(a), Some(b)) => {
+                    if entry_order(a, b) != Ordering::Greater {
+                        merged.push(old.next().unwrap());
+                    } else {
+                        merged.push(new.next().unwrap());
+                    }
+                }
+                (Some(_), None) => merged.push(old.next().unwrap()),
+                (None, Some(_)) => merged.push(new.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        drop(old);
+        self.bucket = BucketIndex::from_sorted_rows(merged, self.params);
+        self.rebuild_model();
+        self.runtime.refreshes += 1;
+        obs().refreshes.incr();
+    }
+
+    fn rebuild_model(&mut self) {
+        self.model = CostModel::new(
+            self.bucket.effective_width(),
+            self.bucket.stats().clone(),
+            self.weights,
+        );
+    }
+
+    /// Price a range probe without running it.
+    pub fn plan_range(&self, q: &VarianceQuery) -> Plan {
+        let index_cost = self.model.estimate_range(q.d_v(), q.alpha);
+        let scan_cost = self.model.scan_cost();
+        Plan {
+            choice: if index_cost.total <= scan_cost {
+                PlanChoice::Buckets
+            } else {
+                PlanChoice::Scan
+            },
+            index_cost,
+            scan_cost,
+        }
+    }
+
+    /// Price a top-k probe without running it.
+    pub fn plan_topk(&self, q: &VarianceQuery, k: usize) -> Plan {
+        let index_cost = self.model.estimate_topk(q.d_v(), k);
+        let scan_cost = self.model.scan_cost();
+        Plan {
+            choice: if index_cost.total <= scan_cost {
+                PlanChoice::Buckets
+            } else {
+                PlanChoice::Scan
+            },
+            index_cost,
+            scan_cost,
+        }
+    }
+
+    /// Eqs. 7–8 range query, routed through the planner. Results sorted
+    /// by ascending `(distance, key)` — identical to [`Self::query_scan`].
+    pub fn query(&self, q: &VarianceQuery) -> Vec<Match> {
+        let plan = self.plan_range(q);
+        let o = obs();
+        let _span = o.probe_us.start();
+        let (matches, stats) = match plan.choice {
+            PlanChoice::Buckets => {
+                o.plan_bucket.incr();
+                self.bucket.range_with_stats(q)
+            }
+            PlanChoice::Scan => {
+                o.plan_scan.incr();
+                self.bucket.range_scan_with_stats(q)
+            }
+        };
+        o.buckets_touched.add(stats.buckets_touched as u64);
+        o.candidates_scored
+            .add((stats.candidates + self.staged.len()) as u64);
+        self.merge_staged_range(q, matches)
+    }
+
+    /// Forced linear scan (the pinning reference for equivalence tests).
+    pub fn query_scan(&self, q: &VarianceQuery) -> Vec<Match> {
+        let (matches, _) = self.bucket.range_scan_with_stats(q);
+        self.merge_staged_range(q, matches)
+    }
+
+    /// The `k` nearest rows to the query point in `(D^v, √Var^BA)` space
+    /// (α/β ignored), routed through the planner. Ties by ascending key.
+    pub fn query_topk(&self, q: &VarianceQuery, k: usize) -> Vec<Match> {
+        let plan = self.plan_topk(q, k);
+        let o = obs();
+        let _span = o.probe_us.start();
+        let (matches, stats) = match plan.choice {
+            PlanChoice::Buckets => {
+                o.plan_bucket.incr();
+                self.bucket.topk_with_stats(q, k)
+            }
+            PlanChoice::Scan => {
+                o.plan_scan.incr();
+                self.bucket.topk_scan_with_stats(q, k)
+            }
+        };
+        o.buckets_touched.add(stats.buckets_touched as u64);
+        o.candidates_scored
+            .add((stats.candidates + self.staged.len()) as u64);
+        self.merge_staged_topk(q, k, matches)
+    }
+
+    /// Forced linear-scan top-k (the pinning reference).
+    pub fn query_topk_scan(&self, q: &VarianceQuery, k: usize) -> Vec<Match> {
+        let (matches, _) = self.bucket.topk_scan_with_stats(q, k);
+        self.merge_staged_topk(q, k, matches)
+    }
+
+    /// Probe the bucket executor directly and report its work — the
+    /// measured side of the cost-model accuracy suite.
+    pub fn probe_range(&self, q: &VarianceQuery) -> (Vec<Match>, ProbeStats) {
+        self.bucket.range_with_stats(q)
+    }
+
+    /// Probe the bucket top-k executor directly with its work accounting.
+    pub fn probe_topk(&self, q: &VarianceQuery, k: usize) -> (Vec<Match>, ProbeStats) {
+        self.bucket.topk_with_stats(q, k)
+    }
+
+    fn merge_staged_range(&self, q: &VarianceQuery, mut matches: Vec<Match>) -> Vec<Match> {
+        if self.staged.is_empty() {
+            return matches;
+        }
+        let dq = q.d_v();
+        let sq = q.var_ba.sqrt();
+        for e in &self.staged {
+            if q.matches(e) {
+                let distance = ((e.d_v() - dq).powi(2) + (e.sqrt_ba() - sq).powi(2)).sqrt();
+                matches.push(Match {
+                    entry: *e,
+                    distance,
+                });
+            }
+        }
+        matches.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.entry.key.cmp(&b.entry.key))
+        });
+        matches
+    }
+
+    fn merge_staged_topk(
+        &self,
+        q: &VarianceQuery,
+        k: usize,
+        mut matches: Vec<Match>,
+    ) -> Vec<Match> {
+        if self.staged.is_empty() {
+            return matches;
+        }
+        let dq = q.d_v();
+        let sq = q.var_ba.sqrt();
+        for e in &self.staged {
+            let distance = ((e.d_v() - dq).powi(2) + (e.sqrt_ba() - sq).powi(2)).sqrt();
+            matches.push(Match {
+                entry: *e,
+                distance,
+            });
+        }
+        matches.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.entry.key.cmp(&b.entry.key))
+        });
+        matches.truncate(k);
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ShotKey;
+
+    fn entry(video: u64, shot: u32, var_ba: f64, var_oa: f64) -> IndexEntry {
+        IndexEntry {
+            key: ShotKey { video, shot },
+            var_ba,
+            var_oa,
+        }
+    }
+
+    fn corpus(n: usize) -> Vec<IndexEntry> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                entry(
+                    (i % 7) as u64,
+                    i as u32,
+                    (x * 0.931) % 50.0,
+                    (x * 0.417) % 30.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn planner_prefers_buckets_on_large_corpus_and_scan_on_tiny() {
+        let big = ShotIndex::from_entries(corpus(100_000), BucketParams::default());
+        let q = VarianceQuery::new(20.0, 5.0);
+        assert_eq!(big.plan_range(&q).choice, PlanChoice::Buckets);
+        assert_eq!(big.plan_topk(&q, 10).choice, PlanChoice::Buckets);
+
+        let tiny = ShotIndex::from_entries(corpus(4), BucketParams::default());
+        assert_eq!(tiny.plan_range(&q).choice, PlanChoice::Scan);
+    }
+
+    #[test]
+    fn planned_query_equals_forced_scan() {
+        let idx = ShotIndex::from_entries(corpus(5_000), BucketParams::default());
+        for i in 0..20 {
+            let q = VarianceQuery::new(f64::from(i) * 2.3, f64::from(i) * 1.1)
+                .with_tolerances(2.0, 3.0);
+            let keys = |ms: &[Match]| ms.iter().map(|m| m.entry.key).collect::<Vec<_>>();
+            assert_eq!(keys(&idx.query(&q)), keys(&idx.query_scan(&q)));
+            assert_eq!(
+                keys(&idx.query_topk(&q, 7)),
+                keys(&idx.query_topk_scan(&q, 7))
+            );
+        }
+    }
+
+    #[test]
+    fn staged_rows_are_queryable_before_finalize() {
+        let mut idx = ShotIndex::from_entries(corpus(100), BucketParams::default());
+        let refreshes = idx.runtime().refreshes;
+        idx.stage([entry(999, 0, 10.0, 10.0)]);
+        assert_eq!(idx.runtime().refreshes, refreshes, "stage must not rebuild");
+        let q = VarianceQuery::new(10.0, 10.0);
+        assert!(idx.query(&q).iter().any(|m| m.entry.key.video == 999));
+        assert!(idx
+            .query_topk(&q, 1)
+            .iter()
+            .any(|m| m.entry.key.video == 999));
+        idx.finalize();
+        assert_eq!(idx.runtime().refreshes, refreshes + 1);
+        assert!(idx.query(&q).iter().any(|m| m.entry.key.video == 999));
+    }
+
+    #[test]
+    fn adopt_accepts_matching_rows_and_rejects_divergent_ones() {
+        let rows = corpus(500);
+        let mut idx = ShotIndex::new();
+        idx.stage(rows.clone());
+        // Persisted copy was saved sorted; shuffle order must not matter.
+        let mut persisted = rows.clone();
+        persisted.reverse();
+        assert!(idx.adopt(persisted));
+        assert_eq!(
+            idx.runtime(),
+            IndexRuntime {
+                refreshes: 0,
+                adoptions: 1
+            }
+        );
+        assert_eq!(idx.len(), 500);
+
+        let mut divergent = rows;
+        divergent.pop();
+        let mut idx2 = ShotIndex::new();
+        idx2.stage(divergent.clone());
+        divergent.push(entry(1234, 0, 1.0, 1.0));
+        assert!(!idx2.adopt(divergent));
+        assert_eq!(idx2.runtime().adoptions, 0);
+        idx2.finalize();
+        assert_eq!(idx2.runtime().refreshes, 1);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_content_sensitive() {
+        let rows = corpus(64);
+        let mut reversed = rows.clone();
+        reversed.reverse();
+        assert_eq!(
+            fingerprint_entries(rows.iter()),
+            fingerprint_entries(reversed.iter())
+        );
+        let mut mutated = rows.clone();
+        mutated[10].var_ba += 1e-9;
+        assert_ne!(
+            fingerprint_entries(rows.iter()),
+            fingerprint_entries(mutated.iter())
+        );
+    }
+
+    #[test]
+    fn remove_video_drops_rows_everywhere() {
+        let mut idx = ShotIndex::from_entries(corpus(70), BucketParams::default());
+        idx.stage([entry(3, 900, 1.0, 1.0)]);
+        let before = idx.len();
+        let removed = idx.remove_video(3);
+        assert!(removed > 1);
+        assert_eq!(idx.len(), before - removed);
+        idx.finalize();
+        assert!(idx.entries().iter().all(|e| e.key.video != 3));
+    }
+
+    #[test]
+    fn incremental_extend_matches_one_shot_build() {
+        let rows = corpus(300);
+        let whole = ShotIndex::from_entries(rows.clone(), BucketParams::default());
+        let mut grown = ShotIndex::new();
+        for chunk in rows.chunks(37) {
+            grown.extend(chunk.to_vec());
+        }
+        assert_eq!(whole.entries(), grown.entries());
+        assert_eq!(whole.fingerprint(), grown.fingerprint());
+    }
+}

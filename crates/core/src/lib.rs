@@ -61,7 +61,11 @@ pub mod variance;
 pub use analyzer::{AnalyzerConfig, VideoAnalysis, VideoAnalyzer};
 pub use error::{CoreError, Result};
 pub use frame::{FrameBuf, Video};
-pub use index::{IndexEntry, Match, ShotKey, VarianceIndex, VarianceQuery};
+pub use index::{
+    BucketIndex, BucketParams, CorpusStats, CostEstimate, CostModel, IndexEntry, IndexRuntime,
+    Match, Plan, PlanChoice, ProbeStats, ShotIndex, ShotKey, SigGraph, VarianceIndex,
+    VarianceQuery,
+};
 pub use parallel::Parallelism;
 pub use pipeline::{AnalysisEngine, PipelineMetrics, PushOutcome};
 pub use pixel::Rgb;

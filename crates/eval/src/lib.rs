@@ -13,6 +13,8 @@
 //!   8–10 (variance-similarity retrieval), and the hierarchy comparison;
 //! * [`ablation`] — the FBA-shape ablation (why the ⊓?) and the §6
 //!   basic-vs-extended similarity-model comparison;
+//! * [`indexperf`] — the scan-vs-index crossover sweep for the bucketed
+//!   shot index and its cost model;
 //! * [`report`] — fixed-width table rendering shared by all runners.
 //!
 //! The `vdb-bench` crate's `tables` and `figures` binaries are thin CLI
@@ -24,6 +26,7 @@
 pub mod ablation;
 pub mod corpus;
 pub mod experiments;
+pub mod indexperf;
 pub mod metrics;
 pub mod report;
 pub mod retrieval;

@@ -262,6 +262,7 @@ fn wire_output_matches_shell_output() {
         "list",
         "stats",
         "query ba=0.3 oa=14 alpha=4 beta=4 limit=5",
+        "query ba=0.3 oa=14 k=3",
         "tree 1",
         "board 0 3",
         "remove 0",
@@ -285,6 +286,28 @@ fn wire_output_matches_shell_output() {
             assert_eq!(wire.text, local, "'{line}' diverged");
         }
     }
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
+/// The planner-routed top-k path works over the wire: `k=<n>` returns
+/// exactly `n` nearest shots (the demo corpus has far more than `n`),
+/// and `k` composes with `limit`.
+#[test]
+fn topk_query_over_the_wire() {
+    let handle = start_memory_server(2, 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client.request("query ba=0.5 oa=12 k=3").unwrap();
+    assert!(resp.ok, "{}", resp.text);
+    assert!(resp.text.contains("3 answers"), "got: {}", resp.text);
+    let resp = client.request("query ba=0.5 oa=12 k=5 limit=2").unwrap();
+    assert!(resp.ok);
+    assert!(resp.text.contains("2 answers"), "got: {}", resp.text);
+    // Malformed k is a clean per-request error, not a dropped connection.
+    let resp = client.request("query ba=0.5 oa=12 k=lots").unwrap();
+    assert!(resp.text.contains("needs a number"), "got: {}", resp.text);
+    let resp = client.request("stats").unwrap();
+    assert!(resp.ok);
     drop(client);
     handle.shutdown().unwrap();
 }

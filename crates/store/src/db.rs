@@ -14,7 +14,8 @@ use std::collections::HashMap;
 use std::path::Path;
 use vdb_core::analyzer::{AnalyzerConfig, VideoAnalysis};
 use vdb_core::frame::Video;
-use vdb_core::index::{IndexEntry, ShotKey, VarianceIndex, VarianceQuery};
+use vdb_core::index::planner::fingerprint_entries;
+use vdb_core::index::{IndexEntry, Match, ShotIndex, ShotKey, VarianceQuery};
 use vdb_core::parallel::Parallelism;
 use vdb_core::pipeline::AnalysisEngine;
 use vdb_core::pixel::Rgb;
@@ -204,6 +205,68 @@ pub struct DbStats {
 pub(crate) const TAG_META: u8 = 1;
 pub(crate) const TAG_ANALYSIS: u8 = 2;
 pub(crate) const TAG_REMOVE: u8 = 3;
+/// A persisted copy of the shot index (written last by [`VideoDatabase::save`]
+/// so a loader can adopt it instead of rebuilding). Journals produced
+/// before this tag existed simply never contain it — the loader falls
+/// back to a rebuild, which the legacy-journal test pins.
+pub(crate) const TAG_INDEX: u8 = 4;
+
+/// On-disk format version of the [`TAG_INDEX`] payload.
+const INDEX_FORMAT_V1: u16 = 1;
+
+/// The decoded [`TAG_INDEX`] payload: format version, an
+/// order-independent fingerprint of the rows, and the rows themselves
+/// (sorted as the index keeps them).
+pub(crate) struct PersistedIndex {
+    pub entries: Vec<IndexEntry>,
+}
+
+impl PersistedIndex {
+    /// Encode the current finalized rows of `index`.
+    pub(crate) fn encode_from(index: &ShotIndex) -> Vec<u8> {
+        let mut buf = Vec::new();
+        INDEX_FORMAT_V1.encode(&mut buf);
+        index.fingerprint().encode(&mut buf);
+        index.entries().to_vec().encode(&mut buf);
+        buf
+    }
+
+    /// Decode a payload. Unknown versions and fingerprint mismatches
+    /// (i.e. a corrupt or stale record) yield `None` — the caller
+    /// rebuilds instead of erroring, because the journal's analysis rows
+    /// remain the source of truth.
+    pub(crate) fn decode(mut buf: &[u8]) -> Option<Self> {
+        let buf = &mut buf;
+        let version = u16::decode(buf).ok()?;
+        if version != INDEX_FORMAT_V1 {
+            return None;
+        }
+        let fingerprint = u64::decode(buf).ok()?;
+        let entries = Vec::<IndexEntry>::decode(buf).ok()?;
+        if fingerprint_entries(entries.iter()) != fingerprint {
+            return None;
+        }
+        Some(PersistedIndex { entries })
+    }
+}
+
+/// The index rows one stored analysis contributes.
+fn index_rows(stored: &StoredAnalysis) -> Vec<IndexEntry> {
+    stored
+        .shots
+        .iter()
+        .zip(&stored.features)
+        .map(|(shot, feature)| {
+            IndexEntry::new(
+                ShotKey {
+                    video: stored.video,
+                    shot: shot.id as u32,
+                },
+                *feature,
+            )
+        })
+        .collect()
+}
 
 /// The database.
 #[derive(Debug, Default)]
@@ -211,7 +274,7 @@ pub struct VideoDatabase {
     taxonomy: Taxonomy,
     catalog: Catalog,
     analyses: HashMap<u64, StoredAnalysis>,
-    index: VarianceIndex,
+    index: ShotIndex,
     config: AnalyzerConfig,
     /// The resident analysis engine: one per database, reused across
     /// ingests so its scratch arena warms up once per dimension class
@@ -261,14 +324,35 @@ impl VideoDatabase {
         &mut self.catalog
     }
 
-    /// Re-insert a previously persisted analysis (journal replay).
+    /// Re-insert a previously persisted analysis (journal replay). Rows
+    /// are *staged* into the index — replay finishes with
+    /// [`Self::finalize_index`], which either adopts a persisted index
+    /// copy or merges everything in one build.
     pub(crate) fn restore_analysis(&mut self, stored: StoredAnalysis) {
-        self.insert_into_index(&stored);
+        self.index.stage(index_rows(&stored));
         self.analyses.insert(stored.video, stored);
     }
 
-    /// The variance index.
-    pub fn index(&self) -> &VarianceIndex {
+    /// Finish a replay: adopt `persisted` if it matches the staged rows
+    /// (counted on `store.index.persisted_loads` and the index's own
+    /// [`IndexRuntime::adoptions`](vdb_core::index::IndexRuntime)),
+    /// otherwise rebuild from the staged rows (`store.index.rebuilds`).
+    pub(crate) fn finalize_index(&mut self, persisted: Option<PersistedIndex>) {
+        let obs = crate::obs::index();
+        if let Some(p) = persisted {
+            if self.index.adopt(p.entries) {
+                obs.persisted_loads.incr();
+                return;
+            }
+        }
+        if !self.index.is_finalized() {
+            obs.rebuilds.incr();
+        }
+        self.index.finalize();
+    }
+
+    /// The shot index (bucket array + cost model + planner).
+    pub fn index(&self) -> &ShotIndex {
         &self.index
     }
 
@@ -361,15 +445,7 @@ impl VideoDatabase {
     }
 
     fn insert_into_index(&mut self, stored: &StoredAnalysis) {
-        for (shot, feature) in stored.shots.iter().zip(&stored.features) {
-            self.index.insert(IndexEntry::new(
-                ShotKey {
-                    video: stored.video,
-                    shot: shot.id as u32,
-                },
-                *feature,
-            ));
-        }
+        self.index.extend(index_rows(stored));
     }
 
     /// Remove a video and all its artifacts.
@@ -395,6 +471,24 @@ impl VideoDatabase {
     /// `"ba=0.5 oa=15 genre=comedy form=feature limit=5"`.
     pub fn query_str(&self, text: &str) -> Result<Vec<QueryAnswer>, DbError> {
         let spec = crate::query::QuerySpec::parse(text, &self.taxonomy)?;
+        if let Some(k) = spec.k {
+            let keep = |meta: &VideoMeta| {
+                let genre_ok = match spec.genre {
+                    Some(g) => meta.genres.contains(&g),
+                    None => true,
+                };
+                let form_ok = match spec.form {
+                    Some(f) => meta.forms.contains(&f),
+                    None => true,
+                };
+                genre_ok && form_ok
+            };
+            let mut answers = self.query_topk_filtered(&spec.variance, k, keep);
+            if let Some(limit) = spec.limit {
+                answers.truncate(limit);
+            }
+            return Ok(answers);
+        }
         let mut answers = match (spec.genre, spec.form) {
             (Some(g), Some(f)) => self.query_in_class(&spec.variance, g, f),
             (Some(g), None) => self.query_filtered(&spec.variance, |meta| meta.genres.contains(&g)),
@@ -418,13 +512,39 @@ impl VideoDatabase {
         self.query_filtered(q, |meta| meta.in_class(genre, form))
     }
 
+    /// The `k` shots nearest to the query point (α/β ignored), mapped to
+    /// their browsing scene nodes. Routed through the planner like
+    /// [`Self::query`].
+    pub fn query_topk(&self, q: &VarianceQuery, k: usize) -> Vec<QueryAnswer> {
+        self.answers_from(self.index.query_topk(q, k), |_| true)
+    }
+
+    /// [`Self::query_topk`] restricted by a metadata predicate. The
+    /// filter runs *after* ranking, so fewer than `k` answers may come
+    /// back when nearby shots belong to filtered-out videos.
+    pub fn query_topk_filtered(
+        &self,
+        q: &VarianceQuery,
+        k: usize,
+        keep: impl Fn(&VideoMeta) -> bool,
+    ) -> Vec<QueryAnswer> {
+        self.answers_from(self.index.query_topk(q, k), keep)
+    }
+
     fn query_filtered(
         &self,
         q: &VarianceQuery,
         keep: impl Fn(&VideoMeta) -> bool,
     ) -> Vec<QueryAnswer> {
-        self.index
-            .query(q)
+        self.answers_from(self.index.query(q), keep)
+    }
+
+    fn answers_from(
+        &self,
+        matches: Vec<Match>,
+        keep: impl Fn(&VideoMeta) -> bool,
+    ) -> Vec<QueryAnswer> {
+        matches
             .into_iter()
             .filter_map(|m| {
                 let meta = self.catalog.get(m.entry.key.video)?;
@@ -461,14 +581,23 @@ impl VideoDatabase {
             let payload = self.analyses[&id].encode()?;
             w.append(TAG_ANALYSIS, &payload)?;
         }
+        // The index copy goes last so every row it covers is already on
+        // disk. If rows are still staged (mid-replay save), skip it — the
+        // loader will rebuild, which is always correct.
+        if self.index.is_finalized() {
+            w.append(TAG_INDEX, &PersistedIndex::encode_from(&self.index))?;
+        }
         w.finish()?;
         Ok(())
     }
 
-    /// Load a database from a segment file; the variance index is rebuilt
-    /// from the stored per-shot features.
+    /// Load a database from a segment file. A trailing `TAG_INDEX`
+    /// record matching the replayed rows is adopted as-is; otherwise (old
+    /// journals, corrupt/stale records) the index is rebuilt from the
+    /// stored per-shot features.
     pub fn load(path: &Path, config: AnalyzerConfig) -> Result<Self, DbError> {
         let mut db = VideoDatabase::with_config(config);
+        let mut persisted = None;
         for record in read_segment_file(path)? {
             match record.tag {
                 TAG_META => {
@@ -477,12 +606,13 @@ impl VideoDatabase {
                 }
                 TAG_ANALYSIS => {
                     let stored = StoredAnalysis::decode(&record.payload)?;
-                    db.insert_into_index(&stored);
-                    db.analyses.insert(stored.video, stored);
+                    db.restore_analysis(stored);
                 }
+                TAG_INDEX => persisted = PersistedIndex::decode(&record.payload),
                 _ => return Err(DbError::BadRecord("unknown tag")),
             }
         }
+        db.finalize_index(persisted);
         Ok(db)
     }
 }

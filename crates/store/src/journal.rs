@@ -10,7 +10,10 @@
 //! a torn tail from a crash is dropped cleanly.
 
 use crate::catalog::{FormId, GenreId};
-use crate::db::{DbError, StoredAnalysis, VideoDatabase, TAG_ANALYSIS, TAG_META, TAG_REMOVE};
+use crate::db::{
+    DbError, PersistedIndex, StoredAnalysis, VideoDatabase, TAG_ANALYSIS, TAG_INDEX, TAG_META,
+    TAG_REMOVE,
+};
 use crate::pages::{read_segment, SegmentWriter, MAGIC};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
@@ -37,6 +40,7 @@ impl JournaledDatabase {
             let mut bytes = Vec::new();
             File::open(&path)?.read_to_end(&mut bytes)?;
             let records = read_segment(&bytes[..]).map_err(DbError::Segment)?;
+            let mut persisted = None;
             for record in &records {
                 match record.tag {
                     TAG_META => {
@@ -56,11 +60,16 @@ impl JournaledDatabase {
                         // after a compaction race): ignore.
                         let _ = db.remove(id);
                     }
+                    // A compacted journal carries an index copy; only the
+                    // last one can match (later appends stale-out earlier
+                    // ones via the fingerprint check in finalize).
+                    TAG_INDEX => persisted = PersistedIndex::decode(&record.payload),
                     _ => return Err(DbError::BadRecord("unknown tag in journal")),
                 }
                 // tag + len + payload + checksum
                 valid_len += 1 + 4 + record.payload.len() as u64 + 4;
             }
+            db.finalize_index(persisted);
             // Drop any torn tail so future appends start on a record edge.
             let file = OpenOptions::new().write(true).open(&path)?;
             file.set_len(valid_len)?;

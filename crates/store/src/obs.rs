@@ -55,6 +55,25 @@ pub(crate) fn codec() -> &'static CodecObs {
     })
 }
 
+/// Index load-path outcomes (the per-instance twin lives on
+/// `ShotIndex::runtime`; these aggregate across all databases for BENCH
+/// output).
+pub(crate) struct IndexObs {
+    /// Loads that adopted a persisted index copy without rebuilding.
+    pub persisted_loads: Counter,
+    /// Loads that fell back to rebuilding the index from replayed rows
+    /// (legacy journals, stale or corrupt index records).
+    pub rebuilds: Counter,
+}
+
+pub(crate) fn index() -> &'static IndexObs {
+    static OBS: OnceLock<IndexObs> = OnceLock::new();
+    OBS.get_or_init(|| IndexObs {
+        persisted_loads: global().counter("store.index.persisted_loads"),
+        rebuilds: global().counter("store.index.rebuilds"),
+    })
+}
+
 /// Journal append-path latency.
 pub(crate) struct JournalObs {
     /// Whole append (serialize + buffered write + flush), per record.

@@ -9,6 +9,7 @@
 //! ba=0.5 oa=15 alpha=2 beta=2    # widen the Eqs. 7-8 tolerances
 //! ba=0 oa=12 genre=comedy form=feature   # class-scoped (§4.1)
 //! ba=9 oa=9 limit=5              # truncate the answer list
+//! ba=9 oa=9 k=10                 # top-k nearest (ignores alpha/beta)
 //! ```
 //!
 //! Tokens are whitespace-separated `key=value` pairs; `ba` and `oa` are
@@ -28,6 +29,10 @@ pub struct QuerySpec {
     pub form: Option<FormId>,
     /// Keep at most this many answers.
     pub limit: Option<usize>,
+    /// Top-k mode: return the `k` nearest shots instead of the Eqs. 7–8
+    /// window (α/β are ignored; genre/form filters apply *after*
+    /// ranking, so fewer than `k` answers may survive them).
+    pub k: Option<usize>,
 }
 
 /// Why a query string failed to parse.
@@ -63,7 +68,7 @@ impl std::fmt::Display for ParseError {
             ParseError::BadToken(t) => write!(f, "expected key=value, got '{t}'"),
             ParseError::UnknownKey(k) => write!(
                 f,
-                "unknown key '{k}' (expected ba, oa, alpha, beta, genre, form, limit)"
+                "unknown key '{k}' (expected ba, oa, alpha, beta, genre, form, limit, k)"
             ),
             ParseError::BadNumber { key, value } => {
                 write!(f, "'{key}' needs a number, got '{value}'")
@@ -90,6 +95,7 @@ impl QuerySpec {
         let mut genre: Option<GenreId> = None;
         let mut form: Option<FormId> = None;
         let mut limit: Option<usize> = None;
+        let mut k: Option<usize> = None;
 
         for token in text.split_whitespace() {
             let Some((key, value)) = token.split_once('=') else {
@@ -113,6 +119,13 @@ impl QuerySpec {
                         value: value.to_string(),
                     })?;
                     assign(&mut limit, v, &key_lc)?;
+                }
+                "k" => {
+                    let v = value.parse().map_err(|_| ParseError::BadNumber {
+                        key: key_lc.clone(),
+                        value: value.to_string(),
+                    })?;
+                    assign(&mut k, v, &key_lc)?;
                 }
                 "genre" => {
                     let id = taxonomy.genre(&value.to_ascii_lowercase()).ok_or(
@@ -150,6 +163,7 @@ impl QuerySpec {
             genre,
             form,
             limit,
+            k,
         })
     }
 }
@@ -179,6 +193,21 @@ mod tests {
         assert_eq!(q.variance.beta, VarianceQuery::DEFAULT_BETA);
         assert_eq!(q.genre, None);
         assert_eq!(q.limit, None);
+        assert_eq!(q.k, None);
+    }
+
+    #[test]
+    fn topk_query() {
+        let q = QuerySpec::parse("ba=9 oa=4 k=10", &tax()).unwrap();
+        assert_eq!(q.k, Some(10));
+        assert!(matches!(
+            QuerySpec::parse("ba=1 oa=2 k=many", &tax()).unwrap_err(),
+            ParseError::BadNumber { .. }
+        ));
+        assert!(matches!(
+            QuerySpec::parse("ba=1 oa=2 k=3 k=4", &tax()).unwrap_err(),
+            ParseError::Duplicate(_)
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! demo [n]            ingest n synthetic demo movies (default 2)
 //! list                list videos
 //! stats               database statistics
-//! query <text>        e.g. query ba=0.5 oa=15 limit=5
+//! query <text>        e.g. query ba=0.5 oa=15 limit=5 (or k=10 for top-k)
 //! board <video> [n]   storyboard of a video (n cards, default 6)
 //! tree <video>        full scene tree
 //! remove <video>      remove a video (journals a tombstone when durable)
@@ -36,7 +36,7 @@ pub enum ShellOutcome {
     Quit,
 }
 
-const HELP: &str = "commands:\n  demo [n]          ingest n synthetic demo movies\n  list              list videos\n  stats             database statistics\n  query <text>      e.g. query ba=0.5 oa=15 limit=5\n  board <video> [n] storyboard of a video\n  tree <video>      full scene tree\n  remove <video>    remove a video\n  save <path>       persist the database\n  load <path>       replace the database from a file (load! forces)\n  help              this text\n  quit\n";
+const HELP: &str = "commands:\n  demo [n]          ingest n synthetic demo movies\n  list              list videos\n  stats             database statistics\n  query <text>      e.g. query ba=0.5 oa=15 limit=5 (k=10 for top-k)\n  board <video> [n] storyboard of a video\n  tree <video>      full scene tree\n  remove <video>    remove a video\n  save <path>       persist the database\n  load <path>       replace the database from a file (load! forces)\n  help              this text\n  quit\n";
 
 /// One parsed command line.
 ///

@@ -4,7 +4,7 @@
 use std::path::PathBuf;
 use vdb_core::analyzer::AnalyzerConfig;
 use vdb_core::index::VarianceQuery;
-use vdb_store::VideoDatabase;
+use vdb_store::{JournaledDatabase, VideoDatabase};
 use vdb_synth::script::generate;
 use vdb_synth::{build_script, Genre};
 
@@ -68,6 +68,123 @@ fn full_database_roundtrip_preserves_all_answers() {
             .collect();
         assert_eq!(before, after, "query {i}");
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A saved database carries its index: reopening adopts the persisted
+/// copy (one adoption, zero rebuilds on the fresh instance's runtime
+/// counters) and answers identically.
+#[test]
+fn saved_index_is_adopted_not_rebuilt() {
+    let dir = temp_dir("idx-adopt");
+    let path = dir.join("db.vdbs");
+    let db = build_db(3);
+    db.save(&path).unwrap();
+    let restored = VideoDatabase::load(&path, AnalyzerConfig::default()).unwrap();
+    let runtime = restored.index().runtime();
+    assert_eq!(runtime.adoptions, 1, "persisted index should be adopted");
+    assert_eq!(runtime.refreshes, 0, "no rebuild on adopted load");
+    assert!(restored.index().is_finalized());
+    assert_eq!(restored.index().entries(), db.index().entries());
+    for i in 0..8 {
+        let q = VarianceQuery::new(f64::from(i) * 3.0, f64::from(i) * 2.0);
+        let keys = |db: &VideoDatabase| {
+            db.query(&q)
+                .into_iter()
+                .map(|a| (a.key, a.scene_node))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&db), keys(&restored), "query {i}");
+        let topk = |db: &VideoDatabase| {
+            db.query_topk(&q, 5)
+                .into_iter()
+                .map(|a| a.key)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(topk(&db), topk(&restored), "top-k query {i}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A journal compacted by [`JournaledDatabase::compact`] ends in an index
+/// record; reopening adopts it without a rebuild and the answers match.
+#[test]
+fn compacted_journal_adopts_index_on_reopen() {
+    let dir = temp_dir("idx-journal");
+    let path = dir.join("db.vdbj");
+    let q = VarianceQuery::new(6.0, 18.0).with_tolerances(3.0, 3.0);
+    let before = {
+        let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        for i in 0..3 {
+            let clip = generate(&build_script(Genre::Sitcom, 6, Some(8.0), (80, 60), 50 + i));
+            j.ingest(format!("clip-{i}"), &clip.video, vec![], vec![])
+                .unwrap();
+        }
+        j.compact().unwrap();
+        j.db()
+            .query(&q)
+            .into_iter()
+            .map(|a| a.key)
+            .collect::<Vec<_>>()
+    };
+    let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+    let runtime = j.db().index().runtime();
+    assert_eq!(runtime.adoptions, 1);
+    assert_eq!(runtime.refreshes, 0);
+    let after: Vec<_> = j.db().query(&q).into_iter().map(|a| a.key).collect();
+    assert_eq!(before, after);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Legacy journals (every journal that was never compacted — ingest
+/// appends no index records) must still load: the index is rebuilt from
+/// the replayed rows, counted as exactly one refresh and no adoption.
+#[test]
+fn legacy_journal_rebuilds_index_on_load() {
+    let dir = temp_dir("idx-legacy");
+    let path = dir.join("db.vdbj");
+    {
+        let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        for i in 0..2 {
+            let clip = generate(&build_script(Genre::News, 6, Some(8.0), (80, 60), 70 + i));
+            j.ingest(format!("clip-{i}"), &clip.video, vec![], vec![])
+                .unwrap();
+        }
+    }
+    let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+    let runtime = j.db().index().runtime();
+    assert_eq!(runtime.adoptions, 0, "nothing persisted to adopt");
+    assert_eq!(runtime.refreshes, 1, "one rebuild from replayed rows");
+    assert!(j.db().index().is_finalized());
+    assert_eq!(
+        j.db().index().len(),
+        j.db().stats().shots,
+        "rebuilt index covers every stored shot"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An index record followed by more ingests is stale: its fingerprint no
+/// longer matches the replayed rows, so reopening falls back to a rebuild
+/// that includes the newer clips.
+#[test]
+fn stale_index_record_falls_back_to_rebuild() {
+    let dir = temp_dir("idx-stale");
+    let path = dir.join("db.vdbj");
+    {
+        let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        let clip = generate(&build_script(Genre::Drama, 6, Some(8.0), (80, 60), 90));
+        j.ingest("old", &clip.video, vec![], vec![]).unwrap();
+        j.compact().unwrap(); // index record now mid-file after the next append
+        let clip = generate(&build_script(Genre::Sports, 6, Some(8.0), (80, 60), 91));
+        j.ingest("new", &clip.video, vec![], vec![]).unwrap();
+    }
+    let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+    let runtime = j.db().index().runtime();
+    assert_eq!(runtime.adoptions, 0, "stale index must not be adopted");
+    assert_eq!(runtime.refreshes, 1);
+    assert_eq!(j.db().len(), 2);
+    assert_eq!(j.db().index().len(), j.db().stats().shots);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
