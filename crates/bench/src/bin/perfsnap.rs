@@ -16,9 +16,16 @@
 //! regressed by more than `--max-regress` (default 0.25) — this is the
 //! CI perf-trajectory gate.
 //!
+//! With `--trace-out <path>` the whole run executes under forced trace
+//! roots (one per ingest, one per query pair) and the flight recorder is
+//! drained to `<path>` as chrome://tracing JSON — open it in
+//! `chrome://tracing` or Perfetto to see the span tree of every ingest
+//! and probe.
+//!
 //! ```text
 //! perfsnap [--out BENCH_5.json] [--baseline BENCH_5.json]
 //!          [--max-regress 0.25] [--clips 6] [--shots 10] [--seed 5]
+//!          [--trace-out BENCH_TRACE.json]
 //! ```
 
 use std::fmt::Write as _;
@@ -35,6 +42,7 @@ struct Args {
     clips: usize,
     shots: usize,
     seed: u64,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +53,7 @@ fn parse_args() -> Args {
         clips: 12,
         shots: 30,
         seed: 5,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -58,6 +67,7 @@ fn parse_args() -> Args {
             "--clips" => args.clips = grab("--clips").parse().expect("--clips: integer"),
             "--shots" => args.shots = grab("--shots").parse().expect("--shots: integer"),
             "--seed" => args.seed = grab("--seed").parse().expect("--seed: integer"),
+            "--trace-out" => args.trace_out = Some(grab("--trace-out")),
             other => panic!("unknown argument '{other}'"),
         }
     }
@@ -118,11 +128,24 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("vdb-perfsnap-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");
     let journal_path = dir.join("perfsnap.vdbj");
+    // With --trace-out, each ingest and each query pair runs under its
+    // own forced trace root; the spans land in the process-wide flight
+    // recorder and are drained to chrome://tracing JSON at the end. The
+    // per-span cost is a handful of atomics — noise next to the 25%
+    // regression margin the gate allows.
+    let tracer = vdb_obs::global_tracer();
+    let trace_root = || {
+        if args.trace_out.is_some() {
+            tracer.trace_root_forced()
+        } else {
+            vdb_obs::TraceContext::disabled()
+        }
+    };
     let wall = Instant::now();
     let mut db =
         JournaledDatabase::open(&journal_path, AnalyzerConfig::default()).expect("open journal");
     for (name, video) in &videos {
-        db.ingest(name.clone(), video, vec![], vec![])
+        db.ingest_traced(name.clone(), video, vec![], vec![], &trace_root())
             .expect("ingest clip");
     }
     let wall_seconds = wall.elapsed().as_secs_f64();
@@ -135,8 +158,9 @@ fn main() {
     for i in 0..64u32 {
         let q = VarianceQuery::new(f64::from(i % 16) * 4.0, f64::from(i % 12) * 3.0)
             .with_tolerances(0.5 + f64::from(i % 4) * 0.5, 2.0);
-        answers += db.db().query(&q).len();
-        answers += db.db().query_topk(&q, 10).len();
+        let root = trace_root();
+        answers += db.db().query_traced(&q, &root).len();
+        answers += db.db().query_topk_traced(&q, 10, &root).len();
     }
     let query_seconds = query_wall.elapsed().as_secs_f64();
     eprintln!(
@@ -234,6 +258,17 @@ fn main() {
         "perfsnap: {:.0} frames/s overall over {} frames; wrote {}",
         overall_fps, frames, args.out
     );
+
+    // --- Trace artifact. ---
+    if let Some(path) = &args.trace_out {
+        let events = tracer.recorder().snapshot();
+        let chrome = vdb_obs::trace::to_chrome_json(&events);
+        std::fs::write(path, &chrome).expect("write trace artifact");
+        eprintln!(
+            "perfsnap: wrote {} span events to {path} (chrome://tracing format)",
+            events.len()
+        );
+    }
 
     // --- Regression gate. ---
     if let Some(path) = &args.baseline {

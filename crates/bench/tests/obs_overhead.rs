@@ -16,7 +16,7 @@
 use std::time::{Duration, Instant};
 use vdb_core::analyzer::AnalyzerConfig;
 use vdb_core::pipeline::AnalysisEngine;
-use vdb_obs::Registry;
+use vdb_obs::{global_tracer, Registry, TraceContext, Tracer};
 use vdb_synth::{build_script, generate, Genre};
 
 #[test]
@@ -77,6 +77,87 @@ fn disabled_observability_adds_no_measurable_overhead() {
     assert!(
         best_disabled <= budget,
         "disabled-registry engine too slow: {best_disabled:?} vs bare {best_bare:?} \
+         (budget {budget:?})"
+    );
+}
+
+/// Request tracing must also be free when it is off: analyzing under a
+/// *sampled-out* trace context (what head sampling hands most requests)
+/// may not measurably slow the pipeline versus the plain untraced entry
+/// point, and — structurally — must never write the process-wide flight
+/// recorder. Same strict-alternation min-of-N methodology as above; the
+/// timing budget is likewise enforced only in release builds.
+#[test]
+fn sampled_out_tracing_writes_nothing_and_adds_no_measurable_cost() {
+    let script = build_script(Genre::Sitcom, 12, None, (64, 48), 78);
+    let video = generate(&script).video;
+    let config = AnalyzerConfig::default();
+    let disabled = Registry::disabled();
+
+    // sample_every = 0 samples nothing: the root context comes back
+    // unsampled, exactly what a head-sampled-out request carries.
+    let tracer = Tracer::new(16);
+    tracer.set_sample_every(0);
+    let sampled_out = tracer.trace_root();
+    assert!(!sampled_out.is_sampled());
+    assert_eq!(sampled_out, TraceContext::disabled());
+
+    // Spans opened under a sampled-out context are fully inert: not
+    // recording, attrs are no-ops, and nothing reaches the ring.
+    let recorder = global_tracer().recorder();
+    let before = recorder.total_recorded();
+    {
+        let mut span = global_tracer().span(&sampled_out, "bench.probe");
+        assert!(!span.is_recording());
+        span.attr("ignored", 1);
+    }
+    assert_eq!(
+        recorder.total_recorded(),
+        before,
+        "inert span must not write the flight recorder"
+    );
+
+    let run = |ctx: Option<&TraceContext>| -> Duration {
+        let mut engine = AnalysisEngine::with_registry(config, &disabled);
+        let start = Instant::now();
+        let analysis = match ctx {
+            Some(ctx) => engine.analyze_traced(&video, ctx).expect("analyze"),
+            None => engine.analyze(&video).expect("analyze"),
+        };
+        let elapsed = start.elapsed();
+        assert!(!analysis.segmentation.shots.is_empty());
+        elapsed
+    };
+
+    run(Some(&sampled_out));
+    run(None);
+    const ROUNDS: usize = 9;
+    let mut best_traced = Duration::MAX;
+    let mut best_plain = Duration::MAX;
+    for _ in 0..ROUNDS {
+        best_traced = best_traced.min(run(Some(&sampled_out)));
+        best_plain = best_plain.min(run(None));
+    }
+
+    // The whole alternation ran under sampled-out contexts: still not one
+    // ring write (hence no span ids allocated and no span clock reads).
+    assert_eq!(
+        recorder.total_recorded(),
+        before,
+        "sampled-out analyze must not write the flight recorder"
+    );
+
+    let budget = best_plain + best_plain / 50 + Duration::from_micros(300);
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "trace_overhead (debug, informational): sampled-out {best_traced:?} vs plain \
+             {best_plain:?} (release budget would be {budget:?})"
+        );
+        return;
+    }
+    assert!(
+        best_traced <= budget,
+        "sampled-out tracing too slow: {best_traced:?} vs plain {best_plain:?} \
          (budget {budget:?})"
     );
 }

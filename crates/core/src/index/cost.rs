@@ -183,14 +183,14 @@ impl CostModel {
         }
     }
 
-    /// Predicted cost of a range probe centred at `dq` with half-width
-    /// `alpha` (Eq. 7's window). The window is widened to the bucket
-    /// edges the probe would actually touch before consulting the
-    /// histogram — the model prices the index's granularity, not the
-    /// ideal window.
-    pub fn estimate_range(&self, dq: f64, alpha: f64) -> CostEstimate {
+    /// The bucket-edge-snapped `D^v` window a range probe centred at `dq`
+    /// with half-width `alpha` actually touches, as `(lo_edge, hi_edge,
+    /// buckets)` — the window [`estimate_range`](Self::estimate_range)
+    /// prices and the window `explain` reports. `(0, 0, 0)` on an empty
+    /// corpus.
+    pub fn probe_window(&self, dq: f64, alpha: f64) -> (f64, f64, f64) {
         if self.stats.n() == 0 {
-            return self.finish(0.0, 0.0);
+            return (0.0, 0.0, 0.0);
         }
         let alpha = if alpha.is_finite() {
             alpha.max(0.0)
@@ -211,19 +211,31 @@ impl CostModel {
         let lo_b = lo_b.clamp(0.0, last);
         let hi_b = hi_b.clamp(0.0, last);
         let buckets = (hi_b - lo_b + 1.0).max(1.0);
-        let lo_edge = origin + lo_b * w;
-        let hi_edge = origin + (hi_b + 1.0) * w;
+        (origin + lo_b * w, origin + (hi_b + 1.0) * w, buckets)
+    }
+
+    /// Predicted cost of a range probe centred at `dq` with half-width
+    /// `alpha` (Eq. 7's window). The window is widened to the bucket
+    /// edges the probe would actually touch before consulting the
+    /// histogram — the model prices the index's granularity, not the
+    /// ideal window.
+    pub fn estimate_range(&self, dq: f64, alpha: f64) -> CostEstimate {
+        if self.stats.n() == 0 {
+            return self.finish(0.0, 0.0);
+        }
+        let (lo_edge, hi_edge, buckets) = self.probe_window(dq, alpha);
         let candidates = self.stats.expected_in_window(lo_edge, hi_edge);
         self.finish(buckets, candidates)
     }
 
-    /// Predicted cost of a top-k probe centred at `dq`: expand the window
-    /// one bucket per side until the histogram expects ≥ `k` rows inside
-    /// it (or the corpus is exhausted).
-    pub fn estimate_topk(&self, dq: f64, k: usize) -> CostEstimate {
+    /// The `D^v` window a top-k probe centred at `dq` expands to before
+    /// the histogram expects ≥ `k` rows inside it, as `(lo, hi,
+    /// buckets)` — what [`estimate_topk`](Self::estimate_topk) prices.
+    /// `(0, 0, 0)` on an empty corpus or `k == 0`.
+    pub fn topk_window(&self, dq: f64, k: usize) -> (f64, f64, f64) {
         let n = self.stats.n();
         if n == 0 || k == 0 {
-            return self.finish(0.0, 0.0);
+            return (0.0, 0.0, 0.0);
         }
         let k = k.min(n) as f64;
         let w = self.width;
@@ -244,7 +256,20 @@ impl CostModel {
             expected = self.stats.expected_in_window(dq - half, dq + half);
             steps += 1;
         }
-        self.finish(buckets, expected.max(k))
+        (dq - half, dq + half, buckets)
+    }
+
+    /// Predicted cost of a top-k probe centred at `dq`: expand the window
+    /// one bucket per side until the histogram expects ≥ `k` rows inside
+    /// it (or the corpus is exhausted).
+    pub fn estimate_topk(&self, dq: f64, k: usize) -> CostEstimate {
+        let n = self.stats.n();
+        if n == 0 || k == 0 {
+            return self.finish(0.0, 0.0);
+        }
+        let (lo, hi, buckets) = self.topk_window(dq, k);
+        let expected = self.stats.expected_in_window(lo, hi);
+        self.finish(buckets, expected.max(k.min(n) as f64))
     }
 
     /// Cost of answering the same query with the linear scan.
@@ -345,6 +370,29 @@ mod tests {
         );
         let est = model.estimate_range(50.0, 1.0);
         assert!(est.total < model.scan_cost() / 10.0);
+    }
+
+    #[test]
+    fn windows_back_the_estimates_exactly() {
+        let model = CostModel::new(
+            0.5,
+            uniform_stats(10_000, 0.0, 100.0),
+            CostWeights::default(),
+        );
+        let (lo, hi, buckets) = model.probe_window(50.0, 1.3);
+        assert!(
+            lo < 50.0 - 1.3 + 1e-9 && hi > 50.0 + 1.3 - 1e-9,
+            "snapped outward"
+        );
+        let est = model.estimate_range(50.0, 1.3);
+        assert_eq!(est.buckets_touched, buckets);
+        assert_eq!(est.candidates, model.stats().expected_in_window(lo, hi));
+
+        let (lo, hi, buckets) = model.topk_window(50.0, 37);
+        let est = model.estimate_topk(50.0, 37);
+        assert_eq!(est.buckets_touched, buckets);
+        assert!(est.candidates >= 37.0);
+        assert!(model.stats().expected_in_window(lo, hi) >= 37.0);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod planner;
 pub use bucket::{BucketIndex, BucketParams, ProbeStats};
 pub use cost::{CorpusStats, CostEstimate, CostModel};
 pub use graph::{GraphParams, SigGraph};
-pub use planner::{IndexRuntime, Plan, PlanChoice, ShotIndex};
+pub use planner::{Explain, IndexRuntime, Plan, PlanChoice, ShotIndex};
 
 use crate::variance::ShotFeature;
 use serde::{Deserialize, Serialize};

@@ -25,7 +25,7 @@ use super::cost::{CostEstimate, CostModel, CostWeights};
 use super::{IndexEntry, Match, VarianceQuery};
 use std::cmp::Ordering;
 use std::sync::OnceLock;
-use vdb_obs::{global, Counter, Histogram};
+use vdb_obs::{global, global_tracer, Counter, Histogram, TraceContext};
 
 /// Which executor the planner chose for a probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +46,55 @@ pub struct Plan {
     pub index_cost: CostEstimate,
     /// Cost of the linear scan in the same units.
     pub scan_cost: f64,
+}
+
+/// The planner's full decision trail for one *executed* probe — what the
+/// `explain` command reports and what a traced probe attaches to its
+/// span: the priced plan (estimates in [`Plan::index_cost`]) next to the
+/// executor's measured work, so estimated-vs-actual is one comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explain {
+    /// The priced decision the probe executed.
+    pub plan: Plan,
+    /// The `D^v` window the estimate was priced over, `(lo, hi)` —
+    /// bucket-edge-snapped for range probes, k-expanded for top-k.
+    pub probe_window: (f64, f64),
+    /// Measured work of the executor that ran. For a [`PlanChoice::Scan`]
+    /// plan the candidates are the full finalized row count.
+    pub probe: ProbeStats,
+    /// Staged (unfinalized) rows scanned alongside the probe.
+    pub staged_rows: usize,
+    /// Finalized rows in the index.
+    pub rows: usize,
+    /// Matches returned after the staged merge.
+    pub matches: usize,
+}
+
+impl Explain {
+    /// One-line `key=value` rendering (the shape the shell prints and a
+    /// traced probe attaches to its span).
+    pub fn summary(&self) -> String {
+        format!(
+            "plan={} est_candidates={:.0} est_buckets={:.0} actual_candidates={} \
+             actual_buckets={} window=[{:.3},{:.3}] staged={} rows={} matches={} \
+             index_cost={:.0} scan_cost={:.0}",
+            match self.plan.choice {
+                PlanChoice::Scan => "scan",
+                PlanChoice::Buckets => "buckets",
+            },
+            self.plan.index_cost.candidates,
+            self.plan.index_cost.buckets_touched,
+            self.probe.candidates,
+            self.probe.buckets_touched,
+            self.probe_window.0,
+            self.probe_window.1,
+            self.staged_rows,
+            self.rows,
+            self.matches,
+            self.plan.index_cost.total,
+            self.plan.scan_cost,
+        )
+    }
 }
 
 /// Per-instance maintenance counters — unlike the `core.index.*` globals
@@ -353,8 +402,36 @@ impl ShotIndex {
     /// Eqs. 7–8 range query, routed through the planner. Results sorted
     /// by ascending `(distance, key)` — identical to [`Self::query_scan`].
     pub fn query(&self, q: &VarianceQuery) -> Vec<Match> {
+        self.run_range(q, &TraceContext::disabled()).0
+    }
+
+    /// [`Self::query`] with a `core.index.probe` span (carrying the
+    /// explain payload as attributes) opened under `ctx`.
+    pub fn query_traced(&self, q: &VarianceQuery, ctx: &TraceContext) -> Vec<Match> {
+        self.run_range(q, ctx).0
+    }
+
+    /// [`Self::query`] plus the planner's full [`Explain`] decision
+    /// trail. The probe itself is byte-identical to `query` — explain
+    /// never changes what executes.
+    pub fn query_explain(&self, q: &VarianceQuery) -> (Vec<Match>, Explain) {
+        self.run_range(q, &TraceContext::disabled())
+    }
+
+    /// [`Self::query_explain`] with the probe span opened under `ctx`.
+    pub fn query_explain_traced(
+        &self,
+        q: &VarianceQuery,
+        ctx: &TraceContext,
+    ) -> (Vec<Match>, Explain) {
+        self.run_range(q, ctx)
+    }
+
+    fn run_range(&self, q: &VarianceQuery, ctx: &TraceContext) -> (Vec<Match>, Explain) {
         let plan = self.plan_range(q);
+        let (lo, hi, _) = self.model.probe_window(q.d_v(), q.alpha);
         let o = obs();
+        let mut tspan = global_tracer().span(ctx, "core.index.probe");
         let _span = o.probe_us.start();
         let (matches, stats) = match plan.choice {
             PlanChoice::Buckets => {
@@ -369,7 +446,19 @@ impl ShotIndex {
         o.buckets_touched.add(stats.buckets_touched as u64);
         o.candidates_scored
             .add((stats.candidates + self.staged.len()) as u64);
-        self.merge_staged_range(q, matches)
+        let matches = self.merge_staged_range(q, matches);
+        let explain = Explain {
+            plan,
+            probe_window: (lo, hi),
+            probe: stats,
+            staged_rows: self.staged.len(),
+            rows: self.bucket.len(),
+            matches: matches.len(),
+        };
+        if tspan.is_recording() {
+            tspan.attr("explain", explain.summary());
+        }
+        (matches, explain)
     }
 
     /// Forced linear scan (the pinning reference for equivalence tests).
@@ -381,8 +470,37 @@ impl ShotIndex {
     /// The `k` nearest rows to the query point in `(D^v, √Var^BA)` space
     /// (α/β ignored), routed through the planner. Ties by ascending key.
     pub fn query_topk(&self, q: &VarianceQuery, k: usize) -> Vec<Match> {
+        self.run_topk(q, k, &TraceContext::disabled()).0
+    }
+
+    /// [`Self::query_topk`] with a `core.index.probe` span (carrying the
+    /// explain payload as attributes) opened under `ctx`.
+    pub fn query_topk_traced(&self, q: &VarianceQuery, k: usize, ctx: &TraceContext) -> Vec<Match> {
+        self.run_topk(q, k, ctx).0
+    }
+
+    /// [`Self::query_topk`] plus the planner's [`Explain`] decision
+    /// trail (execution unchanged).
+    pub fn query_topk_explain(&self, q: &VarianceQuery, k: usize) -> (Vec<Match>, Explain) {
+        self.run_topk(q, k, &TraceContext::disabled())
+    }
+
+    /// [`Self::query_topk_explain`] with the probe span opened under
+    /// `ctx`.
+    pub fn query_topk_explain_traced(
+        &self,
+        q: &VarianceQuery,
+        k: usize,
+        ctx: &TraceContext,
+    ) -> (Vec<Match>, Explain) {
+        self.run_topk(q, k, ctx)
+    }
+
+    fn run_topk(&self, q: &VarianceQuery, k: usize, ctx: &TraceContext) -> (Vec<Match>, Explain) {
         let plan = self.plan_topk(q, k);
+        let (lo, hi, _) = self.model.topk_window(q.d_v(), k);
         let o = obs();
+        let mut tspan = global_tracer().span(ctx, "core.index.probe");
         let _span = o.probe_us.start();
         let (matches, stats) = match plan.choice {
             PlanChoice::Buckets => {
@@ -397,7 +515,19 @@ impl ShotIndex {
         o.buckets_touched.add(stats.buckets_touched as u64);
         o.candidates_scored
             .add((stats.candidates + self.staged.len()) as u64);
-        self.merge_staged_topk(q, k, matches)
+        let matches = self.merge_staged_topk(q, k, matches);
+        let explain = Explain {
+            plan,
+            probe_window: (lo, hi),
+            probe: stats,
+            staged_rows: self.staged.len(),
+            rows: self.bucket.len(),
+            matches: matches.len(),
+        };
+        if tspan.is_recording() {
+            tspan.attr("explain", explain.summary());
+        }
+        (matches, explain)
     }
 
     /// Forced linear-scan top-k (the pinning reference).
@@ -594,6 +724,61 @@ mod tests {
         assert_eq!(idx.len(), before - removed);
         idx.finalize();
         assert!(idx.entries().iter().all(|e| e.key.video != 3));
+    }
+
+    #[test]
+    fn explain_reports_the_probe_that_ran_without_changing_it() {
+        let mut idx = ShotIndex::from_entries(corpus(20_000), BucketParams::default());
+        idx.stage([entry(999, 0, 20.0, 5.0)]);
+        let q = VarianceQuery::new(20.0, 5.0).with_tolerances(1.0, 1.0);
+        let (matches, ex) = idx.query_explain(&q);
+        assert_eq!(matches, idx.query(&q), "explain must not change the query");
+        assert_eq!(ex.plan, idx.plan_range(&q));
+        assert_eq!(ex.matches, matches.len());
+        assert_eq!(ex.staged_rows, 1);
+        assert_eq!(ex.rows, 20_000);
+        // The reported estimate is exactly the cost model's, and the
+        // reported actuals are exactly the executor's.
+        let est = idx.cost_model().estimate_range(q.d_v(), q.alpha);
+        assert_eq!(ex.plan.index_cost, est);
+        if ex.plan.choice == PlanChoice::Buckets {
+            let (_, stats) = idx.probe_range(&q);
+            assert_eq!(ex.probe, stats);
+        }
+        let s = ex.summary();
+        for key in [
+            "plan=",
+            "est_candidates=",
+            "actual_candidates=",
+            "window=[",
+            "scan_cost=",
+        ] {
+            assert!(s.contains(key), "summary missing {key}: {s}");
+        }
+
+        let (_, tex) = idx.query_topk_explain(&q, 5);
+        assert_eq!(tex.plan, idx.plan_topk(&q, 5));
+        assert_eq!(tex.matches, 5);
+    }
+
+    #[test]
+    fn traced_query_records_a_probe_span_with_explain_attrs() {
+        let idx = ShotIndex::from_entries(corpus(5_000), BucketParams::default());
+        let tracer = vdb_obs::global_tracer();
+        let before = tracer.recorder().total_recorded();
+        let root = tracer.trace_root_forced();
+        let q = VarianceQuery::new(10.0, 5.0);
+        assert_eq!(idx.query_traced(&q, &root), idx.query(&q));
+        assert_eq!(idx.query_topk_traced(&q, 3, &root), idx.query_topk(&q, 3));
+        let events = tracer.recorder().events_for(root.trace_id);
+        assert_eq!(events.len(), 2, "two probes recorded");
+        assert!(events.iter().all(|e| e.name == "core.index.probe"));
+        assert!(events.iter().all(|e| e.attrs.starts_with("explain=plan=")));
+        assert!(tracer.recorder().total_recorded() >= before + 2);
+        // Unsampled context: nothing recorded.
+        let after = tracer.recorder().total_recorded();
+        idx.query_traced(&q, &TraceContext::disabled());
+        assert_eq!(tracer.recorder().total_recorded(), after);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::sbd::{CameraTrackingDetector, SbdStats, Segmentation, StageDecision};
 use crate::scenetree::build_scene_tree_with_config;
 use crate::shot::Shot;
 use crate::variance::ShotFeature;
-use vdb_obs::{Counter, Histogram, Registry};
+use vdb_obs::{global_tracer, Counter, Histogram, Registry, TraceContext};
 
 /// The pipeline's handles into an observability registry: one span
 /// histogram per stage and the cascade's stage-hit counters (how often
@@ -314,6 +314,17 @@ impl AnalysisEngine {
     /// On error nothing is consumed: the cascade only ever sees a batch
     /// whose every frame extracted successfully.
     pub fn push_frames(&mut self, frames: &[FrameBuf]) -> Result<Vec<PushOutcome>> {
+        self.push_frames_traced(frames, &TraceContext::disabled())
+    }
+
+    /// [`Self::push_frames`] with `core.pipeline.extract` /
+    /// `core.pipeline.cascade` trace spans opened under `ctx` (inert —
+    /// one branch per stage — when `ctx` is unsampled).
+    pub fn push_frames_traced(
+        &mut self,
+        frames: &[FrameBuf],
+        ctx: &TraceContext,
+    ) -> Result<Vec<PushOutcome>> {
         let Some(first) = frames.first() else {
             return Ok(Vec::new());
         };
@@ -324,13 +335,19 @@ impl AnalysisEngine {
         }
         let extractor = self.extractor.as_ref().expect("created above");
         let threads = self.config.parallelism.effective_threads();
+        let tracer = global_tracer();
         let features = {
+            let mut tspan = tracer.span(ctx, "core.pipeline.extract");
+            if tspan.is_recording() {
+                tspan.attr("frames", frames.len());
+            }
             let _span = self.obs.as_ref().map(|o| o.extract_us.start());
             extract_features_reusing(extractor, frames, threads, &mut self.scratch)?
         };
         if let Some(obs) = &self.obs {
             obs.frames.add(frames.len() as u64);
         }
+        let _tspan = tracer.span(ctx, "core.pipeline.cascade");
         let _span = self.obs.as_ref().map(|o| o.cascade_us.start());
         Ok(features
             .into_iter()
@@ -345,6 +362,12 @@ impl AnalysisEngine {
     /// # Errors
     /// [`CoreError::EmptyVideo`] if no frame was ever pushed.
     pub fn finish(&mut self) -> Result<VideoAnalysis> {
+        self.finish_traced(&TraceContext::disabled())
+    }
+
+    /// [`Self::finish`] with `core.pipeline.assemble` / `.scenetree` /
+    /// `.index` trace spans opened under `ctx`.
+    pub fn finish_traced(&mut self, ctx: &TraceContext) -> Result<VideoAnalysis> {
         if self.state.signs_ba.is_empty() {
             return Err(CoreError::EmptyVideo);
         }
@@ -354,15 +377,22 @@ impl AnalysisEngine {
         let signs_ba = std::mem::take(&mut state.signs_ba);
         let signs_oa = std::mem::take(&mut state.signs_oa);
         let frames = signs_ba.len();
+        let tracer = global_tracer();
         let segmentation = {
+            let _tspan = tracer.span(ctx, "core.pipeline.assemble");
             let _span = self.obs.as_ref().map(|o| o.assemble_us.start());
             state.into_segmentation(frames)
         };
         let scene_tree = {
+            let _tspan = tracer.span(ctx, "core.pipeline.scenetree");
             let _span = self.obs.as_ref().map(|o| o.scenetree_us.start());
             build_scene_tree_with_config(&segmentation.shots, &signs_ba, self.config.scene_tree)
         };
         let features = {
+            let mut tspan = tracer.span(ctx, "core.pipeline.index");
+            if tspan.is_recording() {
+                tspan.attr("shots", segmentation.shots.len());
+            }
             let _span = self.obs.as_ref().map(|o| o.index_us.start());
             segmentation
                 .shots
@@ -388,9 +418,23 @@ impl AnalysisEngine {
     /// Batch driver: analyze one whole video (any state left over from an
     /// unfinished clip is discarded first).
     pub fn analyze(&mut self, video: &Video) -> Result<VideoAnalysis> {
+        self.analyze_traced(video, &TraceContext::disabled())
+    }
+
+    /// [`Self::analyze`] under a `core.pipeline.analyze` span: every
+    /// stage (extract → cascade → assemble → scenetree → index) becomes
+    /// a child span, so one traced ingest shows where the time went.
+    pub fn analyze_traced(&mut self, video: &Video, ctx: &TraceContext) -> Result<VideoAnalysis> {
         self.reset();
-        self.push_frames(video.frames())?;
-        self.finish()
+        let mut tspan = global_tracer().span(ctx, "core.pipeline.analyze");
+        let child = tspan.context();
+        self.push_frames_traced(video.frames(), &child)?;
+        let analysis = self.finish_traced(&child)?;
+        if tspan.is_recording() {
+            tspan.attr("frames", video.len());
+            tspan.attr("shots", analysis.segmentation.shots.len());
+        }
+        Ok(analysis)
     }
 
     /// Drop any in-flight clip state (scratch arena retained).
@@ -525,6 +569,48 @@ mod tests {
             before,
             "warm batch analysis must not allocate in the pyramid reductions"
         );
+    }
+
+    #[test]
+    fn traced_analyze_records_every_stage_under_one_root() {
+        let video = Video::new(clip((80, 60), &[(1, 6), (2, 5)]), 3.0).unwrap();
+        let mut engine = AnalysisEngine::default();
+        let plain = engine.analyze(&video).unwrap();
+
+        let tracer = global_tracer();
+        let root = tracer.trace_root_forced();
+        let traced = engine.analyze_traced(&video, &root).unwrap();
+        assert_eq!(traced, plain, "tracing must never change the analysis");
+
+        let events = tracer.recorder().events_for(root.trace_id);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        for stage in [
+            "core.pipeline.extract",
+            "core.pipeline.cascade",
+            "core.pipeline.assemble",
+            "core.pipeline.scenetree",
+            "core.pipeline.index",
+            "core.pipeline.analyze",
+        ] {
+            assert!(names.contains(&stage), "missing span {stage} in {names:?}");
+        }
+        // Stage spans are children of the analyze span.
+        let analyze = events
+            .iter()
+            .find(|e| e.name == "core.pipeline.analyze")
+            .unwrap();
+        assert_eq!(analyze.parent_id, 0);
+        assert!(analyze.attrs.contains("frames=11"));
+        for e in events.iter().filter(|e| e.name != "core.pipeline.analyze") {
+            assert_eq!(e.parent_id, analyze.span_id, "{} misparented", e.name);
+        }
+
+        // An unsampled context records nothing.
+        let before = tracer.recorder().total_recorded();
+        engine
+            .analyze_traced(&video, &TraceContext::disabled())
+            .unwrap();
+        assert_eq!(tracer.recorder().total_recorded(), before);
     }
 
     #[test]

@@ -43,13 +43,22 @@
 //! [`global()`] is the process-wide registry the default constructors of
 //! core and store record into; servers keep private registries where
 //! per-instance exactness matters (see `vdb-server::ServerMetrics`).
+//!
+//! Aggregate metrics answer "how is the stack doing"; the [`trace`]
+//! module answers "what did *this* request do" — request-scoped span
+//! trees with explicit [`TraceContext`] propagation and a lock-free
+//! [`FlightRecorder`] retaining the last N spans process-wide.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod snapshot;
+pub mod trace;
 
 pub use snapshot::{quantile, HistogramSnapshot, MetricValue, Snapshot, SnapshotEntry};
+pub use trace::{
+    global_tracer, FlightRecorder, SpanEvent, SpanGuard, SpanRecord, TraceContext, Tracer,
+};
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -212,7 +212,7 @@ impl Snapshot {
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -1,22 +1,30 @@
 //! `vdbc` — a scriptable client for `vdbd`.
 //!
 //! ```text
-//! vdbc <addr> <command...>     # one request, print the response
-//! vdbc <addr>                  # read command lines from stdin
+//! vdbc [--timing] <addr> <command...>     # one request, print the response
+//! vdbc [--timing] <addr>                  # read command lines from stdin
 //! ```
 //!
 //! Exits 0 iff every request got an ok response. Error responses are
 //! printed with an `error:` prefix and flip the exit code to 1; transport
-//! failures exit 2.
+//! failures exit 2. With `--timing`, each reply is followed by a
+//! `time: <N>us` line on stderr — client-side wall time for the whole
+//! round trip, so it includes the network on top of the server's own
+//! latency metrics.
 
 use std::io::BufRead;
 use std::process::exit;
+use std::time::Instant;
 use vdb_server::client::{Client, ClientError};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let timing = args.first().is_some_and(|a| a == "--timing");
+    if timing {
+        args.remove(0);
+    }
     let Some(addr) = args.first() else {
-        eprintln!("usage: vdbc <addr> [command...]");
+        eprintln!("usage: vdbc [--timing] <addr> [command...]");
         exit(2);
     };
     let mut client = match Client::connect(addr) {
@@ -28,7 +36,12 @@ fn main() {
     };
     let mut any_error = false;
     let mut run = |client: &mut Client, line: &str| -> bool {
-        match client.request(line) {
+        let started = Instant::now();
+        let outcome = client.request(line);
+        if timing {
+            eprintln!("time: {}us", started.elapsed().as_micros());
+        }
+        match outcome {
             Ok(resp) => {
                 if resp.ok {
                     print!("{}", resp.text);

@@ -3,6 +3,7 @@
 //! ```text
 //! vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N]
 //!      [--idle-timeout SECS] [--metrics-interval SECS]
+//!      [--slow-query-ms MILLIS]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port), prints `vdbd listening on
@@ -54,7 +55,7 @@ mod sig {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N] [--idle-timeout SECS] [--metrics-interval SECS]"
+        "usage: vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N] [--idle-timeout SECS] [--metrics-interval SECS] [--slow-query-ms MILLIS]"
     );
     exit(2);
 }
@@ -98,6 +99,10 @@ fn parse_args() -> Args {
             "--metrics-interval" => match value("seconds").parse::<u64>() {
                 Ok(0) => config.metrics_log_interval = None,
                 Ok(secs) => config.metrics_log_interval = Some(Duration::from_secs(secs)),
+                Err(_) => usage(),
+            },
+            "--slow-query-ms" => match value("milliseconds").parse::<u64>() {
+                Ok(ms) => config.slow_query_log = Some(Duration::from_millis(ms)),
                 Err(_) => usage(),
             },
             "--help" | "-h" => usage(),

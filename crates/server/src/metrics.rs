@@ -33,6 +33,12 @@ pub enum CommandKind {
     Metrics,
     /// `query <text>`.
     Query,
+    /// `explain <text>` (query + planner report).
+    Explain,
+    /// `trace <command>` (wrapped command + span tree).
+    Trace,
+    /// `debug dump` (flight-recorder drain).
+    Debug,
     /// `board <video> [cards]`.
     Board,
     /// `tree <video>`.
@@ -51,13 +57,16 @@ pub enum CommandKind {
 
 impl CommandKind {
     /// Every kind, in display order.
-    pub const ALL: [CommandKind; 13] = [
+    pub const ALL: [CommandKind; 16] = [
         CommandKind::Ping,
         CommandKind::Help,
         CommandKind::List,
         CommandKind::Stats,
         CommandKind::Metrics,
         CommandKind::Query,
+        CommandKind::Explain,
+        CommandKind::Trace,
+        CommandKind::Debug,
         CommandKind::Board,
         CommandKind::Tree,
         CommandKind::Demo,
@@ -80,6 +89,9 @@ impl CommandKind {
             CommandKind::Stats => "stats",
             CommandKind::Metrics => "metrics",
             CommandKind::Query => "query",
+            CommandKind::Explain => "explain",
+            CommandKind::Trace => "trace",
+            CommandKind::Debug => "debug",
             CommandKind::Board => "board",
             CommandKind::Tree => "tree",
             CommandKind::Demo => "demo",
@@ -108,6 +120,7 @@ pub struct ServerMetrics {
     connections_opened: Counter,
     connections_closed: Counter,
     protocol_errors: Counter,
+    slow_requests: Counter,
 }
 
 impl Default for ServerMetrics {
@@ -141,6 +154,7 @@ impl ServerMetrics {
             connections_opened: registry.counter("server.connections_opened"),
             connections_closed: registry.counter("server.connections_closed"),
             protocol_errors: registry.counter("server.protocol_errors"),
+            slow_requests: registry.counter("server.slow_requests"),
             commands,
             registry,
         }
@@ -192,6 +206,12 @@ impl ServerMetrics {
         self.protocol_errors.incr();
     }
 
+    /// Record a request that ran longer than the configured slow-query
+    /// threshold (see `ServerConfig::slow_query_log`).
+    pub fn slow_request(&self) {
+        self.slow_requests.incr();
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let commands = CommandKind::ALL
@@ -217,6 +237,7 @@ impl ServerMetrics {
             connections_opened: self.connections_opened.get(),
             connections_closed: self.connections_closed.get(),
             protocol_errors: self.protocol_errors.get(),
+            slow_requests: self.slow_requests.get(),
         }
     }
 }
@@ -256,6 +277,9 @@ pub struct MetricsSnapshot {
     pub connections_closed: u64,
     /// Protocol violations that closed a connection.
     pub protocol_errors: u64,
+    /// Requests that ran over the slow-query threshold (0 when the
+    /// slow-query log is disabled).
+    pub slow_requests: u64,
 }
 
 impl MetricsSnapshot {
@@ -315,9 +339,10 @@ impl MetricsSnapshot {
         let (bytes_in, bytes_out) = self.total_bytes();
         let _ = writeln!(
             out,
-            "  total: {} requests ({} errors), {}/{} bytes in/out, {} conns open, {} closed, {} protocol errors",
+            "  total: {} requests ({} errors, {} slow), {}/{} bytes in/out, {} conns open, {} closed, {} protocol errors",
             self.total_requests(),
             self.total_errors(),
+            self.slow_requests,
             bytes_in,
             bytes_out,
             self.connections_opened,
@@ -369,11 +394,14 @@ mod tests {
         m.connection_opened();
         m.connection_closed();
         m.protocol_error();
+        m.slow_request();
         let snap = m.snapshot();
         assert_eq!(snap.total_requests(), 4);
         assert_eq!(snap.total_errors(), 1);
         assert_eq!(snap.total_bytes(), (59, 248));
         assert_eq!(snap.protocol_errors, 1);
+        assert_eq!(snap.slow_requests, 1);
+        assert!(snap.render().contains("1 slow"));
         let q = &snap.commands[CommandKind::Query.index()];
         assert_eq!(q.requests, 3);
         assert_eq!(q.errors, 1);

@@ -33,6 +33,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use vdb_core::analyzer::AnalyzerConfig;
+use vdb_obs::{global_tracer, TraceContext};
 use vdb_store::backend::DbBackend;
 use vdb_store::db::{DbError, VideoDatabase};
 use vdb_store::journal::JournaledDatabase;
@@ -60,6 +61,11 @@ pub struct ServerConfig {
     pub drain_grace: Duration,
     /// Emit a one-line metrics log to stderr this often (`None` = never).
     pub metrics_log_interval: Option<Duration>,
+    /// Log any request that takes at least this long to stderr, with its
+    /// full span tree when the request's trace was sampled (`None` =
+    /// never). Over-threshold requests are also counted in
+    /// [`ServerMetrics`] as `slow_requests`.
+    pub slow_query_log: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +82,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(20),
             drain_grace: Duration::from_millis(250),
             metrics_log_interval: None,
+            slow_query_log: None,
         }
     }
 }
@@ -450,8 +457,15 @@ fn handle_connection(mut stream: TcpStream, ctx: &WorkerCtx) {
                 idle_deadline = Instant::now() + cfg.idle_timeout;
                 let started = Instant::now();
                 let bytes_in = 4 + payload.len() as u64;
+                // Every request gets a (head-sampled) trace of its own; the
+                // server.request span is the root the store and core spans
+                // hang off, and what the slow-query log renders.
+                let tracer = global_tracer();
+                let root = tracer.trace_root();
+                let mut rspan = tracer.span(&root, "server.request");
+                let tctx = rspan.context();
                 let (kind, result) = match std::str::from_utf8(&payload) {
-                    Ok(line) => dispatch(ctx, line),
+                    Ok(line) => dispatch(ctx, line, &tctx),
                     Err(_) => (
                         CommandKind::Other,
                         Err("request is not valid UTF-8".to_string()),
@@ -461,12 +475,30 @@ fn handle_connection(mut stream: TcpStream, ctx: &WorkerCtx) {
                     Ok(text) => (true, text),
                     Err(text) => (false, text),
                 };
+                if rspan.is_recording() {
+                    rspan.attr("cmd", kind.label());
+                    rspan.attr("ok", ok);
+                }
+                drop(rspan);
                 let response = encode_response(ok, &text);
                 let bytes_out = 4 + response.len() as u64;
+                let elapsed = started.elapsed();
                 // Count before replying, so a client that has its reply is
                 // guaranteed to be visible in the metrics.
                 ctx.metrics
-                    .record_request(kind, ok, bytes_in, bytes_out, started.elapsed());
+                    .record_request(kind, ok, bytes_in, bytes_out, elapsed);
+                if let Some(threshold) = cfg.slow_query_log {
+                    if elapsed >= threshold {
+                        ctx.metrics.slow_request();
+                        eprintln!(
+                            "vdbd: slow request: {} took {}us (threshold {}us)\n{}",
+                            kind.label(),
+                            elapsed.as_micros(),
+                            threshold.as_micros(),
+                            shell::render_trace(&root)
+                        );
+                    }
+                }
                 if write_frame(&mut stream, &response).is_err() || kind == CommandKind::Quit {
                     break;
                 }
@@ -487,9 +519,14 @@ fn handle_connection(mut stream: TcpStream, ctx: &WorkerCtx) {
     ctx.metrics.connection_closed();
 }
 
-/// Execute one request line. The error side of the result becomes a
-/// `-` status response.
-fn dispatch(ctx: &WorkerCtx, line: &str) -> (CommandKind, Result<String, String>) {
+/// Execute one request line, opening any store/core trace spans under
+/// `tctx` (the per-request `server.request` span). The error side of the
+/// result becomes a `-` status response.
+fn dispatch(
+    ctx: &WorkerCtx,
+    line: &str,
+    tctx: &TraceContext,
+) -> (CommandKind, Result<String, String>) {
     match line.trim() {
         "ping" => return (CommandKind::Ping, Ok("pong".to_string())),
         "metrics" => {
@@ -568,7 +605,7 @@ fn dispatch(ctx: &WorkerCtx, line: &str) -> (CommandKind, Result<String, String>
         _ if cmd.is_readonly() => {
             let text = ctx
                 .store
-                .read(|db| shell::execute_readonly(db, &cmd))
+                .read(|db| shell::execute_readonly_traced(db, &cmd, tctx))
                 .expect("readonly command");
             (kind, Ok(text))
         }
@@ -576,7 +613,8 @@ fn dispatch(ctx: &WorkerCtx, line: &str) -> (CommandKind, Result<String, String>
             let text = ctx
                 .store
                 .write(|backend| {
-                    let out = shell::execute_mutation(backend, &cmd).expect("mutation command");
+                    let out = shell::execute_mutation_traced(backend, &cmd, tctx)
+                        .expect("mutation command");
                     // Durable stores flush before the response leaves.
                     backend.sync().map(|()| out)
                 })
@@ -593,6 +631,9 @@ fn kind_of(cmd: &Command) -> CommandKind {
         Command::List => CommandKind::List,
         Command::Stats => CommandKind::Stats,
         Command::Query(_) => CommandKind::Query,
+        Command::Explain(_) => CommandKind::Explain,
+        Command::Trace(_) => CommandKind::Trace,
+        Command::DebugDump => CommandKind::Debug,
         Command::Board(..) => CommandKind::Board,
         Command::Tree(_) => CommandKind::Tree,
         Command::Demo(_) => CommandKind::Demo,

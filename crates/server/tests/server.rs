@@ -156,6 +156,42 @@ fn malformed_frames_close_only_that_connection() {
         stream.write_all(&[7u8; 10]).unwrap();
     }
 
+    // Malformed `trace` / `debug` requests are per-request usage errors,
+    // and an oversized frame afterwards still costs only that connection.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        for line in [
+            "trace",
+            "trace quit",
+            "trace save x.vdbs",
+            "debug",
+            "debug everything",
+        ] {
+            write_frame(&mut stream, line.as_bytes()).unwrap();
+            let resp =
+                decode_response(&read_frame(&mut stream, 1 << 20).unwrap().unwrap()).unwrap();
+            assert!(resp.ok, "'{line}' should answer, not drop: {}", resp.text);
+            assert!(
+                resp.text.contains("usage") || resp.text.contains("trace wraps"),
+                "'{line}': {}",
+                resp.text
+            );
+        }
+        // A working trace request on the same connection...
+        write_frame(&mut stream, b"trace list").unwrap();
+        let resp = decode_response(&read_frame(&mut stream, 1 << 20).unwrap().unwrap()).unwrap();
+        assert!(resp.ok && resp.text.contains("trace "), "{}", resp.text);
+        // ...then an oversized frame: parting error, connection closed.
+        stream.write_all(&(64u32 << 20).to_le_bytes()).unwrap();
+        let payload = read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+        assert!(!decode_response(&payload).unwrap().ok);
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    }
+
     // Non-UTF-8 request: an error *response* (the frame itself was valid),
     // and the connection keeps working.
     {
@@ -178,12 +214,12 @@ fn malformed_frames_close_only_that_connection() {
     assert!(text.contains("videos 1"));
 
     // Give the torn-frame close a moment to be recorded, then check the
-    // counters: two violations, no command errors charged.
+    // counters: three violations, no command errors charged.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     loop {
         let snap = handle.metrics();
-        if snap.protocol_errors >= 2 {
-            assert_eq!(snap.protocol_errors, 2);
+        if snap.protocol_errors >= 3 {
+            assert_eq!(snap.protocol_errors, 3);
             break;
         }
         assert!(
@@ -417,4 +453,160 @@ fn metrics_reports_core_pipeline_sections() {
 
     drop(client);
     handle.shutdown().unwrap();
+}
+
+/// `explain` over the wire reports the planner's chosen plan with
+/// estimated vs. actual candidate counts, alongside the query's answers.
+#[test]
+fn explain_over_the_wire_reports_plan_and_candidates() {
+    let handle = start_memory_server(2, 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client
+        .request("explain ba=0.3 oa=14 alpha=4 beta=4")
+        .unwrap();
+    assert!(resp.ok, "{}", resp.text);
+    for key in [
+        "plan=",
+        "est_candidates=",
+        "actual_candidates=",
+        "window=[",
+        "answers",
+    ] {
+        assert!(resp.text.contains(key), "missing {key} in: {}", resp.text);
+    }
+    // Top-k queries explain too, and the redundant `query` word is
+    // tolerated.
+    let resp = client.request("explain query ba=0.3 oa=14 k=3").unwrap();
+    assert!(resp.ok, "{}", resp.text);
+    assert!(
+        resp.text.contains("plan=") && resp.text.contains("3 answers"),
+        "{}",
+        resp.text
+    );
+    // A parse error stays a per-request diagnostic.
+    let resp = client.request("explain nonsense").unwrap();
+    assert!(
+        resp.ok && resp.text.contains("expected key=value"),
+        "{}",
+        resp.text
+    );
+    // `explain` traffic is metered under its own command kind.
+    let snap = handle.metrics();
+    let explain_reqs = snap
+        .commands
+        .iter()
+        .find(|c| c.kind == vdb_server::metrics::CommandKind::Explain)
+        .expect("explain row")
+        .requests;
+    assert_eq!(explain_reqs, 3);
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
+/// `debug dump` over the wire returns valid chrome://tracing JSON whose
+/// span tree covers the core, store, and server layers (journaled store,
+/// so journal append spans show up too).
+#[test]
+fn debug_dump_is_chrome_trace_json_spanning_the_stack() {
+    let dir = std::env::temp_dir().join(format!("vdb-server-dump-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = ServerStore::open_journal(
+        dir.join("dump.vdbj"),
+        vdb_core::analyzer::AnalyzerConfig::default(),
+    )
+    .expect("open journal");
+    let handle = Server::bind(store, test_config(2)).unwrap().serve();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.expect_ok("demo 1").unwrap();
+    client
+        .expect_ok("query ba=0.4 oa=13 alpha=3 beta=3")
+        .unwrap();
+    let dump = client.expect_ok("debug dump").unwrap();
+
+    // Structurally valid chrome://tracing JSON...
+    let json = serde_json::parse(dump.trim()).expect("dump must parse as JSON");
+    let events = match json.get("traceEvents") {
+        Some(serde::Value::Array(events)) => events,
+        other => panic!("traceEvents array missing: {other:?}"),
+    };
+    assert!(!events.is_empty(), "dump must not be empty");
+    for ev in events {
+        for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid", "args"] {
+            assert!(ev.get(key).is_some(), "event missing {key}: {ev:?}");
+        }
+        assert_eq!(ev.get("ph"), Some(&serde::Value::Str("X".into())));
+    }
+    // ...with span names from every layer of the stack.
+    for name in [
+        "server.request",
+        "store.ingest",
+        "store.query",
+        "store.journal.append",
+        "core.pipeline.analyze",
+        "core.index.probe",
+    ] {
+        assert!(dump.contains(name), "dump missing {name} span");
+    }
+    drop(client);
+    handle.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `trace <command>` over the wire appends the request's span tree to the
+/// wrapped command's normal output.
+#[test]
+fn trace_over_the_wire_appends_the_span_tree() {
+    let handle = start_memory_server(2, 1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client
+        .request("trace query ba=0.3 oa=14 alpha=3 beta=3")
+        .unwrap();
+    assert!(resp.ok, "{}", resp.text);
+    assert!(resp.text.contains("answers"), "{}", resp.text);
+    assert!(resp.text.contains("trace "), "{}", resp.text);
+    assert!(resp.text.contains("store.query"), "{}", resp.text);
+    assert!(resp.text.contains("core.index.probe"), "{}", resp.text);
+    let resp = client.request("trace demo 1").unwrap();
+    assert!(resp.ok, "{}", resp.text);
+    assert!(resp.text.contains("ingested video"), "{}", resp.text);
+    assert!(resp.text.contains("store.ingest"), "{}", resp.text);
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
+/// The slow-query log triggers exactly at the configured threshold: a
+/// zero threshold counts every request as slow, an unreachable one counts
+/// none.
+#[test]
+fn slow_query_log_triggers_exactly_at_threshold() {
+    let zero = ServerConfig {
+        slow_query_log: Some(Duration::ZERO),
+        ..test_config(2)
+    };
+    let handle = Server::bind(ServerStore::memory(), zero).unwrap().serve();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for _ in 0..3 {
+        client.expect_ok("stats").unwrap();
+    }
+    drop(client);
+    let snap = handle.shutdown().unwrap();
+    assert_eq!(
+        snap.slow_requests, 3,
+        "zero threshold must count every request"
+    );
+
+    let unreachable = ServerConfig {
+        slow_query_log: Some(Duration::from_secs(3600)),
+        ..test_config(2)
+    };
+    let handle = Server::bind(ServerStore::memory(), unreachable)
+        .unwrap()
+        .serve();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for _ in 0..3 {
+        client.expect_ok("stats").unwrap();
+    }
+    drop(client);
+    let snap = handle.shutdown().unwrap();
+    assert_eq!(snap.slow_requests, 0, "unreachable threshold counts none");
 }

@@ -12,6 +12,7 @@ use crate::catalog::{FormId, GenreId};
 use crate::db::{DbError, VideoDatabase};
 use crate::journal::JournaledDatabase;
 use vdb_core::frame::Video;
+use vdb_obs::TraceContext;
 
 /// The mutation surface shared by the REPL and the server: a database that
 /// can ingest clips, remove them, and (if durable) sync to disk.
@@ -28,6 +29,20 @@ pub trait DbBackend: Send {
         genres: Vec<GenreId>,
         forms: Vec<FormId>,
     ) -> Result<u64, DbError>;
+
+    /// [`Self::ingest_clip`] with trace spans opened under `ctx`.
+    /// Defaults to the untraced path; both workspace backends override
+    /// with their fully traced ingest.
+    fn ingest_clip_traced(
+        &mut self,
+        name: String,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+        _ctx: &TraceContext,
+    ) -> Result<u64, DbError> {
+        self.ingest_clip(name, video, genres, forms)
+    }
 
     /// Remove a video. Durable backends append a tombstone record
     /// (`TAG_REMOVE`) before returning.
@@ -59,6 +74,17 @@ impl DbBackend for VideoDatabase {
         self.ingest(name, video, genres, forms)
     }
 
+    fn ingest_clip_traced(
+        &mut self,
+        name: String,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+        ctx: &TraceContext,
+    ) -> Result<u64, DbError> {
+        self.ingest_traced(name, video, genres, forms, ctx)
+    }
+
     fn remove_video(&mut self, id: u64) -> Result<(), DbError> {
         self.remove(id)
     }
@@ -77,6 +103,17 @@ impl DbBackend for JournaledDatabase {
         forms: Vec<FormId>,
     ) -> Result<u64, DbError> {
         self.ingest(name, video, genres, forms)
+    }
+
+    fn ingest_clip_traced(
+        &mut self,
+        name: String,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+        ctx: &TraceContext,
+    ) -> Result<u64, DbError> {
+        self.ingest_traced(name, video, genres, forms, ctx)
     }
 
     fn remove_video(&mut self, id: u64) -> Result<(), DbError> {

@@ -15,7 +15,7 @@ use std::path::Path;
 use vdb_core::analyzer::{AnalyzerConfig, VideoAnalysis};
 use vdb_core::frame::Video;
 use vdb_core::index::planner::fingerprint_entries;
-use vdb_core::index::{IndexEntry, Match, ShotIndex, ShotKey, VarianceQuery};
+use vdb_core::index::{Explain, IndexEntry, Match, ShotIndex, ShotKey, VarianceQuery};
 use vdb_core::parallel::Parallelism;
 use vdb_core::pipeline::AnalysisEngine;
 use vdb_core::pixel::Rgb;
@@ -23,6 +23,7 @@ use vdb_core::sbd::SbdStats;
 use vdb_core::scenetree::{NodeId, SceneTree};
 use vdb_core::shot::Shot;
 use vdb_core::variance::ShotFeature;
+use vdb_obs::{global_tracer, TraceContext};
 
 /// Errors of the database layer.
 #[derive(Debug)]
@@ -375,11 +376,29 @@ impl VideoDatabase {
         genres: Vec<GenreId>,
         forms: Vec<FormId>,
     ) -> Result<u64, DbError> {
-        let analysis = self.engine.analyze(video)?;
+        self.ingest_traced(name, video, genres, forms, &TraceContext::disabled())
+    }
+
+    /// [`Self::ingest`] under a `store.ingest` trace span: the pipeline's
+    /// stage spans (extract → cascade → assembly → tree) become children,
+    /// so one traced ingest shows the whole Step 1–3 cost breakdown.
+    pub fn ingest_traced(
+        &mut self,
+        name: impl Into<String>,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+        ctx: &TraceContext,
+    ) -> Result<u64, DbError> {
+        let mut tspan = global_tracer().span(ctx, "store.ingest");
+        let analysis = self.engine.analyze_traced(video, &tspan.context())?;
         let id = self
             .catalog
             .register(name, genres, forms, video.len(), video.fps(), video.dims());
         self.store_analysis(id, analysis);
+        if tspan.is_recording() {
+            tspan.attr("video", id);
+        }
         Ok(id)
     }
 
@@ -467,38 +486,77 @@ impl VideoDatabase {
         self.query_filtered(q, |_| true)
     }
 
+    /// [`Self::query`] with the index probe's trace span opened under
+    /// `ctx` (used by `perfsnap` to emit a trace artifact of the real
+    /// query workload).
+    pub fn query_traced(&self, q: &VarianceQuery, ctx: &TraceContext) -> Vec<QueryAnswer> {
+        self.answers_from(self.index.query_traced(q, ctx), |_| true)
+    }
+
     /// Run a textual query (see [`crate::query`] for the syntax), e.g.
     /// `"ba=0.5 oa=15 genre=comedy form=feature limit=5"`.
     pub fn query_str(&self, text: &str) -> Result<Vec<QueryAnswer>, DbError> {
+        self.run_query_str(text, &TraceContext::disabled())
+            .map(|(answers, _)| answers)
+    }
+
+    /// [`Self::query_str`] under a `store.query` trace span (the index
+    /// probe becomes a child span carrying the explain payload).
+    pub fn query_str_traced(
+        &self,
+        text: &str,
+        ctx: &TraceContext,
+    ) -> Result<Vec<QueryAnswer>, DbError> {
+        self.run_query_str(text, ctx).map(|(answers, _)| answers)
+    }
+
+    /// [`Self::query_str`] plus the planner's [`Explain`] decision trail
+    /// — what the shell's `explain` command prints. Execution is
+    /// identical to `query_str`: explain never changes what runs.
+    pub fn query_str_explain(&self, text: &str) -> Result<(Vec<QueryAnswer>, Explain), DbError> {
+        self.run_query_str(text, &TraceContext::disabled())
+    }
+
+    /// One routing for `query_str` / `query_str_traced` /
+    /// `query_str_explain`: parse, route to the planner (top-k or range),
+    /// map matches to scene answers, truncate to the spec's limit.
+    ///
+    /// The metadata predicate is equivalent to the class-restricted
+    /// entry points ([`Self::query_in_class`] is `genres ∋ g ∧ forms ∋
+    /// f`), so all three textual paths answer identically.
+    fn run_query_str(
+        &self,
+        text: &str,
+        ctx: &TraceContext,
+    ) -> Result<(Vec<QueryAnswer>, Explain), DbError> {
+        let mut tspan = global_tracer().span(ctx, "store.query");
+        let qctx = tspan.context();
         let spec = crate::query::QuerySpec::parse(text, &self.taxonomy)?;
-        if let Some(k) = spec.k {
-            let keep = |meta: &VideoMeta| {
-                let genre_ok = match spec.genre {
-                    Some(g) => meta.genres.contains(&g),
-                    None => true,
-                };
-                let form_ok = match spec.form {
-                    Some(f) => meta.forms.contains(&f),
-                    None => true,
-                };
-                genre_ok && form_ok
+        let keep = |meta: &VideoMeta| {
+            let genre_ok = match spec.genre {
+                Some(g) => meta.genres.contains(&g),
+                None => true,
             };
-            let mut answers = self.query_topk_filtered(&spec.variance, k, keep);
-            if let Some(limit) = spec.limit {
-                answers.truncate(limit);
-            }
-            return Ok(answers);
-        }
-        let mut answers = match (spec.genre, spec.form) {
-            (Some(g), Some(f)) => self.query_in_class(&spec.variance, g, f),
-            (Some(g), None) => self.query_filtered(&spec.variance, |meta| meta.genres.contains(&g)),
-            (None, Some(f)) => self.query_filtered(&spec.variance, |meta| meta.forms.contains(&f)),
-            (None, None) => self.query(&spec.variance),
+            let form_ok = match spec.form {
+                Some(f) => meta.forms.contains(&f),
+                None => true,
+            };
+            genre_ok && form_ok
         };
+        let (matches, explain) = match spec.k {
+            Some(k) => self
+                .index
+                .query_topk_explain_traced(&spec.variance, k, &qctx),
+            None => self.index.query_explain_traced(&spec.variance, &qctx),
+        };
+        let mut answers = self.answers_from(matches, keep);
         if let Some(limit) = spec.limit {
             answers.truncate(limit);
         }
-        Ok(answers)
+        if tspan.is_recording() {
+            tspan.attr("answers", answers.len());
+        }
+        Ok((answers, explain))
     }
 
     /// Query restricted to one `(genre, form)` class — the paper's argument
@@ -517,6 +575,17 @@ impl VideoDatabase {
     /// [`Self::query`].
     pub fn query_topk(&self, q: &VarianceQuery, k: usize) -> Vec<QueryAnswer> {
         self.answers_from(self.index.query_topk(q, k), |_| true)
+    }
+
+    /// [`Self::query_topk`] with the index probe's trace span opened
+    /// under `ctx`.
+    pub fn query_topk_traced(
+        &self,
+        q: &VarianceQuery,
+        k: usize,
+        ctx: &TraceContext,
+    ) -> Vec<QueryAnswer> {
+        self.answers_from(self.index.query_topk_traced(q, k, ctx), |_| true)
     }
 
     /// [`Self::query_topk`] restricted by a metadata predicate. The

@@ -20,6 +20,7 @@ use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use vdb_core::analyzer::AnalyzerConfig;
 use vdb_core::frame::Video;
+use vdb_obs::{global_tracer, TraceContext};
 
 /// A [`VideoDatabase`] bound to an append-only journal file.
 pub struct JournaledDatabase {
@@ -40,6 +41,11 @@ impl JournaledDatabase {
             let mut bytes = Vec::new();
             File::open(&path)?.read_to_end(&mut bytes)?;
             let records = read_segment(&bytes[..]).map_err(DbError::Segment)?;
+            // Replay is its own (head-sampled) trace: recovery cost shows
+            // up in a `debug dump` like any other request.
+            let tracer = global_tracer();
+            let root = tracer.trace_root();
+            let mut replay_span = tracer.span(&root, "store.journal.replay");
             let mut persisted = None;
             for record in &records {
                 match record.tag {
@@ -69,7 +75,11 @@ impl JournaledDatabase {
                 // tag + len + payload + checksum
                 valid_len += 1 + 4 + record.payload.len() as u64 + 4;
             }
+            if replay_span.is_recording() {
+                replay_span.attr("records", records.len());
+            }
             db.finalize_index(persisted);
+            drop(replay_span);
             // Drop any torn tail so future appends start on a record edge.
             let file = OpenOptions::new().write(true).open(&path)?;
             file.set_len(valid_len)?;
@@ -108,7 +118,21 @@ impl JournaledDatabase {
     }
 
     fn append_record(&mut self, tag: u8, payload: &[u8]) -> Result<(), DbError> {
+        self.append_record_traced(tag, payload, &TraceContext::disabled())
+    }
+
+    fn append_record_traced(
+        &mut self,
+        tag: u8,
+        payload: &[u8],
+        ctx: &TraceContext,
+    ) -> Result<(), DbError> {
         let obs = crate::obs::journal();
+        let tracer = global_tracer();
+        let mut append_tspan = tracer.span(ctx, "store.journal.append");
+        if append_tspan.is_recording() {
+            append_tspan.attr("bytes", 1 + 4 + payload.len() + 4);
+        }
         let _append_span = obs.append_us.start();
         let mut head = Vec::with_capacity(5);
         head.push(tag);
@@ -120,6 +144,7 @@ impl JournaledDatabase {
         {
             // The flush is the record's durability point; timed separately
             // so fsync-path tail latency is visible on its own.
+            let _fsync_tspan = tracer.span(&append_tspan.context(), "store.journal.fsync");
             let _fsync_span = obs.fsync_us.start();
             self.writer.flush()?;
         }
@@ -138,11 +163,26 @@ impl JournaledDatabase {
         genres: Vec<GenreId>,
         forms: Vec<FormId>,
     ) -> Result<u64, DbError> {
-        let id = self.db.ingest(name, video, genres, forms)?;
+        self.ingest_traced(name, video, genres, forms, &TraceContext::disabled())
+    }
+
+    /// [`Self::ingest`] with trace spans under `ctx`: the analysis
+    /// (`store.ingest` and the pipeline stages beneath it) and both
+    /// journal appends (with their fsync children) land in the same
+    /// trace.
+    pub fn ingest_traced(
+        &mut self,
+        name: impl Into<String>,
+        video: &Video,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+        ctx: &TraceContext,
+    ) -> Result<u64, DbError> {
+        let id = self.db.ingest_traced(name, video, genres, forms, ctx)?;
         let meta = self.db.catalog().get(id).expect("just ingested").clone();
         let analysis_payload = self.db.analysis(id).expect("just ingested").encode()?;
-        self.append_record(TAG_META, &serde_json::to_vec(&meta)?)?;
-        self.append_record(TAG_ANALYSIS, &analysis_payload)?;
+        self.append_record_traced(TAG_META, &serde_json::to_vec(&meta)?, ctx)?;
+        self.append_record_traced(TAG_ANALYSIS, &analysis_payload, ctx)?;
         Ok(id)
     }
 

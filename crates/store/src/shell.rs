@@ -9,6 +9,9 @@
 //! list                list videos
 //! stats               database statistics
 //! query <text>        e.g. query ba=0.5 oa=15 limit=5 (or k=10 for top-k)
+//! explain <text>      run a query and report the planner's decision
+//! trace <command>     run a command and append its span tree
+//! debug dump          drain the flight recorder as chrome://tracing JSON
 //! board <video> [n]   storyboard of a video (n cards, default 6)
 //! tree <video>        full scene tree
 //! remove <video>      remove a video (journals a tombstone when durable)
@@ -26,6 +29,8 @@ use crate::session::storyboard;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use vdb_core::analyzer::AnalyzerConfig;
+use vdb_obs::trace::{render_tree, to_chrome_json};
+use vdb_obs::{global_tracer, TraceContext};
 
 /// Outcome of interpreting one command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,7 +41,7 @@ pub enum ShellOutcome {
     Quit,
 }
 
-const HELP: &str = "commands:\n  demo [n]          ingest n synthetic demo movies\n  list              list videos\n  stats             database statistics\n  query <text>      e.g. query ba=0.5 oa=15 limit=5 (k=10 for top-k)\n  board <video> [n] storyboard of a video\n  tree <video>      full scene tree\n  remove <video>    remove a video\n  save <path>       persist the database\n  load <path>       replace the database from a file (load! forces)\n  help              this text\n  quit\n";
+const HELP: &str = "commands:\n  demo [n]          ingest n synthetic demo movies\n  list              list videos\n  stats             database statistics\n  query <text>      e.g. query ba=0.5 oa=15 limit=5 (k=10 for top-k)\n  explain <text>    run a query and report the planner's decision\n  trace <command>   run a command and append its span tree\n  debug dump        drain the flight recorder as chrome://tracing JSON\n  board <video> [n] storyboard of a video\n  tree <video>      full scene tree\n  remove <video>    remove a video\n  save <path>       persist the database\n  load <path>       replace the database from a file (load! forces)\n  help              this text\n  quit\n";
 
 /// One parsed command line.
 ///
@@ -58,6 +63,14 @@ pub enum Command {
     Stats,
     /// `query <text>` — the raw query text (see [`crate::query`]).
     Query(String),
+    /// `explain <text>` — run a query and report the planner's decision
+    /// (chosen plan, estimated vs. actual candidates, probe window).
+    Explain(String),
+    /// `trace <command>` — run the wrapped command under a forced trace
+    /// root and append its recorded span tree to the output.
+    Trace(Box<Command>),
+    /// `debug dump` — drain the flight recorder as chrome://tracing JSON.
+    DebugDump,
     /// `board <video> [cards]`.
     Board(u64, usize),
     /// `tree <video>`.
@@ -95,6 +108,33 @@ impl Command {
             "list" => Command::List,
             "stats" => Command::Stats,
             "query" => Command::Query(parts.collect::<Vec<_>>().join(" ")),
+            "explain" => {
+                let mut rest: Vec<&str> = parts.collect();
+                // Tolerate `explain query <text>`: explain always explains
+                // a query, so the extra word is redundant.
+                if rest.first() == Some(&"query") {
+                    rest.remove(0);
+                }
+                if rest.is_empty() {
+                    Command::Usage("  usage: explain <query text>\n")
+                } else {
+                    Command::Explain(rest.join(" "))
+                }
+            }
+            "trace" => {
+                let rest = parts.collect::<Vec<_>>().join(" ");
+                match Command::parse(&rest) {
+                    Command::Empty => Command::Usage("  usage: trace <command>\n"),
+                    Command::Quit | Command::Save(_) | Command::Load { .. } | Command::Trace(_) => {
+                        Command::Usage("  trace wraps read-only and mutation commands only\n")
+                    }
+                    inner => Command::Trace(Box::new(inner)),
+                }
+            }
+            "debug" => match parts.next() {
+                Some("dump") => Command::DebugDump,
+                _ => Command::Usage("  usage: debug dump\n"),
+            },
             "board" => match parts.next().and_then(|v| v.parse().ok()) {
                 None => Command::Usage("  usage: board <video> [cards]\n"),
                 Some(id) => {
@@ -125,27 +165,70 @@ impl Command {
     }
 
     /// Whether executing this command only reads the database (safe under
-    /// a shared read lock).
+    /// a shared read lock). A `trace` wrapper takes the classification of
+    /// the command it wraps.
     pub fn is_readonly(&self) -> bool {
-        matches!(
-            self,
+        match self {
+            Command::Trace(inner) => inner.is_readonly(),
             Command::Empty
-                | Command::Help
-                | Command::List
-                | Command::Stats
-                | Command::Query(_)
-                | Command::Board(..)
-                | Command::Tree(_)
-                | Command::Usage(_)
-                | Command::Unknown(_)
-        )
+            | Command::Help
+            | Command::List
+            | Command::Stats
+            | Command::Query(_)
+            | Command::Explain(_)
+            | Command::DebugDump
+            | Command::Board(..)
+            | Command::Tree(_)
+            | Command::Usage(_)
+            | Command::Unknown(_) => true,
+            _ => false,
+        }
     }
 
     /// Whether this command mutates the database through a
-    /// [`DbBackend`] (see [`execute_mutation`]).
+    /// [`DbBackend`] (see [`execute_mutation`]). A `trace` wrapper takes
+    /// the classification of the command it wraps.
     pub fn is_mutation(&self) -> bool {
-        matches!(self, Command::Demo(_) | Command::Remove(_))
+        match self {
+            Command::Trace(inner) => inner.is_mutation(),
+            Command::Demo(_) | Command::Remove(_) => true,
+            _ => false,
+        }
     }
+}
+
+/// Append up to ten query answers (plus the count line) to `out`, the
+/// shared rendering of `query` and `explain`.
+fn push_answers(out: &mut String, answers: &[crate::db::QueryAnswer]) {
+    let _ = writeln!(out, "  {} answers", answers.len());
+    for a in answers.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "  video {} shot#{:<3} Var^BA={:6.2} Var^OA={:6.2} -> {} (rep frame {})",
+            a.key.video,
+            a.key.shot + 1,
+            a.var_ba,
+            a.var_oa,
+            a.scene_name,
+            a.rep_frame
+        );
+    }
+}
+
+/// Render the span tree recorded under `root`, indented for shell output.
+/// Used by the `trace` command and by the server's slow-query log.
+pub fn render_trace(root: &TraceContext) -> String {
+    let mut out = String::new();
+    if !root.is_sampled() {
+        out.push_str("  tracing is disabled on this process\n");
+        return out;
+    }
+    let events = global_tracer().recorder().events_for(root.trace_id);
+    let _ = writeln!(out, "  trace {} ({} spans):", root.trace_id, events.len());
+    for line in render_tree(&events).lines() {
+        let _ = writeln!(out, "    {line}");
+    }
+    out
 }
 
 /// Execute a read-only command against the database. Returns `None` if the
@@ -153,6 +236,16 @@ impl Command {
 /// [`execute_mutation`] or handle them at their own layer, like
 /// `save`/`load`/`quit`).
 pub fn execute_readonly(db: &VideoDatabase, cmd: &Command) -> Option<String> {
+    execute_readonly_traced(db, cmd, &TraceContext::disabled())
+}
+
+/// [`execute_readonly`] with trace spans opened under `ctx`; the server
+/// threads its per-request context through here.
+pub fn execute_readonly_traced(
+    db: &VideoDatabase,
+    cmd: &Command,
+    ctx: &TraceContext,
+) -> Option<String> {
     let mut out = String::new();
     match cmd {
         Command::Empty => {}
@@ -181,26 +274,42 @@ pub fn execute_readonly(db: &VideoDatabase, cmd: &Command) -> Option<String> {
                 s.videos, s.shots, s.frames, s.scene_nodes, s.max_tree_height, s.index_rows
             );
         }
-        Command::Query(text) => match db.query_str(text) {
-            Ok(answers) => {
-                let _ = writeln!(out, "  {} answers", answers.len());
-                for a in answers.iter().take(10) {
-                    let _ = writeln!(
-                        out,
-                        "  video {} shot#{:<3} Var^BA={:6.2} Var^OA={:6.2} -> {} (rep frame {})",
-                        a.key.video,
-                        a.key.shot + 1,
-                        a.var_ba,
-                        a.var_oa,
-                        a.scene_name,
-                        a.rep_frame
-                    );
-                }
+        Command::Query(text) => match db.query_str_traced(text, ctx) {
+            Ok(answers) => push_answers(&mut out, &answers),
+            Err(e) => {
+                let _ = writeln!(out, "  {e}");
+            }
+        },
+        Command::Explain(text) => match db.query_str_explain(text) {
+            Ok((answers, explain)) => {
+                let _ = writeln!(out, "  {}", explain.summary());
+                push_answers(&mut out, &answers);
             }
             Err(e) => {
                 let _ = writeln!(out, "  {e}");
             }
         },
+        Command::DebugDump => {
+            // Newest-wins ring semantics extend to the dump itself: if the
+            // full ring renders larger than a wire response frame can
+            // carry, drop the oldest events until it fits.
+            const MAX_DUMP_BYTES: usize = 768 * 1024;
+            let mut events = global_tracer().recorder().snapshot();
+            let mut json = to_chrome_json(&events);
+            while json.len() > MAX_DUMP_BYTES && !events.is_empty() {
+                let keep = events.len() / 2;
+                events.drain(..events.len() - keep);
+                json = to_chrome_json(&events);
+            }
+            out.push_str(&json);
+            out.push('\n');
+        }
+        Command::Trace(inner) if inner.is_readonly() => {
+            let root = global_tracer().trace_root_forced();
+            let body = execute_readonly_traced(db, inner, &root).unwrap_or_default();
+            out.push_str(&body);
+            out.push_str(&render_trace(&root));
+        }
         Command::Board(id, cards) => match db.analysis(*id) {
             Ok(a) => {
                 for card in storyboard(a, *cards) {
@@ -233,6 +342,16 @@ pub fn execute_readonly(db: &VideoDatabase, cmd: &Command) -> Option<String> {
 /// Execute a mutating command against any backend (in-memory or
 /// journaled). Returns `None` if the command is not a mutation.
 pub fn execute_mutation(backend: &mut dyn DbBackend, cmd: &Command) -> Option<String> {
+    execute_mutation_traced(backend, cmd, &TraceContext::disabled())
+}
+
+/// [`execute_mutation`] with trace spans opened under `ctx`; the server
+/// threads its per-request context through here.
+pub fn execute_mutation_traced(
+    backend: &mut dyn DbBackend,
+    cmd: &Command,
+    ctx: &TraceContext,
+) -> Option<String> {
     let mut out = String::new();
     match cmd {
         Command::Demo(n) => {
@@ -247,8 +366,13 @@ pub fn execute_mutation(backend: &mut dyn DbBackend, cmd: &Command) -> Option<St
                     (80, 60),
                     seed,
                 ));
-                match backend.ingest_clip(format!("demo-movie-{seed}"), &clip.video, vec![], vec![])
-                {
+                match backend.ingest_clip_traced(
+                    format!("demo-movie-{seed}"),
+                    &clip.video,
+                    vec![],
+                    vec![],
+                    ctx,
+                ) {
                     Ok(id) => {
                         let shots = backend
                             .db()
@@ -271,6 +395,12 @@ pub fn execute_mutation(backend: &mut dyn DbBackend, cmd: &Command) -> Option<St
                 let _ = writeln!(out, "  {e}");
             }
         },
+        Command::Trace(inner) if inner.is_mutation() => {
+            let root = global_tracer().trace_root_forced();
+            let body = execute_mutation_traced(backend, inner, &root).unwrap_or_default();
+            out.push_str(&body);
+            out.push_str(&render_trace(&root));
+        }
         _ => return None,
     }
     Some(out)
@@ -552,11 +682,76 @@ mod tests {
     }
 
     #[test]
+    fn explain_reports_plan_and_answers() {
+        let mut sh = Shell::new();
+        exec(&mut sh, "demo 1");
+        let out = exec(&mut sh, "explain ba=0.2 oa=12 alpha=3 beta=3");
+        assert!(
+            out.contains("plan="),
+            "explain names the chosen plan: {out}"
+        );
+        assert!(out.contains("est_candidates="), "{out}");
+        assert!(out.contains("actual_candidates="), "{out}");
+        assert!(out.contains("answers"), "{out}");
+        // `explain query <text>` is tolerated.
+        let redundant = exec(&mut sh, "explain query ba=0.2 oa=12 alpha=3 beta=3");
+        assert_eq!(out, redundant);
+        assert!(exec(&mut sh, "explain").contains("usage"));
+        assert!(exec(&mut sh, "explain nonsense").contains("expected key=value"));
+    }
+
+    #[test]
+    fn trace_appends_a_span_tree() {
+        let mut sh = Shell::new();
+        let out = exec(&mut sh, "trace demo 1");
+        assert!(out.contains("ingested video 0"), "{out}");
+        assert!(out.contains("trace "), "{out}");
+        assert!(out.contains("store.ingest"), "{out}");
+        assert!(out.contains("core.pipeline.analyze"), "{out}");
+        assert!(sh.dirty(), "trace demo is still a mutation");
+        let out = exec(&mut sh, "trace query ba=0.2 oa=12 alpha=3 beta=3");
+        assert!(out.contains("answers"), "{out}");
+        assert!(out.contains("store.query"), "{out}");
+        assert!(out.contains("core.index.probe"), "{out}");
+    }
+
+    #[test]
+    fn debug_dump_is_chrome_trace_json() {
+        let mut sh = Shell::new();
+        exec(&mut sh, "trace demo 1");
+        let out = exec(&mut sh, "debug dump");
+        assert!(out.starts_with("{\"traceEvents\":["), "{out}");
+        assert!(out.trim_end().ends_with("]}"), "{out}");
+        assert!(out.contains("\"ph\":\"X\""), "{out}");
+        assert!(exec(&mut sh, "debug").contains("usage: debug dump"));
+        assert!(exec(&mut sh, "debug everything").contains("usage: debug dump"));
+    }
+
+    #[test]
+    fn trace_rejects_unwrappable_commands() {
+        assert!(matches!(Command::parse("trace"), Command::Usage(_)));
+        assert!(matches!(Command::parse("trace quit"), Command::Usage(_)));
+        assert!(matches!(Command::parse("trace save x"), Command::Usage(_)));
+        assert!(matches!(Command::parse("trace load x"), Command::Usage(_)));
+        assert!(matches!(
+            Command::parse("trace trace list"),
+            Command::Usage(_)
+        ));
+        let mut sh = Shell::new();
+        assert!(exec(&mut sh, "trace save x.vdbs").contains("trace wraps"));
+    }
+
+    #[test]
     fn command_classification() {
         assert!(Command::parse("list").is_readonly());
         assert!(Command::parse("query ba=1 oa=1").is_readonly());
         assert!(Command::parse("demo 3").is_mutation());
         assert!(Command::parse("remove 1").is_mutation());
+        assert!(Command::parse("explain ba=1 oa=1").is_readonly());
+        assert!(Command::parse("debug dump").is_readonly());
+        assert!(Command::parse("trace list").is_readonly());
+        assert!(Command::parse("trace demo 1").is_mutation());
+        assert!(!Command::parse("trace demo 1").is_readonly());
         let save = Command::parse("save x.vdbs");
         assert!(!save.is_readonly() && !save.is_mutation());
         assert_eq!(

@@ -78,6 +78,18 @@ expect_contains() { # <needle> <haystack-label> <<< haystack
 # The demo ingest went through the instrumented pipeline, so the metrics
 # command must report the whole-stack core section.
 "$VDBC" "$ADDR" metrics | expect_contains "core.pipeline.frames" "metrics"
+# explain reports the planner's decision next to the answers.
+"$VDBC" "$ADDR" explain "ba=0.4 oa=14 alpha=4 beta=4" | expect_contains "plan=" "explain"
+"$VDBC" "$ADDR" explain "ba=0.4 oa=14 alpha=4 beta=4" | expect_contains "actual_candidates=" "explain"
+# trace appends the request's span tree to the wrapped command's output.
+"$VDBC" "$ADDR" trace query "ba=0.4 oa=14 alpha=4 beta=4" | expect_contains "store.query" "trace"
+"$VDBC" "$ADDR" trace query "ba=0.4 oa=14 alpha=4 beta=4" | expect_contains "core.index.probe" "trace"
+# debug dump drains the flight recorder as chrome://tracing JSON; the
+# traced query above must show up as a server.request span tree.
+"$VDBC" "$ADDR" debug dump | expect_contains '{"traceEvents":[' "debug dump"
+"$VDBC" "$ADDR" debug dump | expect_contains "server.request" "debug dump"
+# --timing prints client-side wall time per request on stderr.
+"$VDBC" --timing "$ADDR" ping 2>&1 | expect_contains "time: " "timing"
 
 # A scripted multi-command session over one connection, ending in a wire
 # shutdown. vdbc exits 0 only if every response had an ok status.

@@ -190,6 +190,90 @@ fn estimated_cost_monotone_in_k() {
     }
 }
 
+/// EXPLAIN consistency: over the same probe workload as the margin tests,
+/// the explain payload's estimated side equals the cost model's numbers
+/// *exactly* (explain reports the plan that was priced, it never re-prices),
+/// its actual side equals the executed probe's measured work exactly, and
+/// the ±30% estimate-vs-measured margin therefore carries over to the
+/// explain payload itself.
+#[test]
+fn explain_is_consistent_with_model_and_measured_work() {
+    let entries = corpus_100k();
+    let idx = ShotIndex::from_entries(entries.clone(), params(0.25));
+    let model = idx.cost_model();
+    let mut rel_errors = Vec::new();
+    for (qi, q) in workload(&entries).into_iter().enumerate() {
+        let est = model.estimate_range(q.d_v(), q.alpha);
+        let (matches, ex) = idx.query_explain(&q);
+
+        // Estimated side: the cost model's numbers, bit-for-bit.
+        assert_eq!(ex.plan.index_cost.candidates, est.candidates, "query {qi}");
+        assert_eq!(
+            ex.plan.index_cost.buckets_touched, est.buckets_touched,
+            "query {qi}"
+        );
+        let (lo, hi, _) = model.probe_window(q.d_v(), q.alpha);
+        assert_eq!(ex.probe_window, (lo, hi), "query {qi}");
+
+        // Actual side: the measured work of the probe that really ran.
+        match ex.plan.choice {
+            PlanChoice::Buckets => {
+                let (_, stats) = idx.probe_range(&q);
+                assert_eq!(ex.probe.candidates, stats.candidates, "query {qi}");
+                assert_eq!(
+                    ex.probe.buckets_touched, stats.buckets_touched,
+                    "query {qi}"
+                );
+            }
+            PlanChoice::Scan => {
+                assert_eq!(
+                    ex.probe.candidates,
+                    idx.len(),
+                    "query {qi}: scan = all rows"
+                );
+            }
+        }
+        assert_eq!(ex.matches, matches.len(), "query {qi}");
+        assert_eq!(ex.rows, idx.len(), "query {qi}");
+        assert_eq!(ex.staged_rows, 0, "query {qi}: nothing staged");
+
+        if ex.probe.candidates > 0 {
+            rel_errors.push(
+                (ex.plan.index_cost.candidates - ex.probe.candidates as f64).abs()
+                    / ex.probe.candidates as f64,
+            );
+        }
+    }
+    // The margin contract, read off the explain payloads alone.
+    rel_errors.sort_by(f64::total_cmp);
+    let median = rel_errors[rel_errors.len() / 2];
+    assert!(
+        median <= 0.30,
+        "median explain est-vs-actual error {:.1}%",
+        median * 100.0
+    );
+
+    // Top-k explains obey the same contract against the top-k estimator.
+    let q = VarianceQuery::new(4.0, 16.0);
+    for k in [1usize, 10, 100, 1_000] {
+        let est = model.estimate_topk(q.d_v(), k);
+        let (matches, ex) = idx.query_topk_explain(&q, k);
+        assert_eq!(ex.plan.index_cost.candidates, est.candidates, "k={k}");
+        assert_eq!(
+            ex.plan.index_cost.buckets_touched, est.buckets_touched,
+            "k={k}"
+        );
+        let (lo, hi, _) = model.topk_window(q.d_v(), k);
+        assert_eq!(ex.probe_window, (lo, hi), "k={k}");
+        if ex.plan.choice == PlanChoice::Buckets {
+            let (_, stats) = idx.probe_topk(&q, k);
+            assert_eq!(ex.probe.candidates, stats.candidates, "k={k}");
+        }
+        assert_eq!(ex.matches, matches.len(), "k={k}");
+        assert_eq!(matches.len(), k.min(idx.len()), "k={k}");
+    }
+}
+
 /// The crossover the planner exists for: a selective probe on a big
 /// corpus routes to the buckets, any probe on a tiny corpus routes to
 /// the scan — and on the big corpus the bucket probe really does score
