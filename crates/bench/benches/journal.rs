@@ -1,0 +1,104 @@
+//! Journal group-commit benchmarks: K streamed commits sharing one write
+//! barrier vs. waiting out a barrier per commit.
+//!
+//! The group-commit path is what lets `vdbd` ack many concurrent
+//! streaming sessions off a single fsync: each session stages its records
+//! under the database lock and waits on its [`vdb_store::CommitTicket`]
+//! after releasing it, so every ticket staged while the leader is writing
+//! rides the same barrier.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vdb_core::analyzer::AnalyzerConfig;
+use vdb_core::StreamingAnalyzer;
+use vdb_core::VideoAnalysis;
+use vdb_store::JournaledDatabase;
+use vdb_synth::script::generate;
+use vdb_synth::{build_script, Genre};
+
+/// Sessions committed per iteration.
+const K: usize = 8;
+
+static NEXT_DIR: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_journal() -> (PathBuf, JournaledDatabase) {
+    let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("vdb-bench-journal-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.vdbj");
+    let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+    (dir, j)
+}
+
+/// One finished streaming analysis, cloned per commit so every iteration
+/// journals identical bytes.
+fn finished_analysis() -> ((u32, u32), f64, VideoAnalysis) {
+    let clip = generate(&build_script(Genre::Drama, 3, Some(8.0), (48, 36), 33)).video;
+    let mut analyzer = StreamingAnalyzer::new(AnalyzerConfig::default());
+    analyzer.push_frames(clip.frames()).unwrap();
+    ((48, 36), clip.fps(), analyzer.finish().unwrap())
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    let (dims, fps, analysis) = finished_analysis();
+    let mut group = c.benchmark_group("journal/commit");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(K as u64));
+
+    // Stage all K commits, then wait all tickets: the first wait elects a
+    // leader that writes every staged record under one barrier.
+    group.bench_function(format!("group_commit_k{K}"), |b| {
+        let analysis = &analysis;
+        b.iter_batched(
+            fresh_journal,
+            |(dir, mut j)| {
+                let tickets: Vec<_> = (0..K)
+                    .map(|i| {
+                        j.commit_stream(
+                            format!("s{i}"),
+                            dims,
+                            fps,
+                            analysis.clone(),
+                            vec![],
+                            vec![],
+                        )
+                        .unwrap()
+                        .1
+                    })
+                    .collect();
+                for ticket in tickets {
+                    ticket.wait().unwrap();
+                }
+                drop(j);
+                std::fs::remove_dir_all(&dir).unwrap();
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // The contrast: wait out each commit's barrier before staging the
+    // next, i.e. one fsync per commit.
+    group.bench_function(format!("fsync_per_commit_k{K}"), |b| {
+        let analysis = &analysis;
+        b.iter_batched(
+            fresh_journal,
+            |(dir, mut j)| {
+                for i in 0..K {
+                    let (_, ticket) = j
+                        .commit_stream(format!("s{i}"), dims, fps, analysis.clone(), vec![], vec![])
+                        .unwrap();
+                    ticket.wait().unwrap();
+                }
+                drop(j);
+                std::fs::remove_dir_all(&dir).unwrap();
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_commit);
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--clips N] [--connections a,b,c] [--addr HOST:PORT]
+//! loadgen --streams a,b,c [--frames M] [--rounds R] [--addr HOST:PORT]
 //! ```
 //!
 //! By default it starts an in-process server over a synthetic database and
@@ -10,10 +11,18 @@
 //! throughput/latency table from the server's own `ServerMetrics`.
 //! With `--addr` it drives an external `vdbd` instead and reports
 //! client-side wall-clock throughput only.
+//!
+//! `--streams` switches to streaming-ingest load: each level runs that
+//! many concurrent wire streams closed-loop (`--rounds` clips per stream
+//! of `--frames` frames each), reporting ingest frames/s, client-side
+//! commit p50/p99, and the server's peak buffered-frame count against the
+//! credit window.
 
 use std::process::exit;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+use vdb_core::frame::FrameBuf;
 use vdb_server::{Client, Server, ServerConfig, ServerStore};
 
 struct Args {
@@ -21,11 +30,27 @@ struct Args {
     clips: usize,
     connections: Vec<usize>,
     addr: Option<String>,
+    streams: Vec<usize>,
+    frames: usize,
+    rounds: usize,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: loadgen [--requests N] [--clips N] [--connections a,b,c] [--addr HOST:PORT]");
+    eprintln!(
+        "usage: loadgen [--requests N] [--clips N] [--connections a,b,c] [--addr HOST:PORT]\n       loadgen --streams a,b,c [--frames M] [--rounds R] [--addr HOST:PORT]"
+    );
     exit(2);
+}
+
+fn parse_list(value: &str) -> Vec<usize> {
+    let list: Vec<usize> = value
+        .split(',')
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .collect();
+    if list.is_empty() || list.contains(&0) {
+        usage()
+    }
+    list
 }
 
 fn parse_args() -> Args {
@@ -34,6 +59,9 @@ fn parse_args() -> Args {
         clips: 4,
         connections: vec![1, 4, 16],
         addr: None,
+        streams: Vec::new(),
+        frames: 96,
+        rounds: 2,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -41,15 +69,16 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--requests" => out.requests = value.parse().unwrap_or_else(|_| usage()),
             "--clips" => out.clips = value.parse().unwrap_or_else(|_| usage()),
-            "--connections" => {
-                out.connections = value
-                    .split(',')
-                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
-                    .collect();
-                if out.connections.is_empty() {
-                    usage()
-                }
-            }
+            "--connections" => out.connections = parse_list(&value),
+            "--streams" => out.streams = parse_list(&value),
+            "--frames" => match value.parse() {
+                Ok(n) if n > 0 => out.frames = n,
+                _ => usage(),
+            },
+            "--rounds" => match value.parse() {
+                Ok(n) if n > 0 => out.rounds = n,
+                _ => usage(),
+            },
             "--addr" => out.addr = Some(value),
             _ => usage(),
         }
@@ -93,8 +122,137 @@ fn drive(addr: std::net::SocketAddr, conns: usize, total: usize) -> f64 {
     started.elapsed().as_secs_f64()
 }
 
+/// Pre-render the frames every streaming worker pushes: a small synthetic
+/// clip, cycled until each stream has pushed `frames` frames.
+fn stream_frames(frames: usize) -> ((u32, u32), f64, Vec<FrameBuf>) {
+    let script = vdb_synth::build_script(vdb_synth::Genre::Drama, 3, Some(10.0), (48, 36), 11);
+    let video = vdb_synth::generate(&script).video;
+    let cycle = video.frames();
+    let rendered = (0..frames)
+        .map(|i| cycle[i % cycle.len()].clone())
+        .collect();
+    (video.dims(), video.fps(), rendered)
+}
+
+/// Drive `conns` concurrent wire streams closed-loop: each worker opens a
+/// session, pushes every frame, commits, and immediately starts the next
+/// clip until `total` commits have landed. Returns elapsed seconds and the
+/// sorted client-side commit latencies in microseconds.
+fn drive_streams(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    total: usize,
+    frames: &[FrameBuf],
+    dims: (u32, u32),
+    fps: f64,
+) -> (f64, Vec<u64>) {
+    let next = AtomicUsize::new(0);
+    let commit_us = Mutex::new(Vec::with_capacity(total));
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for worker in 0..conns {
+            let next = &next;
+            let commit_us = &commit_us;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .set_timeout(Some(std::time::Duration::from_secs(300)))
+                    .expect("socket timeout");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let name = format!("load-{worker}-{i}");
+                    let mut stream = client
+                        .open_stream(&name, dims.0, dims.1, fps)
+                        .expect("open stream");
+                    for frame in frames {
+                        stream.push(frame).expect("push frame");
+                    }
+                    let commit_started = Instant::now();
+                    let commit = stream.commit().expect("commit");
+                    let us = commit_started.elapsed().as_micros() as u64;
+                    assert_eq!(commit.frames, frames.len(), "server consumed every frame");
+                    commit_us.lock().unwrap().push(us);
+                }
+            });
+        }
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let mut latencies = commit_us.into_inner().unwrap();
+    latencies.sort_unstable();
+    (secs, latencies)
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_stream_levels(args: &Args) {
+    let (dims, fps, frames) = stream_frames(args.frames);
+    let external = args.addr.as_ref().map(|addr| {
+        std::net::ToSocketAddrs::to_socket_addrs(&addr.as_str())
+            .ok()
+            .and_then(|mut a| a.next())
+            .unwrap_or_else(|| {
+                eprintln!("loadgen: bad address '{addr}'");
+                exit(2)
+            })
+    });
+    println!(
+        "streaming ingest, {} frames/clip at {}x{}, {} clips per stream",
+        args.frames, dims.0, dims.1, args.rounds
+    );
+    println!(
+        "{:>7}  {:>9}  {:>9}  {:>10}  {:>10}  {:>9}",
+        "streams", "elapsed", "frames/s", "commit p50", "commit p99", "peak buf"
+    );
+    for &streams in &args.streams {
+        let total = streams * args.rounds;
+        let handle = external.is_none().then(|| {
+            let config = ServerConfig {
+                workers: streams.max(1),
+                max_sessions: streams.max(1),
+                ..ServerConfig::default()
+            };
+            Server::bind(ServerStore::memory(), config)
+                .expect("bind")
+                .serve()
+        });
+        let addr = external.unwrap_or_else(|| handle.as_ref().expect("in-process server").addr());
+        let (secs, commits) = drive_streams(addr, streams, total, &frames, dims, fps);
+        let peak = match handle {
+            Some(handle) => {
+                let stats = handle.stream_stats();
+                let peak = format!("{}/{}", stats.buffered_peak, stats.credit_window);
+                handle.shutdown().expect("clean shutdown");
+                peak
+            }
+            None => "-".to_string(),
+        };
+        println!(
+            "{streams:>7}  {:>8.2}s  {:>9.0}  {:>8}us  {:>8}us  {:>9}",
+            secs,
+            (total * args.frames) as f64 / secs,
+            quantile(&commits, 0.50),
+            quantile(&commits, 0.99),
+            peak
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
+
+    if !args.streams.is_empty() {
+        run_stream_levels(&args);
+        return;
+    }
 
     if let Some(addr) = &args.addr {
         let addr = match std::net::ToSocketAddrs::to_socket_addrs(&addr.as_str())

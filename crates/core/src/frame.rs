@@ -46,6 +46,35 @@ impl FrameBuf {
         })
     }
 
+    /// Pack the frame as raw RGB24 bytes: row-major, three bytes per
+    /// pixel. This is the payload format streaming-ingest clients push
+    /// over the wire.
+    pub fn to_rgb24(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 3);
+        for p in &self.data {
+            out.extend_from_slice(&p.0);
+        }
+        out
+    }
+
+    /// Rebuild a frame from raw RGB24 bytes (the inverse of
+    /// [`FrameBuf::to_rgb24`]); `data.len()` must be exactly
+    /// `width * height * 3`.
+    pub fn from_rgb24(width: u32, height: u32, data: &[u8]) -> Result<Self> {
+        let expected = (width as usize) * (height as usize) * 3;
+        if data.len() != expected {
+            return Err(CoreError::FrameDataMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        let pixels = data
+            .chunks_exact(3)
+            .map(|c| Rgb([c[0], c[1], c[2]]))
+            .collect();
+        FrameBuf::from_pixels(width, height, pixels)
+    }
+
     /// Create a frame by evaluating `f(x, y)` at every pixel.
     pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> Rgb) -> Self {
         let mut data = Vec::with_capacity((width as usize) * (height as usize));
@@ -381,6 +410,18 @@ mod tests {
         assert!(matches!(
             err,
             CoreError::InconsistentDimensions { frame: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rgb24_roundtrip_is_exact() {
+        let frame = FrameBuf::from_fn(5, 4, |x, y| Rgb([x as u8 * 7, y as u8 * 11, 250]));
+        let bytes = frame.to_rgb24();
+        assert_eq!(bytes.len(), 5 * 4 * 3);
+        assert_eq!(FrameBuf::from_rgb24(5, 4, &bytes).unwrap(), frame);
+        assert!(matches!(
+            FrameBuf::from_rgb24(5, 4, &bytes[..bytes.len() - 1]),
+            Err(CoreError::FrameDataMismatch { .. })
         ));
     }
 

@@ -286,6 +286,12 @@ impl AnalysisEngine {
         &self.state.boundaries
     }
 
+    /// Dimensions locked by the clip's first frame (`None` before any
+    /// frame has been pushed, and again after `finish`).
+    pub fn dims(&self) -> Option<(u32, u32)> {
+        self.dims
+    }
+
     /// Consume the next frame. All frames of one clip must share the first
     /// frame's dimensions; a mismatched frame is rejected without being
     /// consumed.

@@ -44,6 +44,12 @@ impl StreamingAnalyzer {
         self.engine.boundaries()
     }
 
+    /// Dimensions locked by the first pushed frame (`None` before the
+    /// first push). Every later frame must match or `push` rejects it.
+    pub fn dims(&self) -> Option<(u32, u32)> {
+        self.engine.dims()
+    }
+
     /// Consume the next frame. All frames must share the first frame's
     /// dimensions; a mismatched frame is rejected without being consumed.
     pub fn push(&mut self, frame: &FrameBuf) -> Result<PushOutcome> {

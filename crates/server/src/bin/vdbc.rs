@@ -1,8 +1,10 @@
 //! `vdbc` — a scriptable client for `vdbd`.
 //!
 //! ```text
-//! vdbc [--timing] <addr> <command...>     # one request, print the response
-//! vdbc [--timing] <addr>                  # read command lines from stdin
+//! vdbc [--timing] <addr> <command...>       # one request, print the response
+//! vdbc [--timing] <addr>                    # read command lines from stdin
+//! vdbc <addr> stream <file.y4m> as <name>   # live-stream a clip into the daemon
+//! vdbc --synth-y4m <path> [shots] [seed]    # write a synthetic test clip (no server)
 //! ```
 //!
 //! Exits 0 iff every request got an ok response. Error responses are
@@ -11,21 +13,106 @@
 //! `time: <N>us` line on stderr — client-side wall time for the whole
 //! round trip, so it includes the network on top of the server's own
 //! latency metrics.
+//!
+//! `stream` pushes the clip frame-by-frame over the binary streaming
+//! protocol: the daemon analyzes while frames are still arriving and the
+//! final response only comes back once the video is committed (and
+//! durable, on journal-backed daemons).
 
 use std::io::BufRead;
 use std::process::exit;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vdb_server::client::{Client, ClientError};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vdbc [--timing] <addr> [command...]\n       vdbc <addr> stream <file.y4m> as <name>\n       vdbc --synth-y4m <path> [shots] [seed]"
+    );
+    exit(2);
+}
+
+/// Write a synthetic `.y4m` clip for streaming demos and smoke tests.
+fn synth_y4m(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing output path")?;
+    let shots: usize = match args.get(1) {
+        Some(s) => s.parse().map_err(|_| format!("bad shot count '{s}'"))?,
+        None => 4,
+    };
+    let seed: u64 = match args.get(2) {
+        Some(s) => s.parse().map_err(|_| format!("bad seed '{s}'"))?,
+        None => 7,
+    };
+    if shots == 0 {
+        return Err("need at least one shot".to_string());
+    }
+    let script =
+        vdb_synth::build_script(vdb_synth::Genre::Drama, shots, Some(12.0), (64, 48), seed);
+    let video = vdb_synth::generate(&script).video;
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    vdb_synth::write_y4m(&video, vdb_synth::ChromaMode::C444, &mut out)
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "wrote {path}: {} frames, {}x{} @ {} fps, {shots} shots",
+        video.frames().len(),
+        video.dims().0,
+        video.dims().1,
+        video.fps()
+    );
+    Ok(())
+}
+
+/// Stream a `.y4m` file into the daemon over the binary frame protocol.
+fn stream_file(client: &mut Client, file: &str, name: &str, timing: bool) -> Result<(), String> {
+    let f = std::fs::File::open(file).map_err(|e| format!("cannot open {file}: {e}"))?;
+    let video = vdb_synth::read_y4m(&mut std::io::BufReader::new(f))
+        .map_err(|e| format!("cannot read {file}: {e}"))?;
+    let (width, height) = video.dims();
+    // Commit finalizes the whole analysis server-side; give it room.
+    client
+        .set_timeout(Some(Duration::from_secs(300)))
+        .map_err(|e| format!("socket: {e}"))?;
+    let started = Instant::now();
+    let mut stream = client
+        .open_stream(name, width, height, video.fps())
+        .map_err(|e| e.to_string())?;
+    for frame in video.frames() {
+        stream.push(frame).map_err(|e| e.to_string())?;
+    }
+    let commit = stream.commit().map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    println!(
+        "streamed {file} as '{name}': video={} shots={} frames={} durable={}",
+        commit.video, commit.shots, commit.frames, commit.durable
+    );
+    if timing {
+        let secs = elapsed.as_secs_f64();
+        eprintln!(
+            "time: {}us ({:.1} frames/s)",
+            elapsed.as_micros(),
+            commit.frames as f64 / secs.max(1e-9)
+        );
+    }
+    Ok(())
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--synth-y4m") {
+        match synth_y4m(&args[1..]) {
+            Ok(()) => exit(0),
+            Err(e) => {
+                eprintln!("vdbc: {e}");
+                exit(2);
+            }
+        }
+    }
     let timing = args.first().is_some_and(|a| a == "--timing");
     if timing {
         args.remove(0);
     }
     let Some(addr) = args.first() else {
-        eprintln!("usage: vdbc [--timing] <addr> [command...]");
-        exit(2);
+        usage();
     };
     let mut client = match Client::connect(addr) {
         Ok(c) => c,
@@ -34,6 +121,20 @@ fn main() {
             exit(2);
         }
     };
+    // `stream <file.y4m> as <name>` is a client-side command: it expands
+    // into the binary open/frame/commit exchange rather than one request.
+    if args.get(1).is_some_and(|a| a == "stream") {
+        match &args[2..] {
+            [file, kw, name] if kw == "as" => match stream_file(&mut client, file, name, timing) {
+                Ok(()) => exit(0),
+                Err(e) => {
+                    eprintln!("vdbc: {e}");
+                    exit(1);
+                }
+            },
+            _ => usage(),
+        }
+    }
     let mut any_error = false;
     let mut run = |client: &mut Client, line: &str| -> bool {
         let started = Instant::now();

@@ -3,7 +3,7 @@
 //! ```text
 //! vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N]
 //!      [--idle-timeout SECS] [--metrics-interval SECS]
-//!      [--slow-query-ms MILLIS]
+//!      [--slow-query-ms MILLIS] [--max-sessions N] [--stream-credits N]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port), prints `vdbd listening on
@@ -55,7 +55,7 @@ mod sig {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N] [--idle-timeout SECS] [--metrics-interval SECS] [--slow-query-ms MILLIS]"
+        "usage: vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N] [--idle-timeout SECS] [--metrics-interval SECS] [--slow-query-ms MILLIS] [--max-sessions N] [--stream-credits N]"
     );
     exit(2);
 }
@@ -104,6 +104,14 @@ fn parse_args() -> Args {
             "--slow-query-ms" => match value("milliseconds").parse::<u64>() {
                 Ok(ms) => config.slow_query_log = Some(Duration::from_millis(ms)),
                 Err(_) => usage(),
+            },
+            "--max-sessions" => match value("a count").parse() {
+                Ok(n) if n > 0 => config.max_sessions = n,
+                _ => usage(),
+            },
+            "--stream-credits" => match value("a count").parse() {
+                Ok(n) if n > 0 => config.stream_credits = n,
+                _ => usage(),
             },
             "--help" | "-h" => usage(),
             _ => {

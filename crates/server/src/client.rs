@@ -6,11 +6,13 @@
 //! and the `loadgen` benchmark driver.
 
 use crate::protocol::{
-    decode_response, read_frame, write_frame, FrameError, Response, DEFAULT_MAX_FRAME,
+    decode_response, encode_stream_request, read_frame, write_frame, FrameError, Response,
+    StreamRequest, DEFAULT_MAX_FRAME,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+use vdb_core::frame::FrameBuf;
 
 /// Why a request failed.
 #[derive(Debug)]
@@ -82,10 +84,66 @@ impl Client {
     /// Send one command line and wait for its response.
     pub fn request(&mut self, line: &str) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, line.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Read the next response frame off the socket.
+    fn read_response(&mut self) -> Result<Response, ClientError> {
         match read_frame(&mut self.stream, self.max_frame)? {
             Some(payload) => Ok(decode_response(&payload)?),
             None => Err(ClientError::ServerClosed),
         }
+    }
+
+    /// Send one binary stream message and require an ok status.
+    fn stream_request(&mut self, req: &StreamRequest<'_>) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, &encode_stream_request(req))?;
+        let resp = self.read_response()?;
+        if resp.ok {
+            Ok(resp.text)
+        } else {
+            Err(ClientError::Server(resp.text))
+        }
+    }
+
+    /// Open a live streaming-ingest session. The returned [`FrameStream`]
+    /// pushes raw frames under the server's credit window (the server
+    /// grants `credits()` in-flight frames; `push` blocks on an ack once
+    /// the window is full) and finishes with [`FrameStream::commit`] or
+    /// [`FrameStream::abort`].
+    pub fn open_stream(
+        &mut self,
+        name: &str,
+        width: u32,
+        height: u32,
+        fps: f64,
+    ) -> Result<FrameStream<'_>, ClientError> {
+        let fps_milli = (fps * 1000.0).round().max(0.0) as u32;
+        let text = self.stream_request(&StreamRequest::Open {
+            name,
+            width,
+            height,
+            fps_milli,
+        })?;
+        let session = field(&text, "session")
+            .ok_or_else(bad_open_reply)?
+            .parse::<u32>()
+            .map_err(|_| bad_open_reply())?;
+        let window = field(&text, "credits")
+            .ok_or_else(bad_open_reply)?
+            .parse::<u32>()
+            .map_err(|_| bad_open_reply())?;
+        let frame_bytes = (width as usize) * (height as usize) * 3;
+        Ok(FrameStream {
+            client: self,
+            session,
+            window: window.max(1),
+            inflight: 0,
+            next_seq: 0,
+            width,
+            height,
+            frame_bytes,
+        })
     }
 
     /// Send one command and require an ok status; the error branch
@@ -102,5 +160,148 @@ impl Client {
     /// Split off the raw stream (for tests that need to write garbage).
     pub fn into_stream(self) -> TcpStream {
         self.stream
+    }
+}
+
+fn field(text: &str, key: &str) -> Option<String> {
+    text.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('=').map(str::to_string))
+}
+
+fn bad_open_reply() -> ClientError {
+    ClientError::Protocol(FrameError::Malformed("bad stream-open reply"))
+}
+
+/// A committed streaming session's summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamCommit {
+    /// The id the video was registered under.
+    pub video: u64,
+    /// Shots detected.
+    pub shots: usize,
+    /// Frames the server consumed.
+    pub frames: usize,
+    /// Whether the commit waited on journal durability (`false` for
+    /// in-memory servers).
+    pub durable: bool,
+}
+
+/// A live streaming-ingest session over one [`Client`] connection.
+///
+/// Frames go out strictly in sequence; the client keeps at most the
+/// server-granted credit window in flight and blocks on acks past it, so
+/// server-side backpressure propagates here as `push` latency.
+pub struct FrameStream<'a> {
+    client: &'a mut Client,
+    session: u32,
+    window: u32,
+    inflight: u32,
+    next_seq: u32,
+    width: u32,
+    height: u32,
+    frame_bytes: usize,
+}
+
+impl FrameStream<'_> {
+    /// The server-assigned session id.
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    /// The credit window granted at open.
+    pub fn credits(&self) -> u32 {
+        self.window
+    }
+
+    /// Frames pushed so far.
+    pub fn pushed(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Push one frame (converted to raw RGB24 on the wire).
+    pub fn push(&mut self, frame: &FrameBuf) -> Result<(), ClientError> {
+        self.push_rgb24(&frame.to_rgb24())
+    }
+
+    /// Push one raw RGB24 frame (`width*height*3` bytes).
+    pub fn push_rgb24(&mut self, data: &[u8]) -> Result<(), ClientError> {
+        if data.len() != self.frame_bytes {
+            return Err(ClientError::Protocol(FrameError::Malformed(
+                "frame bytes do not match the declared dimensions",
+            )));
+        }
+        if self.inflight >= self.window {
+            self.await_ack()?;
+        }
+        write_frame(
+            &mut self.client.stream,
+            &encode_stream_request(&StreamRequest::Frame {
+                session: self.session,
+                seq: self.next_seq,
+                data,
+            }),
+        )?;
+        self.next_seq += 1;
+        self.inflight += 1;
+        Ok(())
+    }
+
+    /// The declared frame dimensions.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Read one pending frame ack.
+    fn await_ack(&mut self) -> Result<(), ClientError> {
+        let resp = self.client.read_response()?;
+        self.inflight -= 1;
+        if resp.ok {
+            Ok(())
+        } else {
+            Err(ClientError::Server(resp.text))
+        }
+    }
+
+    /// Drain every outstanding ack.
+    fn drain_acks(&mut self) -> Result<(), ClientError> {
+        while self.inflight > 0 {
+            self.await_ack()?;
+        }
+        Ok(())
+    }
+
+    /// Commit: finalize the analysis server-side and wait until the video
+    /// is registered (and durable, on journal-backed servers).
+    pub fn commit(mut self) -> Result<StreamCommit, ClientError> {
+        self.drain_acks()?;
+        let text = self.client.stream_request(&StreamRequest::Commit {
+            session: self.session,
+        })?;
+        let parse = |key: &str| {
+            field(&text, key).ok_or(ClientError::Protocol(FrameError::Malformed(
+                "bad stream-commit reply",
+            )))
+        };
+        Ok(StreamCommit {
+            video: parse("video")?
+                .parse()
+                .map_err(|_| ClientError::Protocol(FrameError::Malformed("bad video id")))?,
+            shots: parse("shots")?
+                .parse()
+                .map_err(|_| ClientError::Protocol(FrameError::Malformed("bad shot count")))?,
+            frames: parse("frames")?
+                .parse()
+                .map_err(|_| ClientError::Protocol(FrameError::Malformed("bad frame count")))?,
+            durable: parse("durable")? == "true",
+        })
+    }
+
+    /// Abort: discard the session server-side; nothing is committed.
+    pub fn abort(mut self) -> Result<(), ClientError> {
+        self.drain_acks()?;
+        self.client.stream_request(&StreamRequest::Abort {
+            session: self.session,
+        })?;
+        Ok(())
     }
 }

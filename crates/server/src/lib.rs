@@ -4,15 +4,20 @@
 //! many concurrent users.
 //!
 //! * [`protocol`] — length-prefixed request/response frames with a
-//!   max-size limit and a one-byte status;
+//!   max-size limit and a one-byte status, plus the binary streaming
+//!   messages (open/frame/commit/abort) that share the same framing;
 //! * [`server`] — [`server::Server`]: acceptor + fixed worker pool over
 //!   blocking sockets, per-connection timeouts, malformed-frame isolation,
 //!   graceful drain on shutdown, optional journal-backed durability;
+//! * [`session`] — [`session::SessionTable`]: server-side streaming-ingest
+//!   sessions with credit-based flow control, admission control, idle
+//!   reaping, and per-session failure isolation;
 //! * [`metrics`] — [`metrics::ServerMetrics`]: lock-free per-command
 //!   counters and latency histograms (p50/p99), surfaced by the `metrics`
 //!   wire command and a periodic log line;
 //! * [`client`] — [`client::Client`]: the blocking client used by tests,
-//!   `vdbc`, and the `loadgen` benchmark.
+//!   `vdbc`, and the `loadgen` benchmark, including
+//!   [`client::FrameStream`] for live streaming ingest.
 //!
 //! Two binaries ship with the crate: `vdbd` (the daemon) and `vdbc` (a
 //! scriptable client).
@@ -30,8 +35,10 @@ pub mod client;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod session;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, FrameStream, StreamCommit};
 pub use metrics::{CommandKind, MetricsSnapshot, ServerMetrics};
-pub use protocol::{Response, DEFAULT_MAX_FRAME};
+pub use protocol::{Response, StreamRequest, DEFAULT_MAX_FRAME};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStore};
+pub use session::{SessionTable, StreamStats};

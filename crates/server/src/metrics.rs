@@ -47,6 +47,14 @@ pub enum CommandKind {
     Demo,
     /// `remove <video>`.
     Remove,
+    /// Binary stream-open message (start a streaming-ingest session).
+    StreamOpen,
+    /// Binary frame-push message into an open streaming session.
+    StreamFrame,
+    /// Binary stream-commit message (finalize + durable commit).
+    StreamCommit,
+    /// Binary stream-abort message (discard a session).
+    StreamAbort,
     /// `quit` (close this connection).
     Quit,
     /// `shutdown` (stop the server).
@@ -57,7 +65,7 @@ pub enum CommandKind {
 
 impl CommandKind {
     /// Every kind, in display order.
-    pub const ALL: [CommandKind; 16] = [
+    pub const ALL: [CommandKind; 20] = [
         CommandKind::Ping,
         CommandKind::Help,
         CommandKind::List,
@@ -71,6 +79,10 @@ impl CommandKind {
         CommandKind::Tree,
         CommandKind::Demo,
         CommandKind::Remove,
+        CommandKind::StreamOpen,
+        CommandKind::StreamFrame,
+        CommandKind::StreamCommit,
+        CommandKind::StreamAbort,
         CommandKind::Quit,
         CommandKind::Shutdown,
         CommandKind::Other,
@@ -96,6 +108,10 @@ impl CommandKind {
             CommandKind::Tree => "tree",
             CommandKind::Demo => "demo",
             CommandKind::Remove => "remove",
+            CommandKind::StreamOpen => "stream.open",
+            CommandKind::StreamFrame => "stream.frame",
+            CommandKind::StreamCommit => "stream.commit",
+            CommandKind::StreamAbort => "stream.abort",
             CommandKind::Quit => "quit",
             CommandKind::Shutdown => "shutdown",
             CommandKind::Other => "other",
@@ -121,6 +137,19 @@ pub struct ServerMetrics {
     connections_closed: Counter,
     protocol_errors: Counter,
     slow_requests: Counter,
+    stream: StreamHandles,
+}
+
+/// Streaming-ingest session counters (`server.stream.*`).
+struct StreamHandles {
+    sessions_opened: Counter,
+    sessions_committed: Counter,
+    sessions_aborted: Counter,
+    sessions_reaped: Counter,
+    sessions_rejected: Counter,
+    session_errors: Counter,
+    frames: Counter,
+    frame_bytes: Counter,
 }
 
 impl Default for ServerMetrics {
@@ -155,6 +184,16 @@ impl ServerMetrics {
             connections_closed: registry.counter("server.connections_closed"),
             protocol_errors: registry.counter("server.protocol_errors"),
             slow_requests: registry.counter("server.slow_requests"),
+            stream: StreamHandles {
+                sessions_opened: registry.counter("server.stream.sessions_opened"),
+                sessions_committed: registry.counter("server.stream.sessions_committed"),
+                sessions_aborted: registry.counter("server.stream.sessions_aborted"),
+                sessions_reaped: registry.counter("server.stream.sessions_reaped"),
+                sessions_rejected: registry.counter("server.stream.sessions_rejected"),
+                session_errors: registry.counter("server.stream.session_errors"),
+                frames: registry.counter("server.stream.frames"),
+                frame_bytes: registry.counter("server.stream.frame_bytes"),
+            },
             commands,
             registry,
         }
@@ -200,8 +239,10 @@ impl ServerMetrics {
         self.connections_closed.incr();
     }
 
-    /// Record a protocol violation (oversized frame, torn frame, …) that
-    /// cost the offending client its connection.
+    /// Record a protocol violation: either one that cost the offending
+    /// client its connection (oversized frame, torn frame, …) or one that
+    /// poisoned a streaming session (those also count under
+    /// `server.stream.session_errors` and leave the connection open).
     pub fn protocol_error(&self) {
         self.protocol_errors.incr();
     }
@@ -210,6 +251,44 @@ impl ServerMetrics {
     /// threshold (see `ServerConfig::slow_query_log`).
     pub fn slow_request(&self) {
         self.slow_requests.incr();
+    }
+
+    /// Record an opened streaming-ingest session.
+    pub fn stream_opened(&self) {
+        self.stream.sessions_opened.incr();
+    }
+
+    /// Record a session that committed its video.
+    pub fn stream_committed(&self) {
+        self.stream.sessions_committed.incr();
+    }
+
+    /// Record a session aborted by the client or a torn disconnect.
+    pub fn stream_aborted(&self) {
+        self.stream.sessions_aborted.incr();
+    }
+
+    /// Record a session reaped by the idle timer.
+    pub fn stream_reaped(&self) {
+        self.stream.sessions_reaped.incr();
+    }
+
+    /// Record an open rejected by the admission cap or frame-size limit.
+    pub fn stream_rejected(&self) {
+        self.stream.sessions_rejected.incr();
+    }
+
+    /// Record an error that poisoned one session (bad sequence number,
+    /// dimension mismatch, credit overrun, …). The connection survives —
+    /// contrast with [`ServerMetrics::protocol_error`].
+    pub fn stream_session_error(&self) {
+        self.stream.session_errors.incr();
+    }
+
+    /// Record one accepted stream frame of `bytes` payload bytes.
+    pub fn stream_frame(&self, bytes: u64) {
+        self.stream.frames.incr();
+        self.stream.frame_bytes.add(bytes);
     }
 
     /// A point-in-time copy of every counter.
@@ -238,8 +317,39 @@ impl ServerMetrics {
             connections_closed: self.connections_closed.get(),
             protocol_errors: self.protocol_errors.get(),
             slow_requests: self.slow_requests.get(),
+            stream: StreamSnapshot {
+                sessions_opened: self.stream.sessions_opened.get(),
+                sessions_committed: self.stream.sessions_committed.get(),
+                sessions_aborted: self.stream.sessions_aborted.get(),
+                sessions_reaped: self.stream.sessions_reaped.get(),
+                sessions_rejected: self.stream.sessions_rejected.get(),
+                session_errors: self.stream.session_errors.get(),
+                frames: self.stream.frames.get(),
+                frame_bytes: self.stream.frame_bytes.get(),
+            },
         }
     }
+}
+
+/// Streaming-ingest counters at snapshot time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamSnapshot {
+    /// Sessions opened since start.
+    pub sessions_opened: u64,
+    /// Sessions that committed their video.
+    pub sessions_committed: u64,
+    /// Sessions aborted (client abort or torn disconnect).
+    pub sessions_aborted: u64,
+    /// Sessions reaped by the idle timer.
+    pub sessions_reaped: u64,
+    /// Opens rejected (admission cap, bad dimensions, oversized frames).
+    pub sessions_rejected: u64,
+    /// Errors that poisoned one session without closing its connection.
+    pub session_errors: u64,
+    /// Stream frames accepted.
+    pub frames: u64,
+    /// Stream frame payload bytes accepted.
+    pub frame_bytes: u64,
 }
 
 /// Counters for one command kind at snapshot time.
@@ -280,6 +390,8 @@ pub struct MetricsSnapshot {
     /// Requests that ran over the slow-query threshold (0 when the
     /// slow-query log is disabled).
     pub slow_requests: u64,
+    /// Streaming-ingest session counters.
+    pub stream: StreamSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -316,7 +428,7 @@ impl MetricsSnapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "  {:<9} {:>9} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9}",
+            "  {:<13} {:>9} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9}",
             "command", "requests", "errors", "bytes_in", "bytes_out", "mean_us", "p50_us", "p99_us"
         );
         for c in &self.commands {
@@ -325,7 +437,7 @@ impl MetricsSnapshot {
             }
             let _ = writeln!(
                 out,
-                "  {:<9} {:>9} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9}",
+                "  {:<13} {:>9} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9}",
                 c.kind.label(),
                 c.requests,
                 c.errors,
@@ -334,6 +446,21 @@ impl MetricsSnapshot {
                 c.mean_us,
                 c.p50_us,
                 c.p99_us
+            );
+        }
+        if self.stream.sessions_opened > 0 {
+            let s = &self.stream;
+            let _ = writeln!(
+                out,
+                "  streams: {} opened ({} committed, {} aborted, {} reaped, {} rejected, {} errors), {} frames / {} bytes",
+                s.sessions_opened,
+                s.sessions_committed,
+                s.sessions_aborted,
+                s.sessions_reaped,
+                s.sessions_rejected,
+                s.session_errors,
+                s.frames,
+                s.frame_bytes
             );
         }
         let (bytes_in, bytes_out) = self.total_bytes();
@@ -413,6 +540,34 @@ mod tests {
         assert!(snap.render().contains("query"));
         assert!(!snap.render().contains("board"), "zero rows omitted");
         assert!(snap.one_line().contains("4 reqs"));
+    }
+
+    #[test]
+    fn stream_counters_accumulate_and_render() {
+        let m = ServerMetrics::new();
+        let quiet = m.snapshot();
+        assert!(
+            !quiet.render().contains("streams:"),
+            "no stream line before any session"
+        );
+        m.stream_opened();
+        m.stream_frame(48);
+        m.stream_frame(48);
+        m.stream_committed();
+        m.stream_session_error();
+        m.stream_rejected();
+        let snap = m.snapshot();
+        assert_eq!(snap.stream.sessions_opened, 1);
+        assert_eq!(snap.stream.sessions_committed, 1);
+        assert_eq!(snap.stream.session_errors, 1);
+        assert_eq!(snap.stream.sessions_rejected, 1);
+        assert_eq!(snap.stream.frames, 2);
+        assert_eq!(snap.stream.frame_bytes, 96);
+        assert!(
+            snap.render().contains("streams: 1 opened"),
+            "{}",
+            snap.render()
+        );
     }
 
     #[test]

@@ -7,11 +7,39 @@
 //! ```
 //!
 //! A request payload is a UTF-8 command line (the same syntax as the
-//! `vdbsh` REPL — see [`vdb_store::shell`]). A response payload is a
-//! status byte (`+` ok, `-` error) followed by UTF-8 text. Frames larger
-//! than the receiver's configured maximum are a protocol violation: the
-//! receiver reports an error and closes the connection, because the byte
-//! stream cannot be resynchronized without trusting the bogus length.
+//! `vdbsh` REPL — see [`vdb_store::shell`]) **or** a binary streaming
+//! message (see below). A response payload is a status byte (`+` ok, `-`
+//! error) followed by UTF-8 text. Frames larger than the receiver's
+//! configured maximum are a protocol violation: the receiver reports an
+//! error and closes the connection, because the byte stream cannot be
+//! resynchronized without trusting the bogus length.
+//!
+//! # Streaming-ingest messages
+//!
+//! A request payload whose first byte is [`STREAM_MAGIC`] (`0xF5` — an
+//! invalid UTF-8 lead byte, so it can never collide with a command line)
+//! is a binary [`StreamRequest`]:
+//!
+//! ```text
+//! [0xF5] [op: u8] [session: u32 LE] [seq: u32 LE] [body...]
+//! ```
+//!
+//! * `OPEN` (op 1): body is `[width: u32][height: u32][fps_milli: u32]`
+//!   followed by the UTF-8 video name; `session`/`seq` are zero. The ok
+//!   response text is `session=<id> credits=<window>` — the server grants
+//!   a fixed window of in-flight frames (credit-based flow control).
+//! * `FRAME` (op 2): body is exactly `width*height*3` bytes of raw RGB24.
+//!   `seq` starts at 0 and increments by one per frame. The ok response
+//!   (`seq=<n> credits=<free>`) is the credit grant: a client may have at
+//!   most `window` unacknowledged frames outstanding.
+//! * `COMMIT` (op 3): close the session and make the video durable. The
+//!   ok response is `video=<id> shots=<k> frames=<n> durable=<bool>`,
+//!   sent only after the journal write barrier.
+//! * `ABORT` (op 4): discard the session.
+//!
+//! Stream errors (bad sequence, wrong body size, dimension mismatch) are
+//! ordinary `-` responses that *poison the session*, not the connection —
+//! the same TCP connection can keep serving commands and other sessions.
 
 use std::io::{self, Read, Write};
 
@@ -24,6 +52,138 @@ pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
 pub const STATUS_OK: u8 = b'+';
 /// Response status byte for an error.
 pub const STATUS_ERR: u8 = b'-';
+
+/// First payload byte of a binary streaming-ingest message. `0xF5` is an
+/// invalid UTF-8 lead byte, so stream messages can never be confused with
+/// text command lines.
+pub const STREAM_MAGIC: u8 = 0xF5;
+
+/// Bytes of framing before a stream message's body (magic, op, session,
+/// seq). An RGB24 frame message is exactly `STREAM_HEADER + w*h*3` bytes
+/// of payload.
+pub const STREAM_HEADER: usize = 1 + 1 + 4 + 4;
+
+const OP_OPEN: u8 = 1;
+const OP_FRAME: u8 = 2;
+const OP_COMMIT: u8 = 3;
+const OP_ABORT: u8 = 4;
+
+/// A decoded streaming-ingest request (see the module docs for the wire
+/// layout and response texts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamRequest<'a> {
+    /// Open a session: declare the video's name, dimensions, and frame
+    /// rate (millifps — 30_000 = 30 fps).
+    Open {
+        /// Video name for the catalog row.
+        name: &'a str,
+        /// Frame width in pixels.
+        width: u32,
+        /// Frame height in pixels.
+        height: u32,
+        /// Frame rate in millihertz (fps × 1000).
+        fps_milli: u32,
+    },
+    /// Push one raw RGB24 frame into an open session.
+    Frame {
+        /// The session id from the open response.
+        session: u32,
+        /// Zero-based frame sequence number.
+        seq: u32,
+        /// Exactly `width*height*3` bytes, row-major RGB.
+        data: &'a [u8],
+    },
+    /// Finalize the session's analysis and commit the video durably.
+    Commit {
+        /// The session id.
+        session: u32,
+    },
+    /// Discard the session without committing.
+    Abort {
+        /// The session id.
+        session: u32,
+    },
+}
+
+/// Whether a request payload is a binary stream message (as opposed to a
+/// UTF-8 command line).
+pub fn is_stream_request(payload: &[u8]) -> bool {
+    payload.first() == Some(&STREAM_MAGIC)
+}
+
+/// Encode a stream request into a frame payload.
+pub fn encode_stream_request(req: &StreamRequest<'_>) -> Vec<u8> {
+    let (op, session, seq, body_len) = match req {
+        StreamRequest::Open { name, .. } => (OP_OPEN, 0, 0, 12 + name.len()),
+        StreamRequest::Frame {
+            session, seq, data, ..
+        } => (OP_FRAME, *session, *seq, data.len()),
+        StreamRequest::Commit { session } => (OP_COMMIT, *session, 0, 0),
+        StreamRequest::Abort { session } => (OP_ABORT, *session, 0, 0),
+    };
+    let mut out = Vec::with_capacity(STREAM_HEADER + body_len);
+    out.push(STREAM_MAGIC);
+    out.push(op);
+    out.extend_from_slice(&session.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    match req {
+        StreamRequest::Open {
+            name,
+            width,
+            height,
+            fps_milli,
+        } => {
+            out.extend_from_slice(&width.to_le_bytes());
+            out.extend_from_slice(&height.to_le_bytes());
+            out.extend_from_slice(&fps_milli.to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        StreamRequest::Frame { data, .. } => out.extend_from_slice(data),
+        StreamRequest::Commit { .. } | StreamRequest::Abort { .. } => {}
+    }
+    out
+}
+
+/// Decode a stream request from a frame payload (which must start with
+/// [`STREAM_MAGIC`] — check [`is_stream_request`] first).
+pub fn decode_stream_request(payload: &[u8]) -> Result<StreamRequest<'_>, FrameError> {
+    if payload.len() < STREAM_HEADER || payload[0] != STREAM_MAGIC {
+        return Err(FrameError::Malformed("truncated stream message"));
+    }
+    let op = payload[1];
+    let session = u32::from_le_bytes(payload[2..6].try_into().unwrap());
+    let seq = u32::from_le_bytes(payload[6..10].try_into().unwrap());
+    let body = &payload[STREAM_HEADER..];
+    match op {
+        OP_OPEN => {
+            if body.len() < 12 {
+                return Err(FrameError::Malformed("stream open body too short"));
+            }
+            let width = u32::from_le_bytes(body[0..4].try_into().unwrap());
+            let height = u32::from_le_bytes(body[4..8].try_into().unwrap());
+            let fps_milli = u32::from_le_bytes(body[8..12].try_into().unwrap());
+            let name = std::str::from_utf8(&body[12..])
+                .map_err(|_| FrameError::Malformed("stream name is not UTF-8"))?;
+            if name.is_empty() {
+                return Err(FrameError::Malformed("stream name is empty"));
+            }
+            Ok(StreamRequest::Open {
+                name,
+                width,
+                height,
+                fps_milli,
+            })
+        }
+        OP_FRAME => Ok(StreamRequest::Frame {
+            session,
+            seq,
+            data: body,
+        }),
+        OP_COMMIT => Ok(StreamRequest::Commit { session }),
+        OP_ABORT => Ok(StreamRequest::Abort { session }),
+        _ => Err(FrameError::Malformed("unknown stream opcode")),
+    }
+}
 
 /// A decoded response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,5 +352,56 @@ mod tests {
         assert!(decode_response(&[]).is_err());
         assert!(decode_response(b"?x").is_err());
         assert!(decode_response(&[STATUS_OK, 0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn stream_request_roundtrip() {
+        let frame_data = vec![7u8; 48];
+        let reqs = [
+            StreamRequest::Open {
+                name: "clip",
+                width: 4,
+                height: 4,
+                fps_milli: 29_970,
+            },
+            StreamRequest::Frame {
+                session: 3,
+                seq: 17,
+                data: &frame_data,
+            },
+            StreamRequest::Commit { session: 3 },
+            StreamRequest::Abort { session: 9 },
+        ];
+        for req in &reqs {
+            let wire = encode_stream_request(req);
+            assert!(is_stream_request(&wire));
+            assert_eq!(&decode_stream_request(&wire).unwrap(), req);
+        }
+        assert!(!is_stream_request(b"ping"));
+        assert!(!is_stream_request(b""));
+    }
+
+    #[test]
+    fn malformed_stream_requests_are_rejected() {
+        // Too short for the fixed header.
+        assert!(decode_stream_request(&[STREAM_MAGIC, OP_COMMIT]).is_err());
+        // Unknown opcode.
+        let mut wire = encode_stream_request(&StreamRequest::Commit { session: 1 });
+        wire[1] = 99;
+        assert!(decode_stream_request(&wire).is_err());
+        // Open body too short / bad name.
+        let open = encode_stream_request(&StreamRequest::Open {
+            name: "x",
+            width: 2,
+            height: 2,
+            fps_milli: 1000,
+        });
+        assert!(decode_stream_request(&open[..open.len() - 2]).is_err());
+        let mut bad_name = open.clone();
+        let last = bad_name.len() - 1;
+        bad_name[last] = 0xff;
+        assert!(decode_stream_request(&bad_name).is_err());
+        let empty_name = &open[..open.len() - 1];
+        assert!(decode_stream_request(empty_name).is_err());
     }
 }

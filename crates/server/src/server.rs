@@ -22,7 +22,11 @@
 //! never take down a worker.
 
 use crate::metrics::{CommandKind, MetricsSnapshot, ServerMetrics};
-use crate::protocol::{encode_response, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use crate::protocol::{
+    decode_stream_request, encode_response, is_stream_request, write_frame, FrameError,
+    StreamRequest, DEFAULT_MAX_FRAME,
+};
+use crate::session::{SessionTable, StreamLimits, StreamStats};
 use parking_lot::RwLock;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -66,6 +70,18 @@ pub struct ServerConfig {
     /// never). Over-threshold requests are also counted in
     /// [`ServerMetrics`] as `slow_requests`.
     pub slow_query_log: Option<Duration>,
+    /// Maximum concurrently open streaming-ingest sessions; opens past
+    /// the cap are rejected (admission control).
+    pub max_sessions: usize,
+    /// Frames the server buffers — and therefore credits — per streaming
+    /// session (flow control; see [`crate::session`]).
+    pub stream_credits: u32,
+    /// Abort a streaming session with no traffic for this long (the
+    /// reaper thread; independent of the connection `idle_timeout`).
+    pub session_idle_timeout: Duration,
+    /// Poison a streaming session if its analysis pump stays saturated
+    /// this long while a frame waits to be buffered.
+    pub stream_stall_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +99,10 @@ impl Default for ServerConfig {
             drain_grace: Duration::from_millis(250),
             metrics_log_interval: None,
             slow_query_log: None,
+            max_sessions: 64,
+            stream_credits: 8,
+            session_idle_timeout: Duration::from_secs(60),
+            stream_stall_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -180,9 +200,21 @@ impl Server {
         } = self;
         let shutdown = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::new());
+        let sessions = Arc::new(SessionTable::new(
+            StreamLimits {
+                max_sessions: config.max_sessions.max(1),
+                credit_window: config.stream_credits.max(1),
+                idle_timeout: config.session_idle_timeout,
+                stall_timeout: config.stream_stall_timeout,
+                poll_interval: config.poll_interval,
+                max_frame: config.max_frame,
+            },
+            store.clone(),
+            Arc::clone(&metrics),
+        ));
         let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
-        let mut threads = Vec::with_capacity(config.workers + 2);
+        let mut threads = Vec::with_capacity(config.workers + 3);
 
         {
             let shutdown = Arc::clone(&shutdown);
@@ -199,6 +231,7 @@ impl Server {
                 rx: Arc::clone(&rx),
                 store: store.clone(),
                 metrics: Arc::clone(&metrics),
+                sessions: Arc::clone(&sessions),
                 shutdown: Arc::clone(&shutdown),
                 config: config.clone(),
             };
@@ -207,6 +240,24 @@ impl Server {
                     .name(format!("vdbd-worker-{i}"))
                     .spawn(move || worker_loop(ctx))
                     .expect("spawn worker"),
+            );
+        }
+        {
+            // The session reaper: aborts streams idle past their timeout
+            // so abandoned sessions release admission slots.
+            let sessions = Arc::clone(&sessions);
+            let shutdown = Arc::clone(&shutdown);
+            let poll = config.poll_interval.max(Duration::from_millis(20));
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vdbd-reaper".into())
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::SeqCst) {
+                            std::thread::sleep(poll);
+                            sessions.reap_idle();
+                        }
+                    })
+                    .expect("spawn session reaper"),
             );
         }
         if let Some(interval) = config.metrics_log_interval {
@@ -233,6 +284,7 @@ impl Server {
             addr,
             shutdown,
             metrics,
+            sessions,
             store,
             threads,
         }
@@ -245,6 +297,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
+    sessions: Arc<SessionTable>,
     store: ServerStore,
     threads: Vec<JoinHandle<()>>,
 }
@@ -258,6 +311,12 @@ impl ServerHandle {
     /// A point-in-time copy of the server's counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Streaming-session statistics (open sessions, peak buffered
+    /// frames, credit window).
+    pub fn stream_stats(&self) -> StreamStats {
+        self.sessions.stats()
     }
 
     /// The store being served (e.g. for pre-loading data in tests).
@@ -284,6 +343,10 @@ impl ServerHandle {
         for t in self.threads {
             let _ = t.join();
         }
+        // Workers have drained; any streaming session still open belongs
+        // to a client that never committed — abort (do not commit) so no
+        // partial video survives, then sync what did commit.
+        self.sessions.abort_all();
         self.store.sync()?;
         Ok(self.metrics.snapshot())
     }
@@ -337,6 +400,7 @@ struct WorkerCtx {
     rx: Arc<Mutex<Receiver<TcpStream>>>,
     store: ServerStore,
     metrics: Arc<ServerMetrics>,
+    sessions: Arc<SessionTable>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
 }
@@ -435,6 +499,9 @@ fn handle_connection(mut stream: TcpStream, ctx: &WorkerCtx) {
     }
     let _ = stream.set_nodelay(true);
     ctx.metrics.connection_opened();
+    // Scopes streaming-session ownership; on any exit from this function
+    // the connection's sessions are aborted (torn-disconnect cleanup).
+    let conn_id = ctx.sessions.register_conn();
     let mut idle_deadline = Instant::now() + cfg.idle_timeout;
     let mut drain_deadline: Option<Instant> = None;
     loop {
@@ -464,12 +531,16 @@ fn handle_connection(mut stream: TcpStream, ctx: &WorkerCtx) {
                 let root = tracer.trace_root();
                 let mut rspan = tracer.span(&root, "server.request");
                 let tctx = rspan.context();
-                let (kind, result) = match std::str::from_utf8(&payload) {
-                    Ok(line) => dispatch(ctx, line, &tctx),
-                    Err(_) => (
-                        CommandKind::Other,
-                        Err("request is not valid UTF-8".to_string()),
-                    ),
+                let (kind, result) = if is_stream_request(&payload) {
+                    stream_dispatch(ctx, conn_id, &payload)
+                } else {
+                    match std::str::from_utf8(&payload) {
+                        Ok(line) => dispatch(ctx, line, &tctx),
+                        Err(_) => (
+                            CommandKind::Other,
+                            Err("request is not valid UTF-8".to_string()),
+                        ),
+                    }
                 };
                 let (ok, text) = match result {
                     Ok(text) => (true, text),
@@ -516,7 +587,44 @@ fn handle_connection(mut stream: TcpStream, ctx: &WorkerCtx) {
             }
         }
     }
+    ctx.sessions.close_conn(conn_id);
     ctx.metrics.connection_closed();
+}
+
+/// Execute one binary stream message against the session table. Session
+/// failures come back as `-` responses on this connection; they never
+/// close it and never touch other sessions.
+fn stream_dispatch(
+    ctx: &WorkerCtx,
+    conn: u64,
+    payload: &[u8],
+) -> (CommandKind, Result<String, String>) {
+    match decode_stream_request(payload) {
+        Err(e) => {
+            ctx.metrics.protocol_error();
+            (CommandKind::Other, Err(format!("bad stream message: {e}")))
+        }
+        Ok(StreamRequest::Open {
+            name,
+            width,
+            height,
+            fps_milli,
+        }) => (
+            CommandKind::StreamOpen,
+            ctx.sessions.open(conn, name, width, height, fps_milli),
+        ),
+        Ok(StreamRequest::Frame { session, seq, data }) => (
+            CommandKind::StreamFrame,
+            ctx.sessions.frame(conn, session, seq, data),
+        ),
+        Ok(StreamRequest::Commit { session }) => (
+            CommandKind::StreamCommit,
+            ctx.sessions.commit(conn, session),
+        ),
+        Ok(StreamRequest::Abort { session }) => {
+            (CommandKind::StreamAbort, ctx.sessions.abort(conn, session))
+        }
+    }
 }
 
 /// Execute one request line, opening any store/core trace spans under
@@ -576,7 +684,7 @@ fn dispatch(
             (
                 kind,
                 Ok(format!(
-                    "{text}server commands:\n  ping              liveness probe\n  metrics           server counters and latency quantiles\n  shutdown          stop the server (drains in-flight requests)\n"
+                    "{text}server commands:\n  ping              liveness probe\n  metrics           server counters and latency quantiles\n  shutdown          stop the server (drains in-flight requests)\nstreaming ingest uses binary frames on the same socket — see 'vdbc stream'\n"
                 )),
             )
         }
@@ -586,17 +694,22 @@ fn dispatch(
                 .read(|db| shell::execute_readonly(db, &cmd))
                 .expect("stats is readonly");
             let snap = ctx.metrics.snapshot();
+            let streams = ctx.sessions.stats();
             let stack = vdb_obs::global().snapshot();
             let frames = stack.counter("core.pipeline.frames").unwrap_or(0);
             let appends = stack.counter("store.journal.appends").unwrap_or(0);
             (
                 kind,
                 Ok(format!(
-                    "{text}  server: {} requests ({} errors), {} connections, {} protocol errors\n  stack: {} frames analyzed, {} journal appends (see 'metrics')\n",
+                    "{text}  server: {} requests ({} errors), {} connections, {} protocol errors\n  streams: {} open, {} committed, peak buffered {}/{} credits\n  stack: {} frames analyzed, {} journal appends (see 'metrics')\n",
                     snap.total_requests(),
                     snap.total_errors(),
                     snap.connections_opened,
                     snap.protocol_errors,
+                    streams.open_sessions,
+                    snap.stream.sessions_committed,
+                    streams.buffered_peak,
+                    streams.credit_window,
                     frames,
                     appends
                 )),

@@ -1,13 +1,17 @@
 //! Loopback integration tests for `vdbd`'s serving core: concurrency,
-//! protocol robustness, graceful shutdown, and journal-backed durability.
+//! protocol robustness, graceful shutdown, journal-backed durability, and
+//! wire-level streaming ingest.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 use std::time::Duration;
+use vdb_core::frame::Video;
 use vdb_server::client::Client;
-use vdb_server::protocol::{decode_response, read_frame, write_frame};
+use vdb_server::protocol::{
+    decode_response, encode_stream_request, read_frame, write_frame, StreamRequest,
+};
 use vdb_server::server::{Server, ServerConfig, ServerHandle, ServerStore};
 
 fn test_config(workers: usize) -> ServerConfig {
@@ -609,4 +613,429 @@ fn slow_query_log_triggers_exactly_at_threshold() {
     drop(client);
     let snap = handle.shutdown().unwrap();
     assert_eq!(snap.slow_requests, 0, "unreachable threshold counts none");
+}
+
+// ---------------------------------------------------------------------------
+// Streaming ingest
+// ---------------------------------------------------------------------------
+
+/// A small deterministic clip for streaming tests.
+fn stream_clip(seed: u64) -> Video {
+    let script = vdb_synth::build_script(vdb_synth::Genre::Drama, 3, Some(8.0), (32, 24), seed);
+    vdb_synth::generate(&script).video
+}
+
+/// Pull `key=<value>` out of a response text.
+fn reply_field(text: &str, key: &str) -> String {
+    text.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+        .unwrap_or_else(|| panic!("no {key}= in reply '{text}'"))
+        .to_string()
+}
+
+/// The streaming acceptance test: 8 concurrent wire streams into one
+/// server, every one commits, the committed analyses are bit-identical to
+/// running the in-process [`vdb_core::streaming::StreamingAnalyzer`] on
+/// the same frames, and flow control never buffered more frames than the
+/// granted credit window.
+#[test]
+fn eight_concurrent_wire_streams_commit_bit_identical() {
+    const STREAMS: usize = 8;
+    let handle = start_memory_server(STREAMS, 0);
+    let addr = handle.addr();
+
+    let committed: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..STREAMS)
+            .map(|c| {
+                s.spawn(move || {
+                    let seed = 100 + c as u64;
+                    let clip = stream_clip(seed);
+                    let (width, height) = clip.dims();
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut stream = client
+                        .open_stream(&format!("live-{c}"), width, height, clip.fps())
+                        .expect("open stream");
+                    assert!(stream.credits() >= 1);
+                    for frame in clip.frames() {
+                        stream.push(frame).expect("push frame");
+                    }
+                    let commit = stream.commit().expect("commit");
+                    assert_eq!(commit.frames, clip.frames().len());
+                    assert!(commit.shots >= 1);
+                    assert!(!commit.durable, "memory servers have nothing to sync");
+                    (seed, commit.video)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    // Bit-identical to the in-process streaming analyzer on the same
+    // frames (the server's memory store uses the default config).
+    for (seed, video) in committed {
+        let clip = stream_clip(seed);
+        let mut local = vdb_core::streaming::StreamingAnalyzer::new(
+            vdb_core::analyzer::AnalyzerConfig::default(),
+        );
+        for frame in clip.frames() {
+            local.push(frame).expect("local push");
+        }
+        let expected = local.finish().expect("local finish");
+        let stored = handle
+            .store()
+            .read(|db| db.analysis(video).cloned())
+            .expect("committed video must be queryable");
+        assert_eq!(stored.shots, expected.segmentation.shots, "shots diverged");
+        assert_eq!(stored.features, expected.features, "features diverged");
+        assert_eq!(stored.signs_ba, expected.signs_ba, "BA signs diverged");
+        assert_eq!(stored.signs_oa, expected.signs_oa, "OA signs diverged");
+    }
+
+    // Flow control held: nobody ever buffered past the credit window.
+    let stats = handle.stream_stats();
+    assert!(stats.buffered_peak <= stats.credit_window, "{stats:?}");
+    assert_eq!(stats.open_sessions, 0, "all sessions closed");
+
+    let snap = handle.metrics();
+    assert_eq!(snap.stream.sessions_opened, STREAMS as u64);
+    assert_eq!(snap.stream.sessions_committed, STREAMS as u64);
+    assert_eq!(snap.stream.session_errors, 0);
+    assert_eq!(snap.protocol_errors, 0);
+    handle.shutdown().unwrap();
+}
+
+/// A bad frame poisons exactly one session: the sticky error repeats on
+/// every later message, the connection itself stays healthy, and a
+/// parallel session on another connection commits untouched.
+#[test]
+fn stream_errors_poison_only_that_session() {
+    let handle = start_memory_server(4, 0);
+    let addr = handle.addr();
+    let clip = stream_clip(9);
+    let (width, height) = clip.dims();
+    let frame_bytes = clip.frames()[0].to_rgb24();
+
+    let mut bad = Client::connect(addr).unwrap().into_stream();
+    bad.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let ask = |stream: &mut TcpStream, req: &StreamRequest<'_>| {
+        write_frame(stream, &encode_stream_request(req)).unwrap();
+        decode_response(&read_frame(stream, 1 << 20).unwrap().unwrap()).unwrap()
+    };
+    let open = ask(
+        &mut bad,
+        &StreamRequest::Open {
+            name: "poisoned",
+            width,
+            height,
+            fps_milli: 30_000,
+        },
+    );
+    assert!(open.ok, "{}", open.text);
+    let session: u32 = reply_field(&open.text, "session").parse().unwrap();
+
+    // A healthy session on a second connection, mid-flight.
+    let mut good_client = Client::connect(addr).unwrap();
+    let mut good = good_client
+        .open_stream("healthy", width, height, clip.fps())
+        .unwrap();
+    good.push(&clip.frames()[0]).unwrap();
+
+    // Wrong byte count for the declared dimensions → poison.
+    let resp = ask(
+        &mut bad,
+        &StreamRequest::Frame {
+            session,
+            seq: 0,
+            data: &[1, 2, 3],
+        },
+    );
+    assert!(
+        !resp.ok && resp.text.contains("session failed"),
+        "{}",
+        resp.text
+    );
+    // The error is sticky: a now-correct frame is still rejected...
+    let resp = ask(
+        &mut bad,
+        &StreamRequest::Frame {
+            session,
+            seq: 0,
+            data: &frame_bytes,
+        },
+    );
+    assert!(
+        !resp.ok && resp.text.contains("session failed"),
+        "{}",
+        resp.text
+    );
+    // ...and so is commit — nothing of this session is ever visible.
+    let resp = ask(&mut bad, &StreamRequest::Commit { session });
+    assert!(!resp.ok, "{}", resp.text);
+    // The connection survives its poisoned session.
+    write_frame(&mut bad, b"ping").unwrap();
+    let resp = decode_response(&read_frame(&mut bad, 1 << 20).unwrap().unwrap()).unwrap();
+    assert!(resp.ok && resp.text == "pong");
+
+    // The parallel session never noticed.
+    for frame in &clip.frames()[1..] {
+        good.push(frame).unwrap();
+    }
+    let commit = good.commit().expect("healthy session commits");
+    assert_eq!(commit.frames, clip.frames().len());
+    assert_eq!(
+        handle.store().read(|db| db.len()),
+        1,
+        "only the healthy video"
+    );
+
+    let snap = handle.metrics();
+    assert_eq!(snap.stream.session_errors, 1);
+    assert_eq!(snap.stream.sessions_committed, 1);
+    assert_eq!(snap.protocol_errors, 1, "poison counts as a protocol error");
+    drop(good_client);
+    handle.shutdown().unwrap();
+}
+
+/// Sequence gaps poison the session (the server never silently reorders
+/// or drops frames), and a session cannot be driven from a connection
+/// that does not own it.
+#[test]
+fn out_of_order_frames_and_foreign_connections_are_rejected() {
+    let handle = start_memory_server(4, 0);
+    let addr = handle.addr();
+    let clip = stream_clip(11);
+    let (width, height) = clip.dims();
+    let data = clip.frames()[0].to_rgb24();
+
+    let mut s1 = Client::connect(addr).unwrap().into_stream();
+    s1.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let ask = |stream: &mut TcpStream, req: &StreamRequest<'_>| {
+        write_frame(stream, &encode_stream_request(req)).unwrap();
+        decode_response(&read_frame(stream, 1 << 20).unwrap().unwrap()).unwrap()
+    };
+    let open = ask(
+        &mut s1,
+        &StreamRequest::Open {
+            name: "gappy",
+            width,
+            height,
+            fps_milli: 30_000,
+        },
+    );
+    let session: u32 = reply_field(&open.text, "session").parse().unwrap();
+    let resp = ask(
+        &mut s1,
+        &StreamRequest::Frame {
+            session,
+            seq: 0,
+            data: &data,
+        },
+    );
+    assert!(resp.ok, "{}", resp.text);
+
+    // Another connection may not push into this session.
+    let mut s2 = Client::connect(addr).unwrap().into_stream();
+    s2.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let resp = ask(
+        &mut s2,
+        &StreamRequest::Frame {
+            session,
+            seq: 1,
+            data: &data,
+        },
+    );
+    assert!(
+        !resp.ok && resp.text.contains("another connection"),
+        "{}",
+        resp.text
+    );
+
+    // A gap (seq 2 after 0) poisons the session.
+    let resp = ask(
+        &mut s1,
+        &StreamRequest::Frame {
+            session,
+            seq: 2,
+            data: &data,
+        },
+    );
+    assert!(
+        !resp.ok && resp.text.contains("expected seq 1"),
+        "{}",
+        resp.text
+    );
+    let resp = ask(&mut s1, &StreamRequest::Commit { session });
+    assert!(!resp.ok, "poisoned session cannot commit: {}", resp.text);
+    assert_eq!(handle.store().read(|db| db.len()), 0);
+    handle.shutdown().unwrap();
+}
+
+/// Admission control: opens past `max_sessions` are rejected, and slots
+/// come back when a session aborts or its connection dies mid-stream.
+#[test]
+fn session_cap_rejects_then_reclaims_slots() {
+    let config = ServerConfig {
+        max_sessions: 2,
+        ..test_config(4)
+    };
+    let handle = Server::bind(ServerStore::memory(), config).unwrap().serve();
+    let addr = handle.addr();
+    let clip = stream_clip(13);
+    let (width, height) = clip.dims();
+
+    let mut c1 = Client::connect(addr).unwrap();
+    let s1 = c1.open_stream("one", width, height, 30.0).unwrap();
+    let mut c2 = Client::connect(addr).unwrap();
+    let mut s2 = c2.open_stream("two", width, height, 30.0).unwrap();
+    s2.push(&clip.frames()[0]).unwrap();
+
+    // Third open: rejected, with the cap in the error.
+    let mut c3 = Client::connect(addr).unwrap();
+    match c3.open_stream("three", width, height, 30.0) {
+        Ok(_) => panic!("cap must reject the third session"),
+        Err(e) => assert!(e.to_string().contains("session limit"), "{e}"),
+    }
+
+    // A clean abort frees one slot...
+    s1.abort().unwrap();
+    let s3 = c3.open_stream("three", width, height, 30.0).unwrap();
+    // ...and a torn disconnect (client dies mid-stream, no commit) frees
+    // the other without committing anything. Discard the stream handle —
+    // no abort message, the socket just goes away.
+    let _ = s2;
+    drop(c2);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut c4 = Client::connect(addr).unwrap();
+    let s4 = loop {
+        match c4.open_stream("four", width, height, 30.0) {
+            Ok(s) => break s,
+            Err(e) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "torn session never reclaimed: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    s4.abort().unwrap();
+    s3.abort().unwrap();
+    assert_eq!(handle.store().read(|db| db.len()), 0, "nothing committed");
+    let snap = handle.metrics();
+    assert_eq!(snap.stream.sessions_rejected, 1);
+    assert!(snap.stream.sessions_aborted >= 3, "{:?}", snap.stream);
+    drop(c1);
+    handle.shutdown().unwrap();
+}
+
+/// The reaper aborts sessions with no traffic past the idle timeout, so
+/// abandoned streams cannot hold admission slots.
+#[test]
+fn idle_streaming_sessions_are_reaped() {
+    let config = ServerConfig {
+        session_idle_timeout: Duration::from_millis(100),
+        ..test_config(2)
+    };
+    let handle = Server::bind(ServerStore::memory(), config).unwrap().serve();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stream = client.open_stream("sleeper", 32, 24, 30.0).unwrap();
+    assert_eq!(handle.stream_stats().open_sessions, 1);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.stream_stats().open_sessions > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle session never reaped"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(handle.metrics().stream.sessions_reaped, 1);
+    // The session id is gone; a commit attempt reports that cleanly.
+    let err = stream.commit().expect_err("reaped session cannot commit");
+    assert!(err.to_string().contains("unknown session"), "{err}");
+    assert_eq!(handle.store().read(|db| db.len()), 0);
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
+/// Shutdown with live uncommitted sessions drains cleanly: the server
+/// aborts them (no partial video) and join() does not hang on the pumps.
+#[test]
+fn shutdown_aborts_live_sessions_without_committing() {
+    let handle = start_memory_server(2, 0);
+    let clip = stream_clip(17);
+    let (width, height) = clip.dims();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut stream = client
+        .open_stream("interrupted", width, height, clip.fps())
+        .unwrap();
+    for frame in &clip.frames()[..4] {
+        stream.push(frame).unwrap();
+    }
+    handle.trigger_shutdown();
+    let snap = handle.join().expect("drain with a live session");
+    assert_eq!(snap.stream.sessions_opened, 1);
+    assert_eq!(snap.stream.sessions_committed, 0);
+    assert_eq!(
+        snap.stream.sessions_aborted, 1,
+        "live session must be aborted, not committed"
+    );
+}
+
+/// Journal-backed streaming: a committed stream survives a daemon
+/// restart; a torn mid-stream disconnect leaves nothing behind.
+#[test]
+fn journaled_stream_commit_survives_restart_and_torn_stream_does_not() {
+    let dir = std::env::temp_dir().join(format!("vdb-server-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("streams.vdbj");
+    let clip = stream_clip(19);
+    let (width, height) = clip.dims();
+
+    {
+        let store = ServerStore::open_journal(&path, vdb_core::analyzer::AnalyzerConfig::default())
+            .expect("open journal");
+        let handle = Server::bind(store, test_config(4)).unwrap().serve();
+        let addr = handle.addr();
+
+        // Stream A commits; the ack promises durability.
+        let mut c1 = Client::connect(addr).unwrap();
+        let mut s1 = c1
+            .open_stream("committed", width, height, clip.fps())
+            .unwrap();
+        for frame in clip.frames() {
+            s1.push(frame).unwrap();
+        }
+        let commit = s1.commit().unwrap();
+        assert!(commit.durable, "journaled commits must wait for the disk");
+
+        // Stream B dies mid-flight: connection dropped, no commit.
+        let mut c2 = Client::connect(addr).unwrap();
+        let mut s2 = c2.open_stream("torn", width, height, clip.fps()).unwrap();
+        for frame in &clip.frames()[..3] {
+            s2.push(frame).unwrap();
+        }
+        let _ = s2;
+        drop(c2);
+
+        drop(c1);
+        handle.shutdown().unwrap();
+    }
+
+    // Restart: the committed stream is fully queryable, the torn one left
+    // no trace — not even a catalog row.
+    let store = ServerStore::open_journal(&path, vdb_core::analyzer::AnalyzerConfig::default())
+        .expect("reopen journal");
+    let handle = Server::bind(store, test_config(2)).unwrap().serve();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let list = client.expect_ok("list").unwrap();
+    assert!(list.contains("committed"), "{list}");
+    assert!(
+        !list.contains("torn"),
+        "torn stream must not survive: {list}"
+    );
+    assert_eq!(handle.store().read(|db| db.len()), 1);
+    drop(client);
+    handle.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -10,9 +10,61 @@
 
 use crate::catalog::{FormId, GenreId};
 use crate::db::{DbError, VideoDatabase};
-use crate::journal::JournaledDatabase;
+use crate::journal::{JournalTicket, JournalWriter, JournaledDatabase};
+use std::sync::Arc;
+use vdb_core::analyzer::VideoAnalysis;
 use vdb_core::frame::Video;
 use vdb_obs::TraceContext;
+
+/// A durability receipt from [`DbBackend::commit_stream`].
+///
+/// `commit_stream` registers the video and *stages* its journal records,
+/// but does not wait for them to reach disk — that wait happens here,
+/// after the caller has released the database lock. Decoupling the wait
+/// from the lock is what lets concurrent streaming sessions share one
+/// group-commit write barrier (see [`crate::journal`]). For non-durable
+/// backends the ticket is already settled and `wait` returns immediately.
+#[must_use = "the commit is not durable until wait() returns"]
+pub struct CommitTicket(TicketInner);
+
+enum TicketInner {
+    /// Memory backend: nothing to persist.
+    Settled,
+    /// Journaled backend: records staged under `ticket`, waitable on the
+    /// shared writer without any database lock.
+    Journal(Arc<JournalWriter>, JournalTicket),
+}
+
+impl CommitTicket {
+    /// A ticket that is already durable (non-durable backends).
+    pub fn already_durable() -> Self {
+        CommitTicket(TicketInner::Settled)
+    }
+
+    pub(crate) fn journaled(writer: Arc<JournalWriter>, ticket: JournalTicket) -> Self {
+        CommitTicket(TicketInner::Journal(writer, ticket))
+    }
+
+    /// Whether a wait is still required for durability (`false` for
+    /// memory backends).
+    pub fn is_pending(&self) -> bool {
+        matches!(self.0, TicketInner::Journal(..))
+    }
+
+    /// Block until the staged records are durable. Call *after* releasing
+    /// the database lock, so concurrent committers can batch.
+    pub fn wait(self) -> Result<(), DbError> {
+        self.wait_traced(&TraceContext::disabled())
+    }
+
+    /// [`CommitTicket::wait`] with the fsync span opened under `ctx`.
+    pub fn wait_traced(self, ctx: &TraceContext) -> Result<(), DbError> {
+        match self.0 {
+            TicketInner::Settled => Ok(()),
+            TicketInner::Journal(writer, ticket) => writer.wait_durable(ticket, ctx),
+        }
+    }
+}
 
 /// The mutation surface shared by the REPL and the server: a database that
 /// can ingest clips, remove them, and (if durable) sync to disk.
@@ -43,6 +95,21 @@ pub trait DbBackend: Send {
     ) -> Result<u64, DbError> {
         self.ingest_clip(name, video, genres, forms)
     }
+
+    /// Register a streaming session's finished analysis (computed outside
+    /// any lock — see [`crate::session::StreamIngest`]). Durable backends
+    /// stage the journal records but do **not** wait: the returned
+    /// [`CommitTicket`] is waited on after this backend's lock is
+    /// released, so concurrent sessions share one group-commit barrier.
+    fn commit_stream(
+        &mut self,
+        name: String,
+        dims: (u32, u32),
+        fps: f64,
+        analysis: VideoAnalysis,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> Result<(u64, CommitTicket), DbError>;
 
     /// Remove a video. Durable backends append a tombstone record
     /// (`TAG_REMOVE`) before returning.
@@ -85,6 +152,19 @@ impl DbBackend for VideoDatabase {
         self.ingest_traced(name, video, genres, forms, ctx)
     }
 
+    fn commit_stream(
+        &mut self,
+        name: String,
+        dims: (u32, u32),
+        fps: f64,
+        analysis: VideoAnalysis,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> Result<(u64, CommitTicket), DbError> {
+        let id = self.ingest_precomputed(name, dims, fps, analysis, genres, forms);
+        Ok((id, CommitTicket::already_durable()))
+    }
+
     fn remove_video(&mut self, id: u64) -> Result<(), DbError> {
         self.remove(id)
     }
@@ -114,6 +194,18 @@ impl DbBackend for JournaledDatabase {
         ctx: &TraceContext,
     ) -> Result<u64, DbError> {
         self.ingest_traced(name, video, genres, forms, ctx)
+    }
+
+    fn commit_stream(
+        &mut self,
+        name: String,
+        dims: (u32, u32),
+        fps: f64,
+        analysis: VideoAnalysis,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> Result<(u64, CommitTicket), DbError> {
+        JournaledDatabase::commit_stream(self, name, dims, fps, analysis, genres, forms)
     }
 
     fn remove_video(&mut self, id: u64) -> Result<(), DbError> {

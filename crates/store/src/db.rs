@@ -475,6 +475,25 @@ impl VideoDatabase {
         Ok(())
     }
 
+    /// Drop catalog rows that have no stored analysis: torn-tail leftovers
+    /// where a crash landed between a video's META record and its ANALYSIS
+    /// record. The replay paths ([`VideoDatabase::load`] and the journal)
+    /// call this so a partially persisted video is never visible. Returns
+    /// how many rows were swept.
+    pub fn drop_unanalyzed(&mut self) -> usize {
+        let orphans: Vec<u64> = self
+            .catalog
+            .all()
+            .iter()
+            .map(|m| m.id)
+            .filter(|id| !self.analyses.contains_key(id))
+            .collect();
+        for id in &orphans {
+            let _ = self.remove(*id);
+        }
+        orphans.len()
+    }
+
     /// The stored analysis of a video.
     pub fn analysis(&self, id: u64) -> Result<&StoredAnalysis, DbError> {
         self.analyses.get(&id).ok_or(DbError::UnknownVideo(id))
@@ -681,6 +700,9 @@ impl VideoDatabase {
                 _ => return Err(DbError::BadRecord("unknown tag")),
             }
         }
+        // A torn tail can leave a META row whose ANALYSIS record was cut
+        // off; sweep it so no partial video is visible after load.
+        db.drop_unanalyzed();
         db.finalize_index(persisted);
         Ok(db)
     }

@@ -8,30 +8,224 @@
 //! state is durable up to the last completed ingest; on open, the journal
 //! is replayed and — thanks to the segment layer's checksummed records —
 //! a torn tail from a crash is dropped cleanly.
+//!
+//! # Group commit
+//!
+//! Appends are two-phase: [`JournalWriter::stage`] copies the encoded
+//! record into a pending buffer under a short lock and hands back a
+//! monotonically increasing ticket; [`JournalWriter::wait_durable`] blocks
+//! until every byte staged at or before that ticket has reached the OS.
+//! The first waiter becomes the *leader*: it swaps the whole pending
+//! buffer out, writes it with one `write_all` **outside** the state lock,
+//! and wakes the followers — so K sessions committing concurrently share
+//! one write barrier instead of paying K. The durability point is
+//! unchanged from the single-writer design (write-to-OS, no `fdatasync`),
+//! matching the crash model the truncation tests exercise.
 
+use crate::backend::CommitTicket;
 use crate::catalog::{FormId, GenreId};
 use crate::db::{
     DbError, PersistedIndex, StoredAnalysis, VideoDatabase, TAG_ANALYSIS, TAG_INDEX, TAG_META,
     TAG_REMOVE,
 };
-use crate::pages::{read_segment, SegmentWriter, MAGIC};
+use crate::pages::{read_segment, MAGIC};
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use vdb_core::analyzer::AnalyzerConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use vdb_core::analyzer::{AnalyzerConfig, VideoAnalysis};
 use vdb_core::frame::Video;
 use vdb_obs::{global_tracer, TraceContext};
+
+/// A durability ticket: `wait_durable(t)` returns once every record staged
+/// at or before `t` has been written to the OS.
+pub type JournalTicket = u64;
+
+/// Per-writer group-commit counters (instance-local, unlike the
+/// process-global `store.journal.*` metrics — tests and benches that run
+/// many journals in one process need exact accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records staged since open.
+    pub staged_records: u64,
+    /// Batched write barriers issued (each covers ≥1 record; the
+    /// group-commit win is `staged_records / batches`).
+    pub batches: u64,
+}
+
+struct WriterState {
+    /// Encoded records accepted but not yet written.
+    pending: Vec<u8>,
+    /// Highest ticket handed out by `stage`.
+    staged: JournalTicket,
+    /// Every record with a ticket ≤ this has reached the OS.
+    durable: JournalTicket,
+    /// A leader is currently writing a batch (outside this lock).
+    syncing: bool,
+    /// Sticky write failure: once a batch write fails the journal's tail
+    /// position is unknown, so every later wait fails too.
+    error: Option<String>,
+}
+
+/// The shared append path: staged bytes, the group-commit barrier, and the
+/// journal file itself. Shared (`Arc`) between the [`JournaledDatabase`]
+/// and any outstanding [`CommitTicket`]s, so waiting for durability never
+/// needs the database lock.
+pub(crate) struct JournalWriter {
+    state: Mutex<WriterState>,
+    cv: Condvar,
+    /// Leader-only: taken without the state lock while writing a batch.
+    file: Mutex<File>,
+    staged_records: AtomicU64,
+    batches: AtomicU64,
+}
+
+fn poisoned<T>(guard: std::sync::LockResult<T>) -> T {
+    guard.unwrap_or_else(|e| panic!("journal writer lock poisoned: {e}"))
+}
+
+impl JournalWriter {
+    fn new(file: File) -> Self {
+        JournalWriter {
+            state: Mutex::new(WriterState {
+                pending: Vec::new(),
+                staged: 0,
+                durable: 0,
+                syncing: false,
+                error: None,
+            }),
+            cv: Condvar::new(),
+            file: Mutex::new(file),
+            staged_records: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// Stage one encoded record (tag + length + payload + checksum bytes,
+    /// already framed) for the next batch. Cheap: one buffer append under
+    /// a short lock.
+    fn stage(&self, record: &[u8]) -> Result<JournalTicket, DbError> {
+        let mut state = poisoned(self.state.lock());
+        if let Some(e) = &state.error {
+            return Err(write_error(e));
+        }
+        state.pending.extend_from_slice(record);
+        state.staged += 1;
+        self.staged_records.fetch_add(1, Ordering::Relaxed);
+        Ok(state.staged)
+    }
+
+    /// Block until every record staged at or before `ticket` is durable
+    /// (written to the OS). The first waiter to arrive while no write is
+    /// in flight becomes the leader and writes *all* currently staged
+    /// bytes in one batch — concurrent committers share the barrier.
+    pub(crate) fn wait_durable(
+        &self,
+        ticket: JournalTicket,
+        ctx: &TraceContext,
+    ) -> Result<(), DbError> {
+        let mut state = poisoned(self.state.lock());
+        loop {
+            if let Some(e) = &state.error {
+                return Err(write_error(e));
+            }
+            if state.durable >= ticket {
+                return Ok(());
+            }
+            if !state.syncing {
+                state.syncing = true;
+                let batch = std::mem::take(&mut state.pending);
+                let hi = state.staged;
+                drop(state);
+                let result = self.write_batch(&batch, ctx);
+                state = poisoned(self.state.lock());
+                state.syncing = false;
+                match result {
+                    Ok(()) => state.durable = state.durable.max(hi),
+                    Err(e) => state.error = Some(e.to_string()),
+                }
+                self.cv.notify_all();
+                // Loop around: re-check durable/error under the lock.
+            } else {
+                state = poisoned(self.cv.wait(state));
+            }
+        }
+    }
+
+    fn write_batch(&self, batch: &[u8], ctx: &TraceContext) -> std::io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let obs = crate::obs::journal();
+        let tracer = global_tracer();
+        let mut file = poisoned(self.file.lock());
+        // The write is the batch's durability point; timed separately so
+        // fsync-path tail latency is visible on its own.
+        let mut fsync_tspan = tracer.span(ctx, "store.journal.fsync");
+        if fsync_tspan.is_recording() {
+            fsync_tspan.attr("bytes", batch.len());
+        }
+        let _fsync_span = obs.fsync_us.start();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        file.write_all(batch)?;
+        file.flush()
+    }
+
+    /// Drain everything staged so far (the final barrier on drop/sync).
+    fn flush_all(&self) -> Result<(), DbError> {
+        let staged = poisoned(self.state.lock()).staged;
+        self.wait_durable(staged, &TraceContext::disabled())
+    }
+
+    /// Swap in a fresh file handle after compaction. Pending bytes must
+    /// already be drained (the caller flushes first).
+    fn replace_file(&self, new_file: File) {
+        let state = poisoned(self.state.lock());
+        debug_assert!(
+            state.pending.is_empty() && !state.syncing,
+            "replace_file requires a drained writer"
+        );
+        drop(state);
+        *poisoned(self.file.lock()) = new_file;
+    }
+
+    fn stats(&self) -> JournalStats {
+        JournalStats {
+            staged_records: self.staged_records.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn write_error(msg: &str) -> DbError {
+    DbError::Segment(crate::pages::SegmentError::Io(std::io::Error::other(
+        format!("journal write failed: {msg}"),
+    )))
+}
+
+/// Frame one record for the wire: tag + length + payload + checksum.
+fn encode_record(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 4 + payload.len() + 4);
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crate::pages::record_checksum(tag, payload).to_le_bytes());
+    out
+}
 
 /// A [`VideoDatabase`] bound to an append-only journal file.
 pub struct JournaledDatabase {
     db: VideoDatabase,
-    writer: BufWriter<File>,
+    writer: Arc<JournalWriter>,
     path: PathBuf,
 }
 
 impl JournaledDatabase {
     /// Open (or create) a journal. Existing records are replayed; a torn
-    /// tail is truncated away so subsequent appends form valid records.
+    /// tail is truncated away so subsequent appends form valid records,
+    /// and a META row whose ANALYSIS record was torn off is swept so no
+    /// partial video is ever visible.
     pub fn open(path: impl Into<PathBuf>, config: AnalyzerConfig) -> Result<Self, DbError> {
         let path = path.into();
         let mut db = VideoDatabase::with_config(config);
@@ -75,8 +269,12 @@ impl JournaledDatabase {
                 // tag + len + payload + checksum
                 valid_len += 1 + 4 + record.payload.len() as u64 + 4;
             }
+            // An uncommitted (torn) tail can leave a catalog row with no
+            // analysis — drop it; the committed prefix is untouched.
+            let swept = db.drop_unanalyzed();
             if replay_span.is_recording() {
                 replay_span.attr("records", records.len());
+                replay_span.attr("swept", swept);
             }
             db.finalize_index(persisted);
             drop(replay_span);
@@ -87,16 +285,19 @@ impl JournaledDatabase {
             file.seek(SeekFrom::End(0))?;
             return Ok(JournaledDatabase {
                 db,
-                writer: BufWriter::new(file),
+                writer: Arc::new(JournalWriter::new(file)),
                 path,
             });
         }
-        // Fresh journal: write the magic via SegmentWriter, then keep the
-        // file handle for appends.
-        let file = File::create(&path)?;
-        let writer = SegmentWriter::new(BufWriter::new(file)).map_err(DbError::Segment)?;
-        let writer = writer.finish().map_err(DbError::Segment)?;
-        Ok(JournaledDatabase { db, writer, path })
+        // Fresh journal: the segment magic, then the file handle is kept
+        // for appends.
+        let mut file = File::create(&path)?;
+        file.write_all(MAGIC)?;
+        Ok(JournaledDatabase {
+            db,
+            writer: Arc::new(JournalWriter::new(file)),
+            path,
+        })
     }
 
     /// The journal file's path.
@@ -109,24 +310,30 @@ impl JournaledDatabase {
         &self.db
     }
 
-    /// Flush buffered journal bytes to the OS. Appends already flush
-    /// before returning, so this only matters after direct writer reuse
-    /// (e.g. a server draining at shutdown calls it defensively).
+    /// Instance-local group-commit counters (staged records vs batched
+    /// write barriers).
+    pub fn journal_stats(&self) -> JournalStats {
+        self.writer.stats()
+    }
+
+    /// Drain every staged record to the OS. `ingest`/`remove` already wait
+    /// for durability before returning, so this only matters after staged
+    /// streaming commits (see [`JournaledDatabase::commit_stream`]) — a
+    /// server draining at shutdown calls it defensively.
     pub fn flush(&mut self) -> Result<(), DbError> {
-        self.writer.flush()?;
-        Ok(())
+        self.writer.flush_all()
     }
 
-    fn append_record(&mut self, tag: u8, payload: &[u8]) -> Result<(), DbError> {
-        self.append_record_traced(tag, payload, &TraceContext::disabled())
+    fn stage_record(&self, tag: u8, payload: &[u8]) -> Result<JournalTicket, DbError> {
+        self.stage_record_traced(tag, payload, &TraceContext::disabled())
     }
 
-    fn append_record_traced(
-        &mut self,
+    fn stage_record_traced(
+        &self,
         tag: u8,
         payload: &[u8],
         ctx: &TraceContext,
-    ) -> Result<(), DbError> {
+    ) -> Result<JournalTicket, DbError> {
         let obs = crate::obs::journal();
         let tracer = global_tracer();
         let mut append_tspan = tracer.span(ctx, "store.journal.append");
@@ -134,28 +341,17 @@ impl JournaledDatabase {
             append_tspan.attr("bytes", 1 + 4 + payload.len() + 4);
         }
         let _append_span = obs.append_us.start();
-        let mut head = Vec::with_capacity(5);
-        head.push(tag);
-        head.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.writer.write_all(&head)?;
-        self.writer.write_all(payload)?;
-        self.writer
-            .write_all(&crate::pages::record_checksum(tag, payload).to_le_bytes())?;
-        {
-            // The flush is the record's durability point; timed separately
-            // so fsync-path tail latency is visible on its own.
-            let _fsync_tspan = tracer.span(&append_tspan.context(), "store.journal.fsync");
-            let _fsync_span = obs.fsync_us.start();
-            self.writer.flush()?;
-        }
+        let ticket = self.writer.stage(&encode_record(tag, payload))?;
         obs.appends.incr();
         obs.appended_bytes.add(1 + 4 + payload.len() as u64 + 4);
-        Ok(())
+        Ok(ticket)
     }
 
     /// Ingest a video and append it to the journal. The in-memory ingest
-    /// happens first; the append is flushed before returning, so a
-    /// successful return means the clip is durable.
+    /// happens first; both records (META + ANALYSIS) are staged and then
+    /// made durable behind one group-commit barrier, so a successful
+    /// return means the clip is durable — at half the write barriers of
+    /// the old append-then-flush-twice path.
     pub fn ingest(
         &mut self,
         name: impl Into<String>,
@@ -167,9 +363,8 @@ impl JournaledDatabase {
     }
 
     /// [`Self::ingest`] with trace spans under `ctx`: the analysis
-    /// (`store.ingest` and the pipeline stages beneath it) and both
-    /// journal appends (with their fsync children) land in the same
-    /// trace.
+    /// (`store.ingest` and the pipeline stages beneath it), both journal
+    /// appends, and the shared fsync barrier land in the same trace.
     pub fn ingest_traced(
         &mut self,
         name: impl Into<String>,
@@ -179,19 +374,54 @@ impl JournaledDatabase {
         ctx: &TraceContext,
     ) -> Result<u64, DbError> {
         let id = self.db.ingest_traced(name, video, genres, forms, ctx)?;
-        let meta = self.db.catalog().get(id).expect("just ingested").clone();
-        let analysis_payload = self.db.analysis(id).expect("just ingested").encode()?;
-        self.append_record_traced(TAG_META, &serde_json::to_vec(&meta)?, ctx)?;
-        self.append_record_traced(TAG_ANALYSIS, &analysis_payload, ctx)?;
+        let ticket = self.stage_clip_records(id, ctx)?;
+        self.writer.wait_durable(ticket, ctx)?;
         Ok(id)
     }
 
-    /// Remove a video, durably: a tombstone record is appended and flushed
+    /// Stage the META + ANALYSIS records for an already-ingested video;
+    /// the returned ticket covers both.
+    fn stage_clip_records(&self, id: u64, ctx: &TraceContext) -> Result<JournalTicket, DbError> {
+        let meta = self.db.catalog().get(id).expect("just ingested").clone();
+        let analysis_payload = self.db.analysis(id).expect("just ingested").encode()?;
+        self.stage_record_traced(TAG_META, &serde_json::to_vec(&meta)?, ctx)?;
+        self.stage_record_traced(TAG_ANALYSIS, &analysis_payload, ctx)
+    }
+
+    /// Register a streaming session's finished analysis and stage its
+    /// journal records *without* waiting for durability. The returned
+    /// [`CommitTicket`] is waitable after the database lock is released,
+    /// which is what lets K concurrent sessions share one write barrier
+    /// (see [`JournalWriter`]). The video is visible in memory
+    /// immediately; callers must not acknowledge the commit until
+    /// [`CommitTicket::wait`] returns.
+    pub fn commit_stream(
+        &mut self,
+        name: String,
+        dims: (u32, u32),
+        fps: f64,
+        analysis: VideoAnalysis,
+        genres: Vec<GenreId>,
+        forms: Vec<FormId>,
+    ) -> Result<(u64, CommitTicket), DbError> {
+        let id = self
+            .db
+            .ingest_precomputed(name, dims, fps, analysis, genres, forms);
+        let ticket = self.stage_clip_records(id, &TraceContext::disabled())?;
+        Ok((
+            id,
+            CommitTicket::journaled(Arc::clone(&self.writer), ticket),
+        ))
+    }
+
+    /// Remove a video, durably: a tombstone record is staged and written
     /// before returning. The dead records remain on disk until
     /// [`JournaledDatabase::compact`] rewrites the file.
     pub fn remove(&mut self, id: u64) -> Result<(), DbError> {
         self.db.remove(id)?;
-        self.append_record(TAG_REMOVE, &id.to_le_bytes())?;
+        let ticket = self.stage_record(TAG_REMOVE, &id.to_le_bytes())?;
+        self.writer
+            .wait_durable(ticket, &TraceContext::disabled())?;
         Ok(())
     }
 
@@ -199,13 +429,25 @@ impl JournaledDatabase {
     /// dead records). Uses the plain `save` format — the two are identical
     /// on disk.
     pub fn compact(&mut self) -> Result<(), DbError> {
+        // Drain staged records first so nothing is lost when the file is
+        // swapped out from under the writer.
+        self.writer.flush_all()?;
         let tmp = self.path.with_extension("compact");
         self.db.save(&tmp)?;
         std::fs::rename(&tmp, &self.path)?;
         let mut file = OpenOptions::new().write(true).read(true).open(&self.path)?;
         file.seek(SeekFrom::End(0))?;
-        self.writer = BufWriter::new(file);
+        self.writer.replace_file(file);
         Ok(())
+    }
+}
+
+impl Drop for JournaledDatabase {
+    fn drop(&mut self) {
+        // Best-effort: drain staged streaming commits. Sessions that
+        // waited on their CommitTicket are already durable; this covers a
+        // server dropping the store without a final sync.
+        let _ = self.writer.flush_all();
     }
 }
 
@@ -277,8 +519,9 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 25]).unwrap();
         {
             let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
-            // The torn clip lost its analysis record; its meta may survive.
-            assert!(!j.db().is_empty());
+            // The torn clip lost its analysis record, so its META row is
+            // swept too: no partial video is visible.
+            assert_eq!(j.db().len(), 1);
             // New appends land on a clean record edge.
             j.ingest("after-crash", &clip(7), vec![], vec![]).unwrap();
         }
@@ -292,6 +535,7 @@ mod tests {
             .collect();
         assert!(names.contains(&"keep".to_string()));
         assert!(names.contains(&"after-crash".to_string()));
+        assert!(!names.contains(&"torn".to_string()), "no partial video");
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 
@@ -299,10 +543,12 @@ mod tests {
     fn truncation_at_every_tail_offset_recovers_cleanly() {
         // Crash-recovery property, checked exhaustively: truncating the
         // journal at EVERY byte offset inside the tail record must (a)
-        // reopen without error, (b) keep every earlier record intact, and
-        // (c) drop only the torn record. Every 64th offset additionally
-        // proves the truncated journal accepts new appends that survive a
-        // further reopen (appends land on a clean record edge).
+        // reopen without error, (b) keep every earlier *committed* video
+        // intact, and (c) drop the torn video entirely — analysis AND
+        // catalog row (no partial video after replay). Every 64th offset
+        // additionally proves the truncated journal accepts new appends
+        // that survive a further reopen (appends land on a clean record
+        // edge).
         let path = tmp("exhaustive");
         {
             let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
@@ -323,9 +569,9 @@ mod tests {
             std::fs::write(&path, &full[..cut]).unwrap();
             let j = JournaledDatabase::open(&path, AnalyzerConfig::default())
                 .unwrap_or_else(|e| panic!("reopen failed at cut {cut}: {e}"));
-            // Clip 0 and clip 1's meta (earlier records) are untouched;
-            // only the torn tail analysis is gone.
-            assert_eq!(j.db().len(), 2, "cut {cut}: both catalog rows survive");
+            // Clip 0 (fully committed) is untouched; the torn clip lost
+            // its analysis record, so its META row is swept with it.
+            assert_eq!(j.db().len(), 1, "cut {cut}: only the committed video");
             assert_eq!(
                 j.db().analysis(0).unwrap(),
                 &reference,
@@ -334,6 +580,10 @@ mod tests {
             assert!(
                 j.db().analysis(1).is_err(),
                 "cut {cut}: torn analysis record must be dropped"
+            );
+            assert!(
+                j.db().catalog().get(1).is_none(),
+                "cut {cut}: torn catalog row must be swept"
             );
             drop(j);
             if (cut - tail_start) % 64 == 0 {
@@ -355,8 +605,8 @@ mod tests {
     #[test]
     fn appends_are_observed_in_the_global_registry() {
         // The global registry is shared with every other test in this
-        // process, so assert deltas, not absolutes: one ingest appends a
-        // META and an ANALYSIS record, each with a timed flush.
+        // process, so assert deltas, not absolutes: one ingest stages a
+        // META and an ANALYSIS record behind one group-commit barrier.
         let before = vdb_obs::global().snapshot();
         let path = tmp("observed");
         let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
@@ -371,9 +621,88 @@ mod tests {
                 .unwrap_or(0)
         };
         assert!(
-            fsyncs(&after) >= fsyncs(&before) + 2,
-            "every append flushes"
+            fsyncs(&after) > fsyncs(&before),
+            "every ingest reaches a write barrier"
         );
+        // The instance-local stats are exact: 2 records, 1 batch.
+        assert_eq!(
+            j.journal_stats(),
+            JournalStats {
+                staged_records: 2,
+                batches: 1
+            }
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn staged_commits_share_one_write_barrier() {
+        // The group-commit pin: K streaming sessions that stage their
+        // commits before any of them waits must complete with ONE batch —
+        // strictly fewer write barriers than sessions.
+        const K: usize = 6;
+        let path = tmp("group");
+        let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        let analyses: Vec<_> = (0..K)
+            .map(|i| {
+                let v = clip(50 + i as u64);
+                let mut s = vdb_core::streaming::StreamingAnalyzer::new(AnalyzerConfig::default());
+                for f in v.frames() {
+                    s.push(f).unwrap();
+                }
+                (v.dims(), v.fps(), s.finish().unwrap())
+            })
+            .collect();
+        let before = j.journal_stats();
+        let tickets: Vec<CommitTicket> = analyses
+            .into_iter()
+            .enumerate()
+            .map(|(i, (dims, fps, analysis))| {
+                let (_, ticket) = j
+                    .commit_stream(format!("s{i}"), dims, fps, analysis, vec![], vec![])
+                    .unwrap();
+                ticket
+            })
+            .collect();
+        assert_eq!(
+            j.journal_stats().batches,
+            before.batches,
+            "staging alone writes nothing"
+        );
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let after = j.journal_stats();
+        assert_eq!(after.staged_records - before.staged_records, 2 * K as u64);
+        assert_eq!(
+            after.batches - before.batches,
+            1,
+            "{K} commits must share one write barrier"
+        );
+        drop(j);
+        let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        assert_eq!(j.db().len(), K, "every staged commit is durable");
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn unwaited_stream_commit_is_flushed_on_drop() {
+        let path = tmp("dropflush");
+        let mut j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        let v = clip(60);
+        let mut s = vdb_core::streaming::StreamingAnalyzer::new(AnalyzerConfig::default());
+        for f in v.frames() {
+            s.push(f).unwrap();
+        }
+        let analysis = s.finish().unwrap();
+        let (_, ticket) = j
+            .commit_stream("late".into(), v.dims(), v.fps(), analysis, vec![], vec![])
+            .unwrap();
+        drop(ticket); // never waited
+        drop(j); // Drop drains the staged records
+        let j = JournaledDatabase::open(&path, AnalyzerConfig::default()).unwrap();
+        assert_eq!(j.db().len(), 1);
+        assert_eq!(j.db().catalog().all()[0].name, "late");
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 

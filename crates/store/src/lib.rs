@@ -33,10 +33,12 @@ pub mod query;
 pub mod session;
 pub mod shell;
 
-pub use backend::DbBackend;
+pub use backend::{CommitTicket, DbBackend};
 pub use catalog::{Catalog, FormId, GenreId, Taxonomy, VideoMeta};
 pub use concurrent::SharedDatabase;
 pub use db::{DbError, QueryAnswer, StoredAnalysis, VideoDatabase};
-pub use journal::JournaledDatabase;
+pub use journal::{JournalStats, JournaledDatabase};
 pub use query::{ParseError, QuerySpec};
-pub use session::{storyboard, BrowseSession, NodeView, StoryboardCard};
+pub use session::{
+    storyboard, BrowseSession, FinishedStream, NodeView, StoryboardCard, StreamIngest,
+};

@@ -1,4 +1,5 @@
-//! Non-linear browsing sessions over a scene tree (§3, §4.2).
+//! Sessions over the database: non-linear browsing (§3, §4.2) and live
+//! streaming ingest.
 //!
 //! After a variance query suggests scene nodes, "the user can browse the
 //! appropriate scene trees, starting from the suggested scene nodes, to
@@ -6,9 +7,21 @@
 //! [`BrowseSession`] is that interaction: a cursor over one video's scene
 //! tree with parent/child/sibling moves, breadcrumbs, and the frame range
 //! each node plays.
+//!
+//! [`StreamIngest`] is the write-side twin: a stateful session that feeds
+//! frames into a [`vdb_core::streaming::StreamingAnalyzer`] as they
+//! arrive (no database lock held), then commits the finished analysis
+//! through [`crate::backend::DbBackend::commit_stream`] — the server's
+//! wire-level streaming ingest runs one of these per client session.
 
-use crate::db::StoredAnalysis;
+use crate::backend::{CommitTicket, DbBackend};
+use crate::catalog::{FormId, GenreId};
+use crate::db::{DbError, StoredAnalysis};
+use vdb_core::analyzer::{AnalyzerConfig, VideoAnalysis};
+use vdb_core::error::CoreError;
+use vdb_core::frame::FrameBuf;
 use vdb_core::scenetree::NodeId;
+use vdb_core::streaming::{PushOutcome, StreamingAnalyzer};
 
 /// What the UI would show for the cursor's position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -245,6 +258,139 @@ pub fn storyboard(analysis: &StoredAnalysis, max_cards: usize) -> Vec<Storyboard
     cards
 }
 
+/// A live streaming-ingest session: frames in, one committed video out.
+///
+/// The session owns a [`StreamingAnalyzer`], so all per-frame work (the
+/// extraction cascade) runs on the caller's thread with **no** database
+/// lock held. Dimensions are declared up front and every frame is checked
+/// against them — a mismatch is an error that leaves the session usable
+/// by nobody (the server poisons the session; the analyzer never sees the
+/// bad frame).
+#[derive(Debug)]
+pub struct StreamIngest {
+    name: String,
+    dims: (u32, u32),
+    fps: f64,
+    analyzer: StreamingAnalyzer,
+    genres: Vec<GenreId>,
+    forms: Vec<FormId>,
+}
+
+impl StreamIngest {
+    /// Open a session for a `width`×`height` stream. `config` should be
+    /// the target database's analyzer configuration so queries behave
+    /// uniformly across batch and streamed videos.
+    pub fn new(
+        name: impl Into<String>,
+        dims: (u32, u32),
+        fps: f64,
+        config: AnalyzerConfig,
+    ) -> Self {
+        StreamIngest {
+            name: name.into(),
+            dims,
+            fps,
+            analyzer: StreamingAnalyzer::new(config),
+            genres: Vec::new(),
+            forms: Vec::new(),
+        }
+    }
+
+    /// Tag the eventual catalog row with genres/forms.
+    pub fn with_tags(mut self, genres: Vec<GenreId>, forms: Vec<FormId>) -> Self {
+        self.genres = genres;
+        self.forms = forms;
+        self
+    }
+
+    /// The declared dimensions.
+    pub fn dims(&self) -> (u32, u32) {
+        self.dims
+    }
+
+    /// The session's video name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Frames consumed so far.
+    pub fn frame_count(&self) -> usize {
+        self.analyzer.frame_count()
+    }
+
+    /// Consume the next frame. Frames not matching the declared
+    /// dimensions are rejected without being consumed.
+    pub fn push(&mut self, frame: &FrameBuf) -> Result<PushOutcome, DbError> {
+        if frame.dims() != self.dims {
+            return Err(DbError::Core(CoreError::InconsistentDimensions {
+                first: self.dims,
+                other: frame.dims(),
+                frame: self.analyzer.frame_count(),
+            }));
+        }
+        Ok(self.analyzer.push(frame)?)
+    }
+
+    /// Close the stream and finalize the analysis (scene tree, per-shot
+    /// features). Run this *outside* any database lock — it is the
+    /// expensive tail of the session. Errors if no frame was ever pushed.
+    pub fn finish(self) -> Result<FinishedStream, DbError> {
+        let analysis = self.analyzer.finish()?;
+        Ok(FinishedStream {
+            name: self.name,
+            dims: self.dims,
+            fps: self.fps,
+            analysis,
+            genres: self.genres,
+            forms: self.forms,
+        })
+    }
+}
+
+/// A finished streaming session, ready to commit. Produced by
+/// [`StreamIngest::finish`]; holds the completed analysis so the only
+/// work left under the database lock is registration + journal staging.
+#[derive(Debug)]
+pub struct FinishedStream {
+    name: String,
+    dims: (u32, u32),
+    fps: f64,
+    analysis: VideoAnalysis,
+    genres: Vec<GenreId>,
+    forms: Vec<FormId>,
+}
+
+impl FinishedStream {
+    /// Shots detected in the finished stream.
+    pub fn shots(&self) -> usize {
+        self.analysis.shots().len()
+    }
+
+    /// Frames consumed by the session.
+    pub fn frames(&self) -> usize {
+        self.analysis.frame_count()
+    }
+
+    /// Read access to the finished analysis (e.g. for equivalence tests).
+    pub fn analysis(&self) -> &VideoAnalysis {
+        &self.analysis
+    }
+
+    /// Register the video. Hold the backend lock only for this call; wait
+    /// on the returned [`CommitTicket`] after releasing it so concurrent
+    /// sessions share one group-commit barrier.
+    pub fn commit(self, backend: &mut dyn DbBackend) -> Result<(u64, CommitTicket), DbError> {
+        backend.commit_stream(
+            self.name,
+            self.dims,
+            self.fps,
+            self.analysis,
+            self.genres,
+            self.forms,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,5 +582,52 @@ mod tests {
         // The user refines downward: EN2's children are shots 5, 6, 7.
         assert!(s.down(2));
         assert_eq!(s.view().name, "SN_7^0");
+    }
+
+    fn stream_clip(seed: u64) -> vdb_core::frame::Video {
+        let mut script = vdb_synth::script::VideoScript::small(seed);
+        script.push_shot(vdb_synth::script::ShotSpec::fixed(0, 6));
+        script.push_shot(vdb_synth::script::ShotSpec::fixed(1, 6));
+        vdb_synth::script::generate(&script).video
+    }
+
+    #[test]
+    fn stream_ingest_commit_matches_batch_ingest() {
+        let video = stream_clip(70);
+        let mut batch = crate::db::VideoDatabase::new();
+        let batch_id = batch.ingest("clip", &video, vec![], vec![]).unwrap();
+
+        let mut db = crate::db::VideoDatabase::new();
+        let mut s = StreamIngest::new("clip", video.dims(), video.fps(), db.config());
+        for f in video.frames() {
+            s.push(f).unwrap();
+        }
+        let finished = s.finish().unwrap();
+        assert_eq!(finished.frames(), video.len());
+        let (id, ticket) = finished.commit(&mut db).unwrap();
+        assert!(!ticket.is_pending(), "memory backend is settled at commit");
+        ticket.wait().unwrap();
+        assert_eq!(db.analysis(id).unwrap(), batch.analysis(batch_id).unwrap());
+        assert_eq!(db.catalog().get(id).unwrap().name, "clip");
+    }
+
+    #[test]
+    fn stream_ingest_rejects_mismatched_dims_without_consuming() {
+        let video = stream_clip(71);
+        let (w, h) = video.dims();
+        let mut s = StreamIngest::new("clip", (w, h), video.fps(), AnalyzerConfig::default());
+        s.push(&video.frames()[0]).unwrap();
+        let wrong = FrameBuf::black(w + 1, h);
+        assert!(matches!(
+            s.push(&wrong),
+            Err(DbError::Core(CoreError::InconsistentDimensions { .. }))
+        ));
+        assert_eq!(s.frame_count(), 1, "bad frame was not consumed");
+    }
+
+    #[test]
+    fn empty_stream_ingest_fails_to_finish() {
+        let s = StreamIngest::new("empty", (80, 60), 3.0, AnalyzerConfig::default());
+        assert!(s.finish().is_err());
     }
 }

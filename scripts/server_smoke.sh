@@ -40,23 +40,52 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-"$VDBD" --addr 127.0.0.1:0 --demo 2 --metrics-interval 0 >"$DAEMON_OUT" 2>"$WORKDIR/vdbd.err" &
-DAEMON_PID=$!
+# Start vdbd with the given extra flags; sets DAEMON_PID and ADDR.
+start_daemon() {
+    "$VDBD" --addr 127.0.0.1:0 --metrics-interval 0 "$@" \
+        >"$DAEMON_OUT" 2>"$WORKDIR/vdbd.err" &
+    DAEMON_PID=$!
+    # vdbd prints "vdbd listening on <addr>" once the socket is bound.
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's/^vdbd listening on //p' "$DAEMON_OUT")"
+        [ -n "$ADDR" ] && break
+        kill -0 "$DAEMON_PID" 2>/dev/null || {
+            echo "server_smoke: vdbd died before binding:" >&2
+            cat "$WORKDIR/vdbd.err" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "server_smoke: vdbd never reported its address" >&2; exit 1; }
+    echo "server_smoke: vdbd up on $ADDR"
+}
 
-# vdbd prints "vdbd listening on <addr>" once the socket is bound.
-ADDR=""
-for _ in $(seq 1 100); do
-    ADDR="$(sed -n 's/^vdbd listening on //p' "$DAEMON_OUT")"
-    [ -n "$ADDR" ] && break
-    kill -0 "$DAEMON_PID" 2>/dev/null || {
-        echo "server_smoke: vdbd died before binding:" >&2
+# After a wire shutdown the daemon must drain and exit 0 on its own.
+await_clean_exit() {
+    for _ in $(seq 1 100); do
+        kill -0 "$DAEMON_PID" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "server_smoke: vdbd still running after shutdown command" >&2
+        exit 1
+    fi
+    wait "$DAEMON_PID" || {
+        echo "server_smoke: vdbd exited non-zero:" >&2
         cat "$WORKDIR/vdbd.err" >&2
         exit 1
     }
-    sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "server_smoke: vdbd never reported its address" >&2; exit 1; }
-echo "server_smoke: vdbd up on $ADDR"
+    DAEMON_PID=""
+    grep -q "clean shutdown" "$WORKDIR/vdbd.err" || {
+        echo "server_smoke: vdbd did not report a clean shutdown:" >&2
+        cat "$WORKDIR/vdbd.err" >&2
+        exit 1
+    }
+}
+
+JOURNAL="$WORKDIR/db.vdbj"
+start_daemon --demo 2 --journal "$JOURNAL"
 
 expect_contains() { # <needle> <haystack-label> <<< haystack
     local needle="$1" label="$2" out
@@ -91,6 +120,18 @@ expect_contains() { # <needle> <haystack-label> <<< haystack
 # --timing prints client-side wall time per request on stderr.
 "$VDBC" --timing "$ADDR" ping 2>&1 | expect_contains "time: " "timing"
 
+# Streaming ingest round trip: synthesize a clip locally, stream it in
+# frame-by-frame over the binary protocol, and query it back. On a
+# journal-backed daemon the ack must report durable=true.
+CLIP="$WORKDIR/clip.y4m"
+"$VDBC" --synth-y4m "$CLIP" 3 9 | expect_contains "wrote $CLIP" "synth-y4m"
+"$VDBC" "$ADDR" stream "$CLIP" as "smoke stream" | expect_contains "durable=true" "stream"
+"$VDBC" "$ADDR" list | expect_contains "smoke stream" "list-after-stream"
+"$VDBC" "$ADDR" stats | expect_contains "videos 3" "stats-after-stream"
+# The session must be drained (0 open) and accounted for in the stats.
+"$VDBC" "$ADDR" stats | expect_contains "streams: 0 open, 1 committed" "stream-stats"
+"$VDBC" "$ADDR" metrics | expect_contains "stream.commit" "stream-metrics"
+
 # A scripted multi-command session over one connection, ending in a wire
 # shutdown. vdbc exits 0 only if every response had an ok status.
 "$VDBC" "$ADDR" <<'EOF' | expect_contains "shutting down" "session"
@@ -99,25 +140,12 @@ tree 1
 metrics
 shutdown
 EOF
+await_clean_exit
 
-# The daemon must drain and exit 0 on its own after the wire shutdown.
-for _ in $(seq 1 100); do
-    kill -0 "$DAEMON_PID" 2>/dev/null || break
-    sleep 0.1
-done
-if kill -0 "$DAEMON_PID" 2>/dev/null; then
-    echo "server_smoke: vdbd still running after shutdown command" >&2
-    exit 1
-fi
-wait "$DAEMON_PID" || {
-    echo "server_smoke: vdbd exited non-zero:" >&2
-    cat "$WORKDIR/vdbd.err" >&2
-    exit 1
-}
-DAEMON_PID=""
-grep -q "clean shutdown" "$WORKDIR/vdbd.err" || {
-    echo "server_smoke: vdbd did not report a clean shutdown:" >&2
-    cat "$WORKDIR/vdbd.err" >&2
-    exit 1
-}
+# Restart on the same journal: the streamed video must have survived.
+start_daemon --journal "$JOURNAL"
+"$VDBC" "$ADDR" stats | expect_contains "videos 3" "stats-after-restart"
+"$VDBC" "$ADDR" list | expect_contains "smoke stream" "list-after-restart"
+"$VDBC" "$ADDR" shutdown | expect_contains "shutting down" "shutdown-after-restart"
+await_clean_exit
 echo "server_smoke: OK"
