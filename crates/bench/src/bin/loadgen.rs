@@ -3,6 +3,7 @@
 //! ```text
 //! loadgen [--requests N] [--clips N] [--connections a,b,c] [--addr HOST:PORT]
 //! loadgen --streams a,b,c [--frames M] [--rounds R] [--addr HOST:PORT]
+//! loadgen --router N [--requests N] [--clips N] [--connections a,b,c]
 //! ```
 //!
 //! By default it starts an in-process server over a synthetic database and
@@ -17,6 +18,12 @@
 //! of `--frames` frames each), reporting ingest frames/s, client-side
 //! commit p50/p99, and the server's peak buffered-frame count against the
 //! credit window.
+//!
+//! `--router N` boots N in-process memory shards plus a `vdb-router` in
+//! front, streams the synthetic clips through the router (so they
+//! consistent-hash across shards), and drives the same read-heavy mix
+//! against the router — the scatter-gather overhead measured against the
+//! single-node table above.
 
 use std::process::exit;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,11 +40,12 @@ struct Args {
     streams: Vec<usize>,
     frames: usize,
     rounds: usize,
+    router: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--requests N] [--clips N] [--connections a,b,c] [--addr HOST:PORT]\n       loadgen --streams a,b,c [--frames M] [--rounds R] [--addr HOST:PORT]"
+        "usage: loadgen [--requests N] [--clips N] [--connections a,b,c] [--addr HOST:PORT]\n       loadgen --streams a,b,c [--frames M] [--rounds R] [--addr HOST:PORT]\n       loadgen --router N [--requests N] [--clips N] [--connections a,b,c]"
     );
     exit(2);
 }
@@ -62,6 +70,7 @@ fn parse_args() -> Args {
         streams: Vec::new(),
         frames: 96,
         rounds: 2,
+        router: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -80,6 +89,10 @@ fn parse_args() -> Args {
                 _ => usage(),
             },
             "--addr" => out.addr = Some(value),
+            "--router" => match value.parse() {
+                Ok(n) if n > 0 => out.router = Some(n),
+                _ => usage(),
+            },
             _ => usage(),
         }
     }
@@ -246,8 +259,83 @@ fn run_stream_levels(args: &Args) {
     }
 }
 
+/// Boot `shards` in-process memory shards plus a router, stream the
+/// synthetic clips through the router, then drive the read mix against
+/// it — one fresh cluster per connection level.
+fn run_router_levels(args: &Args, shards: usize) {
+    use vdb_router::{Router, RouterConfig};
+    println!(
+        "in-process router over {shards} memory shards, {} clips, {} requests per level",
+        args.clips.max(2),
+        args.requests
+    );
+    println!(
+        "{:>5}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "conns", "elapsed", "qps", "p50", "p99"
+    );
+    let (dims, fps, frames) = stream_frames(48);
+    for &conns in &args.connections {
+        let mut shard_handles = Vec::with_capacity(shards);
+        let mut shard_addrs = Vec::with_capacity(shards);
+        for slot in 0..shards {
+            // Every in-flight router request may hold one connection on
+            // every shard, and a vdbd worker serves one connection at a
+            // time — so shards need as many workers as the offered
+            // concurrency or the scatter arms starve into their deadline.
+            let config = ServerConfig {
+                workers: conns.max(2),
+                shard_id: Some(slot.to_string()),
+                ..ServerConfig::default()
+            };
+            let handle = Server::bind(ServerStore::memory(), config)
+                .expect("bind shard")
+                .serve();
+            shard_addrs.push(handle.addr().to_string());
+            shard_handles.push(handle);
+        }
+        let router = Router::bind(RouterConfig {
+            shards: shard_addrs,
+            workers: conns.max(1),
+            ..RouterConfig::default()
+        })
+        .expect("bind router")
+        .serve();
+        // The read mix boards/trees ids 0 and 1, so at least two clips.
+        let mut client = Client::connect(router.addr()).expect("connect router");
+        for i in 0..args.clips.max(2) {
+            let mut stream = client
+                .open_stream(&format!("router-clip-{i}"), dims.0, dims.1, fps)
+                .expect("open stream through router");
+            for frame in &frames {
+                stream.push(frame).expect("push frame");
+            }
+            stream.commit().expect("commit through router");
+        }
+        drop(client);
+        let secs = drive(router.addr(), conns, args.requests);
+        let snapshot = router.shutdown();
+        for handle in shard_handles {
+            handle.shutdown().expect("shard shutdown");
+        }
+        assert_eq!(snapshot.total_errors(), 0);
+        let (p50, p99) = snapshot.overall_latency();
+        println!(
+            "{conns:>5}  {:>8.2}s  {:>9.0}  {:>6}us  {:>6}us",
+            secs,
+            args.requests as f64 / secs,
+            p50,
+            p99
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
+
+    if let Some(shards) = args.router {
+        run_router_levels(&args, shards);
+        return;
+    }
 
     if !args.streams.is_empty() {
         run_stream_levels(&args);

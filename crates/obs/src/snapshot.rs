@@ -210,6 +210,32 @@ impl Snapshot {
         }
         Some(out)
     }
+
+    /// Render the metrics under `prefix.` as flat `name value` lines in
+    /// the whole-stack stats grammar (`  <dotted.key> <integer>`, one
+    /// metric per line). Counters emit one line; histograms emit
+    /// `.count`, `.mean_us`, `.p50_us`, and `.p99_us` lines so every
+    /// value stays a bare integer scripts can cut on whitespace.
+    /// Returns an empty string when no metric matches.
+    pub fn render_kv(&self, prefix: &str) -> String {
+        use std::fmt::Write as _;
+        let dotted = format!("{prefix}.");
+        let mut out = String::new();
+        for entry in self.entries.iter().filter(|e| e.name.starts_with(&dotted)) {
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "  {} {v}", entry.name);
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "  {}.count {}", entry.name, h.count);
+                    let _ = writeln!(out, "  {}.mean_us {}", entry.name, h.mean_us());
+                    let _ = writeln!(out, "  {}.p50_us {}", entry.name, h.p50_us());
+                    let _ = writeln!(out, "  {}.p99_us {}", entry.name, h.p99_us());
+                }
+            }
+        }
+        out
+    }
 }
 
 pub(crate) fn push_json_string(out: &mut String, s: &str) {
@@ -272,6 +298,41 @@ mod tests {
             }],
         };
         assert_eq!(snap.to_json(), "{\"weird\\\"name\\n\":1}");
+    }
+
+    #[test]
+    fn render_kv_emits_stats_grammar() {
+        let mut h = HistogramSnapshot::empty();
+        h.count = 2;
+        h.sum_us = 20;
+        h.buckets[4] = 2;
+        let snap = Snapshot {
+            entries: vec![
+                SnapshotEntry {
+                    name: "router.partials".to_string(),
+                    value: MetricValue::Counter(3),
+                },
+                SnapshotEntry {
+                    name: "router.shard.0.rtt_us".to_string(),
+                    value: MetricValue::Histogram(h),
+                },
+            ],
+        };
+        let text = snap.render_kv("router");
+        assert_eq!(
+            text,
+            "  router.partials 3\n  router.shard.0.rtt_us.count 2\n  router.shard.0.rtt_us.mean_us 10\n  router.shard.0.rtt_us.p50_us 16\n  router.shard.0.rtt_us.p99_us 16\n"
+        );
+        // Every line obeys the `  <dotted.key> <integer>` grammar.
+        for line in text.lines() {
+            let rest = line.strip_prefix("  ").expect("two-space indent");
+            let (key, value) = rest.split_once(' ').expect("key value");
+            assert!(key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_'));
+            value.parse::<u64>().expect("integer value");
+        }
+        assert_eq!(snap.render_kv("core"), "");
     }
 
     #[test]

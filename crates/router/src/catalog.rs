@@ -1,0 +1,201 @@
+//! The router's global video catalog: a `gid` (global id) per video,
+//! mapped to the owning shard and the shard-local id.
+//!
+//! Gids are assigned in commit order as streams pass through the
+//! router, so a corpus ingested through the router gets the same ids a
+//! single-node daemon would assign — which is what lets merged answers
+//! compare byte-for-byte against single-node answers. Rebalance moves
+//! change a video's `(shard, local_id)` but never its gid.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// One video's routing entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Router-global id (what clients see).
+    pub gid: u64,
+    /// Video name (the ring's hash key).
+    pub name: String,
+    /// Owning ring slot.
+    pub shard: usize,
+    /// Id inside the owning shard.
+    pub local_id: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    by_gid: BTreeMap<u64, CatalogEntry>,
+    by_name: HashMap<String, u64>,
+    next_gid: u64,
+}
+
+/// Thread-safe global-id catalog.
+#[derive(Default)]
+pub struct RouterCatalog {
+    inner: Mutex<Inner>,
+}
+
+impl RouterCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a freshly committed video; returns its gid. Re-using an
+    /// existing name keeps the old gid and repoints it (an idempotent
+    /// re-stream).
+    pub fn register(&self, name: &str, shard: usize, local_id: u64) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(&gid) = inner.by_name.get(name) {
+            if let Some(entry) = inner.by_gid.get_mut(&gid) {
+                entry.shard = shard;
+                entry.local_id = local_id;
+            }
+            return gid;
+        }
+        let gid = inner.next_gid;
+        inner.next_gid += 1;
+        inner.by_gid.insert(
+            gid,
+            CatalogEntry {
+                gid,
+                name: name.to_string(),
+                shard,
+                local_id,
+            },
+        );
+        inner.by_name.insert(name.to_string(), gid);
+        gid
+    }
+
+    /// The entry for `gid`.
+    pub fn get(&self, gid: u64) -> Option<CatalogEntry> {
+        self.inner.lock().unwrap().by_gid.get(&gid).cloned()
+    }
+
+    /// The entry for `name`.
+    pub fn get_by_name(&self, name: &str) -> Option<CatalogEntry> {
+        let inner = self.inner.lock().unwrap();
+        let gid = inner.by_name.get(name)?;
+        inner.by_gid.get(gid).cloned()
+    }
+
+    /// Reverse lookup: the gid of `(shard, local_id)`.
+    pub fn gid_of_local(&self, shard: usize, local_id: u64) -> Option<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .by_gid
+            .values()
+            .find(|e| e.shard == shard && e.local_id == local_id)
+            .map(|e| e.gid)
+    }
+
+    /// Drop `gid` (after a successful remove on its shard).
+    pub fn remove(&self, gid: u64) -> Option<CatalogEntry> {
+        let mut inner = self.inner.lock().unwrap();
+        let entry = inner.by_gid.remove(&gid)?;
+        inner.by_name.remove(&entry.name);
+        Some(entry)
+    }
+
+    /// Point `gid` at a new home (a rebalance move); the gid is stable.
+    pub fn relocate(&self, gid: u64, shard: usize, local_id: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.by_gid.get_mut(&gid) {
+            entry.shard = shard;
+            entry.local_id = local_id;
+        }
+    }
+
+    /// Every entry, gid order.
+    pub fn all(&self) -> Vec<CatalogEntry> {
+        self.inner
+            .lock()
+            .unwrap()
+            .by_gid
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Registered videos.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().by_gid.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rebuild from shard listings (router startup over pre-loaded
+    /// shards): gids are assigned in `(shard, local_id)` order, which is
+    /// deterministic across restarts of the same topology.
+    pub fn rebuild(&self, mut rows: Vec<(usize, u64, String)>) {
+        rows.sort();
+        let mut inner = self.inner.lock().unwrap();
+        inner.by_gid.clear();
+        inner.by_name.clear();
+        inner.next_gid = 0;
+        for (shard, local_id, name) in rows {
+            let gid = inner.next_gid;
+            inner.next_gid += 1;
+            inner.by_gid.insert(
+                gid,
+                CatalogEntry {
+                    gid,
+                    name: name.clone(),
+                    shard,
+                    local_id,
+                },
+            );
+            inner.by_name.insert(name, gid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_order_assigns_sequential_gids() {
+        let cat = RouterCatalog::new();
+        assert_eq!(cat.register("a", 1, 0), 0);
+        assert_eq!(cat.register("b", 0, 0), 1);
+        assert_eq!(cat.register("c", 1, 1), 2);
+        // Re-streaming an existing name keeps its gid.
+        assert_eq!(cat.register("b", 2, 5), 1);
+        assert_eq!(cat.get(1).unwrap().shard, 2);
+        assert_eq!(cat.gid_of_local(1, 1), Some(2));
+    }
+
+    #[test]
+    fn relocate_keeps_gid_stable() {
+        let cat = RouterCatalog::new();
+        let gid = cat.register("movie", 0, 7);
+        cat.relocate(gid, 3, 0);
+        let e = cat.get(gid).unwrap();
+        assert_eq!((e.shard, e.local_id, e.gid), (3, 0, gid));
+        assert_eq!(cat.get_by_name("movie").unwrap().gid, gid);
+        cat.remove(gid);
+        assert!(cat.get_by_name("movie").is_none());
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn rebuild_is_deterministic() {
+        let cat = RouterCatalog::new();
+        cat.rebuild(vec![
+            (1, 0, "x".into()),
+            (0, 1, "y".into()),
+            (0, 0, "z".into()),
+        ]);
+        let all = cat.all();
+        let names: Vec<&str> = all.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["z", "y", "x"]);
+        assert_eq!(all[0].gid, 0);
+    }
+}

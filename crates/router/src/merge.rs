@@ -1,0 +1,474 @@
+//! Exact cross-shard merges: parse the shards' machine rows (`xquery`,
+//! `xlist`, `stats`) and re-render them byte-identically to what a
+//! single-node daemon holding the union corpus would print.
+//!
+//! Correctness arguments, pinned by the cluster integration test:
+//!
+//! * **ordering** — rows are re-sorted by `(distance, (gid, shot))`
+//!   with `f64::total_cmp`, the exact tie-break `ShotIndex` uses;
+//!   distances travel as full-precision bit patterns, so the comparison
+//!   sees the very same values the shards computed.
+//! * **range counts** — the answer count is `Σ` per-shard kept counts
+//!   (then the global `limit`): range matches are disjoint across
+//!   shards, so the sum is exact.
+//! * **top-k** — shards ship their *pre-filter* top-k; the global
+//!   top-k is a subset of the union, so taking the first k of the
+//!   merge, then filtering, then limiting reproduces the single-node
+//!   `rank → filter → truncate` order exactly.
+//! * **renders show ≤ 10 rows** — so per-shard row caps of 10 (range)
+//!   lose nothing: the global top 10 is a subset of the per-shard top
+//!   10s.
+
+use std::fmt::Write as _;
+
+/// One parsed `xquery` row.
+#[derive(Debug, Clone)]
+pub struct WireRow {
+    /// Shard-local video id (mapped to a gid before merging).
+    pub video_local: u64,
+    /// Shot index within the video.
+    pub shot: u32,
+    /// Distance, exact bits.
+    pub distance: f64,
+    /// `Var^BA`, exact bits.
+    pub var_ba: f64,
+    /// `Var^OA`, exact bits.
+    pub var_oa: f64,
+    /// Representative frame of the answer's scene node.
+    pub rep_frame: usize,
+    /// Whether the genre/form filter keeps the row.
+    pub keep: bool,
+    /// Scene-node name (e.g. `SN_12^2`).
+    pub scene_name: String,
+}
+
+/// One shard's parsed `xquery` reply.
+#[derive(Debug, Clone)]
+pub struct WireShardAnswers {
+    /// Top-k mode?
+    pub topk: bool,
+    /// Exact per-shard kept count (pre-limit).
+    pub kept_total: usize,
+    /// The spec's `k`.
+    pub k: Option<usize>,
+    /// The spec's `limit`.
+    pub limit: Option<usize>,
+    /// The rows (see [`crate::merge`] docs for what each mode ships).
+    pub rows: Vec<WireRow>,
+}
+
+fn tok<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find_map(|t| t.strip_prefix(key)?.strip_prefix('='))
+}
+
+fn opt_usize(v: &str) -> Result<Option<usize>, String> {
+    if v == "-" {
+        return Ok(None);
+    }
+    v.parse().map(Some).map_err(|e| format!("bad count: {e}"))
+}
+
+fn bits_f64(v: &str) -> Result<f64, String> {
+    u64::from_str_radix(v, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad f64 bits: {e}"))
+}
+
+/// Parse one shard's `xquery` reply.
+pub fn parse_xquery(text: &str) -> Result<WireShardAnswers, String> {
+    let mut lines = text.lines();
+    let head = lines.next().ok_or("empty xquery reply")?;
+    let mode = tok(head, "mode").ok_or("xquery reply missing mode=")?;
+    let kept_total = tok(head, "kept")
+        .ok_or("xquery reply missing kept=")?
+        .parse::<usize>()
+        .map_err(|e| format!("bad kept: {e}"))?;
+    let k = opt_usize(tok(head, "k").ok_or("missing k=")?)?;
+    let limit = opt_usize(tok(head, "limit").ok_or("missing limit=")?)?;
+    let mut rows = Vec::new();
+    for line in lines {
+        let Some(rest) = line.strip_prefix("row ") else {
+            continue;
+        };
+        let scene_name = rest
+            .split_once("node=")
+            .ok_or("row missing node=")?
+            .1
+            .to_string();
+        rows.push(WireRow {
+            video_local: tok(rest, "v")
+                .ok_or("row missing v=")?
+                .parse()
+                .map_err(|e| format!("bad v: {e}"))?,
+            shot: tok(rest, "s")
+                .ok_or("row missing s=")?
+                .parse()
+                .map_err(|e| format!("bad s: {e}"))?,
+            distance: bits_f64(tok(rest, "d").ok_or("row missing d=")?)?,
+            var_ba: bits_f64(tok(rest, "ba").ok_or("row missing ba=")?)?,
+            var_oa: bits_f64(tok(rest, "oa").ok_or("row missing oa=")?)?,
+            rep_frame: tok(rest, "rep")
+                .ok_or("row missing rep=")?
+                .parse()
+                .map_err(|e| format!("bad rep: {e}"))?,
+            keep: tok(rest, "keep").ok_or("row missing keep=")? == "1",
+            scene_name,
+        });
+    }
+    Ok(WireShardAnswers {
+        topk: mode == "topk",
+        kept_total,
+        k,
+        limit,
+        rows,
+    })
+}
+
+/// A merged row carrying its global id.
+#[derive(Debug, Clone)]
+struct GlobalRow {
+    gid: u64,
+    row: WireRow,
+}
+
+/// Merge per-shard `xquery` replies into the single-node `query`
+/// rendering. `gid_of(slot, local_id)` maps shard rows into the global
+/// id space; an unmapped row is an error (the caller refreshes its
+/// catalog and retries).
+pub fn merge_query(
+    per_shard: &[(usize, WireShardAnswers)],
+    gid_of: impl Fn(usize, u64) -> Option<u64>,
+) -> Result<String, String> {
+    let Some((_, first)) = per_shard.first() else {
+        return Err("no shard answered".to_string());
+    };
+    let topk = first.topk;
+    let limit = first.limit;
+    let k = first.k;
+
+    let mut rows: Vec<GlobalRow> = Vec::new();
+    for (slot, ans) in per_shard {
+        for row in &ans.rows {
+            let gid = gid_of(*slot, row.video_local)
+                .ok_or_else(|| format!("no gid for shard {slot} video {}", row.video_local))?;
+            rows.push(GlobalRow {
+                gid,
+                row: row.clone(),
+            });
+        }
+    }
+    // The index's exact order: distance, then (video, shot) — on gids.
+    rows.sort_by(|a, b| {
+        a.row
+            .distance
+            .total_cmp(&b.row.distance)
+            .then_with(|| (a.gid, a.row.shot).cmp(&(b.gid, b.row.shot)))
+    });
+
+    let (count, render_rows): (usize, Vec<GlobalRow>) = if topk {
+        // Global rank first (first k of the pre-filter merge), filter
+        // second, limit third — the single-node order of operations.
+        let k = k.unwrap_or(rows.len());
+        rows.truncate(k);
+        let mut kept: Vec<GlobalRow> = rows.into_iter().filter(|r| r.row.keep).collect();
+        if let Some(l) = limit {
+            kept.truncate(l);
+        }
+        (kept.len(), kept)
+    } else {
+        // Disjoint shards: kept totals add exactly.
+        let mut count: usize = per_shard.iter().map(|(_, a)| a.kept_total).sum();
+        if let Some(l) = limit {
+            count = count.min(l);
+            rows.truncate(l);
+        }
+        (count, rows)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "  {count} answers");
+    for r in render_rows.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "  video {} shot#{:<3} Var^BA={:6.2} Var^OA={:6.2} -> {} (rep frame {})",
+            r.gid,
+            r.row.shot + 1,
+            r.row.var_ba,
+            r.row.var_oa,
+            r.row.scene_name,
+            r.row.rep_frame
+        );
+    }
+    Ok(out)
+}
+
+/// One parsed `xlist` row.
+#[derive(Debug, Clone)]
+pub struct WireVideo {
+    /// Shard-local id.
+    pub local_id: u64,
+    /// Frame count.
+    pub frames: usize,
+    /// Duration in seconds, exact bits.
+    pub duration_secs: f64,
+    /// Video name (may contain spaces).
+    pub name: String,
+}
+
+/// Parse one shard's `xlist` reply.
+pub fn parse_xlist(text: &str) -> Result<Vec<WireVideo>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("video ") else {
+            continue;
+        };
+        let name = rest
+            .split_once("name=")
+            .ok_or("xlist row missing name=")?
+            .1
+            .to_string();
+        out.push(WireVideo {
+            local_id: tok(rest, "id")
+                .ok_or("xlist row missing id=")?
+                .parse()
+                .map_err(|e| format!("bad id: {e}"))?,
+            frames: tok(rest, "frames")
+                .ok_or("xlist row missing frames=")?
+                .parse()
+                .map_err(|e| format!("bad frames: {e}"))?,
+            duration_secs: bits_f64(tok(rest, "dur").ok_or("xlist row missing dur=")?)?,
+            name,
+        });
+    }
+    Ok(out)
+}
+
+/// Merge per-shard `xlist` replies into the single-node `list`
+/// rendering, ordered by gid.
+pub fn merge_list(
+    per_shard: &[(usize, Vec<WireVideo>)],
+    gid_of: impl Fn(usize, u64) -> Option<u64>,
+) -> Result<String, String> {
+    let mut rows: Vec<(u64, &WireVideo)> = Vec::new();
+    for (slot, videos) in per_shard {
+        for v in videos {
+            let gid = gid_of(*slot, v.local_id)
+                .ok_or_else(|| format!("no gid for shard {slot} video {}", v.local_id))?;
+            rows.push((gid, v));
+        }
+    }
+    rows.sort_by_key(|(gid, _)| *gid);
+    let mut out = String::new();
+    for (gid, v) in rows {
+        let _ = writeln!(
+            out,
+            "  {:>3}  {:<24} {:>6} frames  {:>5.1}s",
+            gid, v.name, v.frames, v.duration_secs
+        );
+    }
+    Ok(out)
+}
+
+/// The six numbers of a shard's `stats` db line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireDbStats {
+    /// Registered videos.
+    pub videos: usize,
+    /// Total shots.
+    pub shots: usize,
+    /// Total frames.
+    pub frames: usize,
+    /// Total scene-tree nodes.
+    pub scene_nodes: usize,
+    /// Height of the tallest tree.
+    pub max_tree_height: usize,
+    /// Variance-index rows.
+    pub index_rows: usize,
+}
+
+/// Parse the first (`  videos … index rows …`) line of a `stats` reply.
+pub fn parse_stats(text: &str) -> Result<WireDbStats, String> {
+    let line = text.lines().next().ok_or("empty stats reply")?;
+    let nums: Vec<usize> = line
+        .split_whitespace()
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    match nums[..] {
+        [videos, shots, frames, scene_nodes, max_tree_height, index_rows] => Ok(WireDbStats {
+            videos,
+            shots,
+            frames,
+            scene_nodes,
+            max_tree_height,
+            index_rows,
+        }),
+        _ => Err(format!("unparseable stats line '{line}'")),
+    }
+}
+
+/// Merge shard db stats: sums everywhere, max for tree height —
+/// rendered exactly like a single node's db line.
+pub fn merge_stats(per_shard: &[WireDbStats]) -> String {
+    let mut m = WireDbStats::default();
+    for s in per_shard {
+        m.videos += s.videos;
+        m.shots += s.shots;
+        m.frames += s.frames;
+        m.scene_nodes += s.scene_nodes;
+        m.max_tree_height = m.max_tree_height.max(s.max_tree_height);
+        m.index_rows += s.index_rows;
+    }
+    format!(
+        "  videos {}  shots {}  frames {}  scene nodes {}  tallest tree {}  index rows {}\n",
+        m.videos, m.shots, m.frames, m.scene_nodes, m.max_tree_height, m.index_rows
+    )
+}
+
+/// The `partial=` marker appended to a degraded scatter-gather answer:
+/// `ok` of `total` shards answered; `missing` lists the dead slots.
+pub fn partial_marker(ok: usize, total: usize, missing: &[usize]) -> String {
+    let slots: Vec<String> = missing.iter().map(|s| s.to_string()).collect();
+    format!("  partial={ok}/{total} missing={}\n", slots.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: u64, s: u32, d: f64, keep: bool) -> WireRow {
+        WireRow {
+            video_local: v,
+            shot: s,
+            distance: d,
+            var_ba: 1.5,
+            var_oa: 20.25,
+            rep_frame: 3,
+            keep,
+            scene_name: format!("SN_{}^1", s + 1),
+        }
+    }
+
+    #[test]
+    fn xquery_reply_round_trips() {
+        let text = format!(
+            "mode=topk kept=1 k=5 limit=-\nrow v=2 s=7 d={:016x} ba={:016x} oa={:016x} rep=42 keep=1 node=SN_8^2\n",
+            0.25f64.to_bits(),
+            1.5f64.to_bits(),
+            20.25f64.to_bits()
+        );
+        let parsed = parse_xquery(&text).unwrap();
+        assert!(parsed.topk);
+        assert_eq!(parsed.kept_total, 1);
+        assert_eq!(parsed.k, Some(5));
+        assert_eq!(parsed.limit, None);
+        assert_eq!(parsed.rows.len(), 1);
+        let r = &parsed.rows[0];
+        assert_eq!((r.video_local, r.shot, r.rep_frame), (2, 7, 42));
+        assert_eq!(r.distance, 0.25);
+        assert_eq!(r.scene_name, "SN_8^2");
+    }
+
+    #[test]
+    fn topk_merge_ranks_before_filtering() {
+        // Shard 0's nearest row is filtered out; single-node top-2 would
+        // rank it anyway and then drop it — count must be 1, not 2.
+        let a = WireShardAnswers {
+            topk: true,
+            kept_total: 1,
+            k: Some(2),
+            limit: None,
+            rows: vec![row(0, 0, 0.1, false), row(0, 1, 0.9, true)],
+        };
+        let b = WireShardAnswers {
+            topk: true,
+            kept_total: 1,
+            k: Some(2),
+            limit: None,
+            rows: vec![row(0, 0, 0.5, true)],
+        };
+        let text = merge_query(&[(0, a), (1, b)], |slot, local| {
+            Some(slot as u64 * 10 + local)
+        })
+        .unwrap();
+        // Global top-2 by distance: (shard0,0.1,dropped), (shard1,0.5,kept).
+        assert!(text.starts_with("  1 answers\n"), "{text}");
+        assert!(text.contains("video 10 "), "{text}");
+        assert!(!text.contains("video 0 "), "{text}");
+    }
+
+    #[test]
+    fn range_merge_orders_by_distance_then_key() {
+        let a = WireShardAnswers {
+            topk: false,
+            kept_total: 2,
+            k: None,
+            limit: None,
+            rows: vec![row(0, 3, 0.5, true), row(0, 9, 0.7, true)],
+        };
+        let b = WireShardAnswers {
+            topk: false,
+            kept_total: 1,
+            k: None,
+            limit: None,
+            rows: vec![row(0, 1, 0.5, true)],
+        };
+        // Equal distances tie-break on (gid, shot): gid 0 before gid 10.
+        let text = merge_query(&[(1, a), (0, b)], |slot, local| {
+            Some(slot as u64 * 10 + local)
+        })
+        .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "  3 answers");
+        assert!(lines[1].starts_with("  video 0 "), "{text}");
+        assert!(lines[2].starts_with("  video 10 shot#4 "), "{text}");
+        assert!(lines[3].starts_with("  video 10 shot#10"), "{text}");
+    }
+
+    #[test]
+    fn range_limit_caps_count_and_rows() {
+        let a = WireShardAnswers {
+            topk: false,
+            kept_total: 8,
+            k: None,
+            limit: Some(2),
+            rows: (0..8).map(|i| row(0, i, 0.1 * i as f64, true)).collect(),
+        };
+        let text = merge_query(&[(0, a)], |_, local| Some(local)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "  2 answers");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn list_merge_orders_by_gid() {
+        let v = |id, name: &str| WireVideo {
+            local_id: id,
+            frames: 96,
+            duration_secs: 8.0,
+            name: name.to_string(),
+        };
+        let text = merge_list(
+            &[(0, vec![v(0, "b movie")]), (1, vec![v(0, "a movie")])],
+            |slot, _| Some(1 - slot as u64),
+        )
+        .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("a movie"));
+        assert!(lines[1].contains("b movie"));
+    }
+
+    #[test]
+    fn stats_parse_and_merge() {
+        let s = parse_stats("  videos 2  shots 14  frames 192  scene nodes 30  tallest tree 4  index rows 14\nmore\n")
+            .unwrap();
+        assert_eq!(s.videos, 2);
+        assert_eq!(s.index_rows, 14);
+        let merged = merge_stats(&[s, s]);
+        assert_eq!(
+            merged,
+            "  videos 4  shots 28  frames 384  scene nodes 60  tallest tree 4  index rows 28\n"
+        );
+        assert_eq!(partial_marker(2, 3, &[1]), "  partial=2/3 missing=1\n");
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-shard client pools: reconnect with bounded backoff, verify the
+//! `shard-id` handshake on every fresh connection, and reuse idle
+//! connections across requests.
+//!
+//! Connections are checked out for one request and checked back in only
+//! on success — any I/O error drops the connection on the floor, so a
+//! half-read socket can never poison a later request. A reused idle
+//! connection may be stale (the shard restarted since it was pooled);
+//! [`ShardPool::with_conn`] retries such failures once on a fresh
+//! connection, which is what makes a shard restart invisible to router
+//! clients.
+
+use std::sync::Mutex;
+use std::time::Duration;
+use vdb_server::client::{Client, ClientError, ConnectOptions};
+
+use crate::exec::ShardError;
+
+/// One shard's address plus its idle-connection stack.
+struct ShardSlot {
+    addr: String,
+    idle: Mutex<Vec<Client>>,
+}
+
+/// Client pools for every shard in the ring, indexed by ring slot.
+pub struct ShardPool {
+    slots: Vec<ShardSlot>,
+    connect: ConnectOptions,
+    request_timeout: Duration,
+    /// Verify the `shard-id` handshake on fresh connections (shards
+    /// launched without `--shard-id` answer `shard=?`, which passes).
+    verify_identity: bool,
+}
+
+impl ShardPool {
+    /// A pool over `addrs` (slot order = ring slot order).
+    pub fn new(addrs: Vec<String>, connect: ConnectOptions, request_timeout: Duration) -> Self {
+        ShardPool {
+            slots: addrs
+                .into_iter()
+                .map(|addr| ShardSlot {
+                    addr,
+                    idle: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            connect,
+            request_timeout,
+            verify_identity: true,
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool has no shards (never true in a running router).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Shard `slot`'s address.
+    pub fn addr(&self, slot: usize) -> &str {
+        &self.slots[slot].addr
+    }
+
+    /// All shard addresses in slot order.
+    pub fn addrs(&self) -> Vec<String> {
+        self.slots.iter().map(|s| s.addr.clone()).collect()
+    }
+
+    /// Take an idle connection or dial a fresh one. The boolean is
+    /// `true` when the connection was reused (callers retry stale-socket
+    /// failures on a fresh dial).
+    pub fn checkout(&self, slot: usize) -> Result<(Client, bool), ShardError> {
+        if let Some(client) = self.slots[slot].idle.lock().unwrap().pop() {
+            return Ok((client, true));
+        }
+        Ok((self.dial(slot)?, false))
+    }
+
+    /// Dial shard `slot` fresh and run the `shard-id` handshake.
+    pub fn dial(&self, slot: usize) -> Result<Client, ShardError> {
+        let addr = &self.slots[slot].addr;
+        let mut client =
+            Client::connect_with(addr, &self.connect).map_err(|e| ShardError::Connect {
+                slot,
+                detail: e.to_string(),
+            })?;
+        client
+            .set_timeout(Some(self.request_timeout))
+            .map_err(|e| ShardError::Connect {
+                slot,
+                detail: e.to_string(),
+            })?;
+        if self.verify_identity {
+            let reply = client
+                .expect_ok("shard-id")
+                .map_err(|e| ShardError::Connect {
+                    slot,
+                    detail: format!("shard-id handshake failed: {e}"),
+                })?;
+            let id = reply
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix("shard="))
+                .unwrap_or("?");
+            if id != "?" && id != slot.to_string() {
+                return Err(ShardError::Connect {
+                    slot,
+                    detail: format!("shard at {addr} identifies as '{id}', expected '{slot}'"),
+                });
+            }
+        }
+        Ok(client)
+    }
+
+    /// Return a healthy connection for reuse.
+    pub fn checkin(&self, slot: usize, client: Client) {
+        let mut idle = self.slots[slot].idle.lock().unwrap();
+        if idle.len() < 4 {
+            idle.push(client);
+        }
+    }
+
+    /// Run `f` on a pooled connection; a failure on a *reused*
+    /// connection is retried once on a fresh dial (the shard may have
+    /// restarted since the connection was pooled). Successful calls
+    /// check the connection back in.
+    pub fn with_conn<T>(
+        &self,
+        slot: usize,
+        mut f: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ShardError> {
+        let (mut client, reused) = self.checkout(slot)?;
+        match f(&mut client) {
+            Ok(v) => {
+                self.checkin(slot, client);
+                Ok(v)
+            }
+            Err(first) => {
+                drop(client);
+                let retriable = matches!(
+                    first,
+                    ClientError::Io(_) | ClientError::ServerClosed | ClientError::Protocol(_)
+                );
+                if !(reused && retriable) {
+                    return Err(ShardError::from_client(slot, first));
+                }
+                let mut fresh = self.dial(slot)?;
+                match f(&mut fresh) {
+                    Ok(v) => {
+                        self.checkin(slot, fresh);
+                        Ok(v)
+                    }
+                    Err(e) => Err(ShardError::from_client(slot, e)),
+                }
+            }
+        }
+    }
+
+    /// Drop every pooled connection (used after a topology change).
+    pub fn clear_idle(&self) {
+        for slot in &self.slots {
+            slot.idle.lock().unwrap().clear();
+        }
+    }
+}

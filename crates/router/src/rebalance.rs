@@ -1,0 +1,182 @@
+//! Topology changes without downtime: drain a shard slot out of the
+//! ring (or re-activate one) by replaying each affected video through
+//! the shard-to-shard `export`/`import` path — which commits on the
+//! destination through the same streaming-ingest path a live client
+//! would use, so the move is journaled and durable before the source
+//! copy is removed. Gids never change: clients keep their ids across
+//! any number of rebalances.
+//!
+//! ```text
+//! rebalance plan remove <slot>    what would move (dry run)
+//! rebalance apply remove <slot>   move it, then drop the slot from the ring
+//! rebalance plan add <slot>       …and the reverse for re-activation
+//! rebalance apply add <slot>
+//! ```
+//!
+//! The shard *set* is fixed at router startup (`--shard`, repeated);
+//! rebalance changes which slots are active on the ring. Only ~1/N of
+//! names move per step — the consistent-hashing guarantee, pinned by
+//! the ring proptests.
+
+use std::fmt::Write as _;
+
+use crate::serve::{ActiveRing, RouterCtx};
+
+const USAGE: &str = "usage: rebalance plan|apply add|remove <slot>";
+
+/// One planned video move.
+struct Move {
+    gid: u64,
+    name: String,
+    from: usize,
+    from_local: u64,
+    to: usize,
+}
+
+/// Handle a `rebalance …` command line (everything after the word).
+pub(crate) fn handle(ctx: &RouterCtx, rest: &str) -> Result<String, String> {
+    let mut parts = rest.split_whitespace();
+    let verb = parts.next().ok_or(USAGE)?;
+    let op = parts.next().ok_or(USAGE)?;
+    let slot: usize = parts
+        .next()
+        .ok_or(USAGE)?
+        .parse()
+        .map_err(|_| USAGE.to_string())?;
+    if parts.next().is_some() {
+        return Err(USAGE.to_string());
+    }
+    let (new_active, moves) = plan(ctx, op, slot)?;
+    match verb {
+        "plan" => {
+            let mut out = String::new();
+            for m in &moves {
+                let _ = writeln!(
+                    out,
+                    "  move gid={} name={} from={} to={}",
+                    m.gid, m.name, m.from, m.to
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  plan {op} {slot}: {} of {} videos move",
+                moves.len(),
+                ctx.catalog.len()
+            );
+            Ok(out)
+        }
+        "apply" => apply(ctx, op, slot, new_active, moves),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+/// Compute the post-change active set and the exact move list.
+fn plan(ctx: &RouterCtx, op: &str, slot: usize) -> Result<(Vec<usize>, Vec<Move>), String> {
+    if slot >= ctx.pool.len() {
+        return Err(format!(
+            "no shard slot {slot} (the router was started with {} shards)",
+            ctx.pool.len()
+        ));
+    }
+    let active = ctx.active_slots();
+    let new_active: Vec<usize> = match op {
+        "remove" => {
+            if !active.contains(&slot) {
+                return Err(format!("shard slot {slot} is already drained"));
+            }
+            if active.len() == 1 {
+                return Err("cannot drain the last active shard".to_string());
+            }
+            active.iter().copied().filter(|&s| s != slot).collect()
+        }
+        "add" => {
+            if active.contains(&slot) {
+                return Err(format!("shard slot {slot} is already active"));
+            }
+            let mut v = active.clone();
+            v.push(slot);
+            v.sort_unstable();
+            v
+        }
+        _ => return Err(USAGE.to_string()),
+    };
+    let route = ActiveRing::hypothetical(&ctx.pool, &new_active, ctx.config.vnodes);
+    let mut moves = Vec::new();
+    for entry in ctx.catalog.all() {
+        let dest = match op {
+            // Draining: everything on the slot must leave for its new
+            // ring home. Activating: only names whose new home IS the
+            // slot come over — the 1/N property.
+            "remove" if entry.shard == slot => route(&entry.name),
+            "add" if entry.shard != slot => route(&entry.name).filter(|&d| d == slot),
+            _ => None,
+        };
+        if let Some(to) = dest {
+            if to != entry.shard {
+                moves.push(Move {
+                    gid: entry.gid,
+                    name: entry.name,
+                    from: entry.shard,
+                    from_local: entry.local_id,
+                    to,
+                });
+            }
+        }
+    }
+    Ok((new_active, moves))
+}
+
+/// Execute the plan: per move, export → import (durable on the
+/// destination) → remove the source copy → repoint the gid. Only then
+/// does the ring flip to the new epoch.
+fn apply(
+    ctx: &RouterCtx,
+    op: &str,
+    slot: usize,
+    new_active: Vec<usize>,
+    moves: Vec<Move>,
+) -> Result<String, String> {
+    let mut out = String::new();
+    for m in &moves {
+        let export_line = format!("export {}", m.from_local);
+        let hex = ctx
+            .pool
+            .with_conn(m.from, |c| c.expect_ok(&export_line))
+            .map_err(|e| format!("rebalance stalled exporting gid {}: {e}", m.gid))?;
+        let import_line = format!("import {}", hex.trim());
+        let reply = ctx
+            .pool
+            .with_conn(m.to, |c| c.expect_ok(&import_line))
+            .map_err(|e| format!("rebalance stalled importing gid {}: {e}", m.gid))?;
+        let new_local: u64 = reply
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("video=")?.parse().ok())
+            .ok_or_else(|| format!("shard {} sent a malformed import reply", m.to))?;
+        let remove_line = format!("remove {}", m.from_local);
+        ctx.pool
+            .with_conn(m.from, |c| c.expect_ok(&remove_line))
+            .map_err(|e| format!("rebalance stalled removing gid {} source copy: {e}", m.gid))?;
+        ctx.catalog.relocate(m.gid, m.to, new_local);
+        ctx.obs.moves.incr();
+        let _ = writeln!(
+            out,
+            "  moved gid={} name={} {} -> {}",
+            m.gid, m.name, m.from, m.to
+        );
+    }
+    let epoch = {
+        let mut ring = ctx.ring.lock().unwrap();
+        let epoch = ring.epoch + 1;
+        *ring = ActiveRing::rebuild(&ctx.pool, new_active, ctx.config.vnodes, epoch);
+        epoch
+    };
+    // Drained shards may hold pooled connections; drop everything idle
+    // so future checkouts reflect the new topology.
+    ctx.pool.clear_idle();
+    let _ = writeln!(
+        out,
+        "  rebalance {op} {slot} applied: {} moved, epoch {epoch}",
+        moves.len()
+    );
+    Ok(out)
+}

@@ -1,0 +1,108 @@
+//! The consistent-hashing contract, property-tested: topology changes
+//! move only the names they must — removing a shard relocates exactly
+//! that shard's names, adding one steals only the names that land on
+//! it, and everything else keeps routing exactly where it did.
+
+use proptest::prelude::*;
+use vdb_router::ring::HashRing;
+
+fn shard_addrs(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{}:4650", i + 1)).collect()
+}
+
+fn names(count: usize, seed: u64) -> Vec<String> {
+    (0..count).map(|i| format!("video-{seed}-{i:04}")).collect()
+}
+
+proptest! {
+    #[test]
+    fn prop_removing_a_shard_moves_only_its_names(
+        shards in 2usize..8,
+        victim_raw in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let victim = victim_raw % shards;
+        let addrs = shard_addrs(shards);
+        let before = HashRing::build(&addrs, 64);
+        // Rebuild over the survivors; surviving slots keep their
+        // addresses (index shifts compensated below).
+        let survivors: Vec<String> = addrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let after = HashRing::build(&survivors, 64);
+        for name in names(200, seed) {
+            let old = before.route(&name);
+            let new_addr = &survivors[after.route(&name)];
+            if old != victim {
+                // Unaffected name: must stay on the exact same shard.
+                prop_assert_eq!(new_addr, &addrs[old], "{} moved needlessly", name);
+            } else {
+                prop_assert!(new_addr != &addrs[victim]);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_adding_a_shard_steals_only_its_own_names(
+        shards in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut addrs = shard_addrs(shards);
+        let before = HashRing::build(&addrs, 64);
+        addrs.push("10.0.1.99:4650".to_string());
+        let after = HashRing::build(&addrs, 64);
+        let mut moved = 0usize;
+        let all = names(300, seed);
+        for name in &all {
+            let old = before.route(name);
+            let new = after.route(name);
+            if new != old {
+                // A move is only legal onto the new shard.
+                prop_assert_eq!(new, shards, "{} moved between old shards", name);
+                moved += 1;
+            }
+        }
+        // Expected share is 1/(n+1); allow generous slack, but a naive
+        // mod-N rehash (which moves ~n/(n+1) of everything) must fail.
+        prop_assert!(
+            moved <= all.len() / 2,
+            "added shard stole {moved} of {} names",
+            all.len()
+        );
+    }
+
+    #[test]
+    fn prop_every_shard_takes_load(shards in 2usize..8, seed in 0u64..1000) {
+        let addrs = shard_addrs(shards);
+        let ring = HashRing::build(&addrs, 128);
+        let mut counts = vec![0usize; shards];
+        let all = names(400, seed);
+        for name in &all {
+            counts[ring.route(name)] += 1;
+        }
+        let mean = all.len() / shards;
+        for (slot, &got) in counts.iter().enumerate() {
+            prop_assert!(got > 0, "shard {slot} got nothing");
+            prop_assert!(
+                got < mean * 4,
+                "shard {slot} got {got}, mean is {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn prop_routing_is_replica_stable(shards in 1usize..8, seed in 0u64..1000) {
+        // Two independently built rings over the same topology agree on
+        // every name — the property that lets ring config replicate as
+        // plain text.
+        let addrs = shard_addrs(shards);
+        let a = HashRing::build(&addrs, 64);
+        let b = HashRing::build(&addrs.clone(), 64);
+        for name in names(100, seed) {
+            prop_assert_eq!(a.route(&name), b.route(&name));
+        }
+    }
+}

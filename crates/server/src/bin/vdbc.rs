@@ -1,11 +1,15 @@
 //! `vdbc` — a scriptable client for `vdbd`.
 //!
 //! ```text
-//! vdbc [--timing] <addr> <command...>       # one request, print the response
-//! vdbc [--timing] <addr>                    # read command lines from stdin
+//! vdbc [--timing] [--connect-timeout MS] <addr> <command...>   # one request
+//! vdbc [--timing] [--connect-timeout MS] <addr>                # lines from stdin
 //! vdbc <addr> stream <file.y4m> as <name>   # live-stream a clip into the daemon
 //! vdbc --synth-y4m <path> [shots] [seed]    # write a synthetic test clip (no server)
 //! ```
+//!
+//! `--connect-timeout MS` caps each TCP connect attempt at `MS`
+//! milliseconds and retries with backoff inside a `4*MS` total budget,
+//! so a daemon mid-restart is waited out instead of failing instantly.
 //!
 //! Exits 0 iff every request got an ok response. Error responses are
 //! printed with an `error:` prefix and flip the exit code to 1; transport
@@ -22,11 +26,11 @@
 use std::io::BufRead;
 use std::process::exit;
 use std::time::{Duration, Instant};
-use vdb_server::client::{Client, ClientError};
+use vdb_server::client::{Client, ClientError, ConnectOptions};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vdbc [--timing] <addr> [command...]\n       vdbc <addr> stream <file.y4m> as <name>\n       vdbc --synth-y4m <path> [shots] [seed]"
+        "usage: vdbc [--timing] [--connect-timeout MS] <addr> [command...]\n       vdbc <addr> stream <file.y4m> as <name>\n       vdbc --synth-y4m <path> [shots] [seed]"
     );
     exit(2);
 }
@@ -111,10 +115,25 @@ fn main() {
     if timing {
         args.remove(0);
     }
+    let mut connect = None;
+    if args.first().is_some_and(|a| a == "--connect-timeout") {
+        args.remove(0);
+        let Some(ms) = args.first().and_then(|v| v.parse::<u64>().ok()) else {
+            eprintln!("vdbc: --connect-timeout needs milliseconds");
+            usage();
+        };
+        args.remove(0);
+        let attempt = Duration::from_millis(ms.max(1));
+        connect = Some(ConnectOptions::retrying(attempt, attempt * 4));
+    }
     let Some(addr) = args.first() else {
         usage();
     };
-    let mut client = match Client::connect(addr) {
+    let connected = match connect {
+        Some(opts) => Client::connect_with(addr, &opts),
+        None => Client::connect(addr),
+    };
+    let mut client = match connected {
         Ok(c) => c,
         Err(e) => {
             eprintln!("vdbc: could not connect to {addr}: {e}");

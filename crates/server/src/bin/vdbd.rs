@@ -4,6 +4,7 @@
 //! vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N]
 //!      [--idle-timeout SECS] [--metrics-interval SECS]
 //!      [--slow-query-ms MILLIS] [--max-sessions N] [--stream-credits N]
+//!      [--shard-id LABEL]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port), prints `vdbd listening on
@@ -55,7 +56,7 @@ mod sig {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N] [--idle-timeout SECS] [--metrics-interval SECS] [--slow-query-ms MILLIS] [--max-sessions N] [--stream-credits N]"
+        "usage: vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N] [--idle-timeout SECS] [--metrics-interval SECS] [--slow-query-ms MILLIS] [--max-sessions N] [--stream-credits N] [--shard-id LABEL]"
     );
     exit(2);
 }
@@ -113,6 +114,7 @@ fn parse_args() -> Args {
                 Ok(n) if n > 0 => config.stream_credits = n,
                 _ => usage(),
             },
+            "--shard-id" => config.shard_id = Some(value("a label")),
             "--help" | "-h" => usage(),
             _ => {
                 eprintln!("vdbd: unknown flag '{flag}'");

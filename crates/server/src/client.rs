@@ -56,6 +56,50 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// How to establish the TCP connection: a per-attempt timeout plus a
+/// bounded retry-with-backoff budget, so a briefly-down server (say, a
+/// shard mid-restart) surfaces as a short wait instead of an immediate
+/// OS error. Used by `vdbc --connect-timeout` and the router's shard
+/// client pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectOptions {
+    /// Cap on each individual TCP connect attempt.
+    pub attempt_timeout: Duration,
+    /// Total budget across attempts and backoff sleeps; once a retry
+    /// would start past this, the last error is returned. The first
+    /// round always runs, so a zero budget means exactly one round.
+    pub total_budget: Duration,
+    /// Sleep before the second attempt; doubles per retry (capped at 1s).
+    pub initial_backoff: Duration,
+}
+
+impl ConnectOptions {
+    /// One attempt only, capped at `timeout` — what `--connect-timeout`
+    /// alone means.
+    pub fn single(timeout: Duration) -> Self {
+        ConnectOptions {
+            attempt_timeout: timeout,
+            total_budget: Duration::ZERO,
+            initial_backoff: Duration::from_millis(0),
+        }
+    }
+
+    /// Retry within `budget`, capping each attempt at `attempt`.
+    pub fn retrying(attempt: Duration, budget: Duration) -> Self {
+        ConnectOptions {
+            attempt_timeout: attempt,
+            total_budget: budget,
+            initial_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions::single(Duration::from_secs(5))
+    }
+}
+
 /// One connection to a `vdbd` server.
 pub struct Client {
     stream: TcpStream,
@@ -67,6 +111,47 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connect under `opts`: every resolved address is tried per round
+    /// with `attempt_timeout`, and rounds repeat with doubling backoff
+    /// until one succeeds or `total_budget` is spent.
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: &ConnectOptions) -> io::Result<Client> {
+        let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let started = std::time::Instant::now();
+        let mut backoff = opts.initial_backoff;
+        let mut last_err = None;
+        loop {
+            for a in &addrs {
+                match TcpStream::connect_timeout(a, opts.attempt_timeout) {
+                    Ok(stream) => {
+                        stream.set_nodelay(true)?;
+                        return Client::from_stream(stream);
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            let next_try = if backoff.is_zero() {
+                Duration::from_millis(25)
+            } else {
+                backoff
+            };
+            if started.elapsed() + next_try >= opts.total_budget {
+                return Err(last_err.unwrap());
+            }
+            std::thread::sleep(next_try);
+            backoff = (next_try * 2).min(Duration::from_secs(1));
+        }
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         let mut client = Client {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
@@ -84,6 +169,14 @@ impl Client {
     /// Send one command line and wait for its response.
     pub fn request(&mut self, line: &str) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, line.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Send one pre-encoded request payload (text or binary stream
+    /// message) and wait for its response. The router uses this to relay
+    /// a client's stream frames downstream without re-encoding them.
+    pub fn raw_request(&mut self, payload: &[u8]) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, payload)?;
         self.read_response()
     }
 

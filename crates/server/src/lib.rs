@@ -37,7 +37,7 @@ pub mod protocol;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, ClientError, FrameStream, StreamCommit};
+pub use client::{Client, ClientError, ConnectOptions, FrameStream, StreamCommit};
 pub use metrics::{CommandKind, MetricsSnapshot, ServerMetrics};
 pub use protocol::{Response, StreamRequest, DEFAULT_MAX_FRAME};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStore};

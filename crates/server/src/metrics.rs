@@ -55,6 +55,16 @@ pub enum CommandKind {
     StreamCommit,
     /// Binary stream-abort message (discard a session).
     StreamAbort,
+    /// `shard-id` (router connect handshake).
+    ShardId,
+    /// `xquery <text>` (machine-readable shard query rows).
+    Xquery,
+    /// `xlist` (machine-readable catalog rows).
+    Xlist,
+    /// `export <id>` (transfer record out, for rebalance).
+    Export,
+    /// `import <hex>` (transfer record in, via the stream commit path).
+    Import,
     /// `quit` (close this connection).
     Quit,
     /// `shutdown` (stop the server).
@@ -65,7 +75,7 @@ pub enum CommandKind {
 
 impl CommandKind {
     /// Every kind, in display order.
-    pub const ALL: [CommandKind; 20] = [
+    pub const ALL: [CommandKind; 25] = [
         CommandKind::Ping,
         CommandKind::Help,
         CommandKind::List,
@@ -83,6 +93,11 @@ impl CommandKind {
         CommandKind::StreamFrame,
         CommandKind::StreamCommit,
         CommandKind::StreamAbort,
+        CommandKind::ShardId,
+        CommandKind::Xquery,
+        CommandKind::Xlist,
+        CommandKind::Export,
+        CommandKind::Import,
         CommandKind::Quit,
         CommandKind::Shutdown,
         CommandKind::Other,
@@ -112,6 +127,11 @@ impl CommandKind {
             CommandKind::StreamFrame => "stream.frame",
             CommandKind::StreamCommit => "stream.commit",
             CommandKind::StreamAbort => "stream.abort",
+            CommandKind::ShardId => "shard-id",
+            CommandKind::Xquery => "xquery",
+            CommandKind::Xlist => "xlist",
+            CommandKind::Export => "export",
+            CommandKind::Import => "import",
             CommandKind::Quit => "quit",
             CommandKind::Shutdown => "shutdown",
             CommandKind::Other => "other",

@@ -82,6 +82,10 @@ pub struct ServerConfig {
     /// Poison a streaming session if its analysis pump stays saturated
     /// this long while a frame waits to be buffered.
     pub stream_stall_timeout: Duration,
+    /// Identity this server reports to the `shard-id` wire extra (the
+    /// router's connect handshake verifies it against the ring slot).
+    /// `None` answers `shard=?`, which the router tolerates.
+    pub shard_id: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +107,7 @@ impl Default for ServerConfig {
             stream_credits: 8,
             session_idle_timeout: Duration::from_secs(60),
             stream_stall_timeout: Duration::from_secs(10),
+            shard_id: None,
         }
     }
 }
@@ -161,6 +166,84 @@ impl ServerStore {
     }
 }
 
+/// Bind with `SO_REUSEADDR` so a restarted daemon can reclaim its old
+/// port immediately instead of waiting out `TIME_WAIT` peers from its
+/// previous life — shards restarting on a fixed address under a router
+/// depend on this. Raw syscalls because std's `TcpListener::bind`
+/// offers no socket-option hook; non-Linux targets fall back to the
+/// plain bind.
+#[cfg(target_os = "linux")]
+fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    use std::net::ToSocketAddrs;
+    use std::os::fd::FromRawFd;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    let mut last = io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing");
+    for sa in addr.to_socket_addrs()? {
+        // Raw sockaddr_in / sockaddr_in6 bytes for this address family.
+        let (family, bytes): (i32, Vec<u8>) = match sa {
+            SocketAddr::V4(v4) => {
+                let mut b = vec![0u8; 16];
+                b[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+                b[2..4].copy_from_slice(&v4.port().to_be_bytes());
+                b[4..8].copy_from_slice(&v4.ip().octets());
+                (AF_INET, b)
+            }
+            SocketAddr::V6(v6) => {
+                let mut b = vec![0u8; 28];
+                b[0..2].copy_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+                b[2..4].copy_from_slice(&v6.port().to_be_bytes());
+                b[4..8].copy_from_slice(&v6.flowinfo().to_be_bytes());
+                b[8..24].copy_from_slice(&v6.ip().octets());
+                b[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+                (AF_INET6, b)
+            }
+        };
+        unsafe {
+            let fd = socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            if fd < 0 {
+                last = io::Error::last_os_error();
+                continue;
+            }
+            let one: i32 = 1;
+            if setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                &one as *const i32 as *const u8,
+                4,
+            ) < 0
+                || bind(fd, bytes.as_ptr(), bytes.len() as u32) < 0
+                || listen(fd, 128) < 0
+            {
+                last = io::Error::last_os_error();
+                close(fd);
+                continue;
+            }
+            return Ok(TcpListener::from_raw_fd(fd));
+        }
+    }
+    Err(last)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
 /// A bound-but-not-yet-serving server.
 pub struct Server {
     listener: TcpListener,
@@ -173,7 +256,7 @@ impl Server {
     /// Bind the listening socket (so the ephemeral port is known before
     /// any thread starts).
     pub fn bind(store: ServerStore, config: ServerConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
+        let listener = bind_reuseaddr(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         Ok(Server {
@@ -420,7 +503,8 @@ fn worker_loop(ctx: WorkerCtx) {
     }
 }
 
-enum FrameRead {
+/// Outcome of one deadline-aware frame read (see [`try_read_frame`]).
+pub enum FrameRead {
     /// A complete frame.
     Frame(Vec<u8>),
     /// No bytes arrived within one poll interval.
@@ -431,8 +515,9 @@ enum FrameRead {
 
 /// Read one frame with the stream's poll-interval read timeout. Returns
 /// `Idle` if no byte arrived; once a frame has started it must complete
-/// within `frame_timeout` or the frame counts as torn.
-fn try_read_frame(
+/// within `frame_timeout` or the frame counts as torn. Public so the
+/// router's front end can run the same connection loop as `vdbd`.
+pub fn try_read_frame(
     stream: &mut TcpStream,
     max: usize,
     frame_timeout: Duration,
@@ -635,8 +720,15 @@ fn dispatch(
     line: &str,
     tctx: &TraceContext,
 ) -> (CommandKind, Result<String, String>) {
-    match line.trim() {
+    let trimmed = line.trim();
+    match trimmed {
         "ping" => return (CommandKind::Ping, Ok("pong".to_string())),
+        "shard-id" => {
+            // The router's connect handshake: which shard is this?
+            let id = ctx.config.shard_id.as_deref().unwrap_or("?");
+            return (CommandKind::ShardId, Ok(format!("shard={id} proto=1")));
+        }
+        "xlist" => return (CommandKind::Xlist, Ok(xlist(ctx))),
         "metrics" => {
             // The server's own table, then the whole-stack sections: the
             // pipeline and store record into the process-global registry,
@@ -659,6 +751,15 @@ fn dispatch(
         }
         _ => {}
     }
+    if let Some(rest) = trimmed.strip_prefix("xquery ") {
+        return (CommandKind::Xquery, xquery(ctx, rest));
+    }
+    if let Some(rest) = trimmed.strip_prefix("export ") {
+        return (CommandKind::Export, export(ctx, rest));
+    }
+    if let Some(rest) = trimmed.strip_prefix("import ") {
+        return (CommandKind::Import, import(ctx, rest, tctx));
+    }
     let cmd = Command::parse(line);
     let kind = kind_of(&cmd);
     match &cmd {
@@ -666,7 +767,7 @@ fn dispatch(
         Command::Unknown(word) => (
             kind,
             Err(format!(
-                "unknown command '{word}' (try 'help'; wire extras: ping, metrics, shutdown)"
+                "unknown command '{word}' (try 'help'; wire extras: ping, metrics, shutdown, shard-id, xlist, xquery, export, import)"
             )),
         ),
         Command::Save(_) | Command::Load { .. } => (
@@ -684,7 +785,7 @@ fn dispatch(
             (
                 kind,
                 Ok(format!(
-                    "{text}server commands:\n  ping              liveness probe\n  metrics           server counters and latency quantiles\n  shutdown          stop the server (drains in-flight requests)\nstreaming ingest uses binary frames on the same socket — see 'vdbc stream'\n"
+                    "{text}server commands:\n  ping              liveness probe\n  metrics           server counters and latency quantiles\n  shutdown          stop the server (drains in-flight requests)\n  shard-id          this server's shard identity (router handshake)\n  xlist / xquery    machine-readable catalog / query rows (router merge)\n  export / import   move one video's analysis between shards (rebalance)\nstreaming ingest uses binary frames on the same socket — see 'vdbc stream'\n"
                 )),
             )
         }
@@ -698,10 +799,14 @@ fn dispatch(
             let stack = vdb_obs::global().snapshot();
             let frames = stack.counter("core.pipeline.frames").unwrap_or(0);
             let appends = stack.counter("store.journal.appends").unwrap_or(0);
+            // Uniform whole-stack grammar past the db line: every line is
+            // `  <dotted.key> <integer>` (the router appends `router.*`
+            // lines in the same shape), pinned by a server test so
+            // scripts can cut on whitespace.
             (
                 kind,
                 Ok(format!(
-                    "{text}  server: {} requests ({} errors), {} connections, {} protocol errors\n  streams: {} open, {} committed, peak buffered {}/{} credits\n  stack: {} frames analyzed, {} journal appends (see 'metrics')\n",
+                    "{text}  server.requests {}\n  server.errors {}\n  server.connections {}\n  server.protocol_errors {}\n  server.stream.open {}\n  server.stream.committed {}\n  server.stream.buffered_peak {}\n  server.stream.credit_window {}\n  stack.frames_analyzed {}\n  stack.journal_appends {}\n",
                     snap.total_requests(),
                     snap.total_errors(),
                     snap.connections_opened,
@@ -736,6 +841,109 @@ fn dispatch(
         }
         _ => (kind, Err("command not available over the wire".to_string())),
     }
+}
+
+/// `xlist`: machine-readable catalog rows for the router. Fixed-key
+/// tokens first, the name last (names may contain spaces); `dur=` is the
+/// full-precision bit pattern of the duration so a merged `list` renders
+/// byte-identically to a single node.
+fn xlist(ctx: &WorkerCtx) -> String {
+    ctx.store.read(|db| {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for meta in db.catalog().all() {
+            let _ = writeln!(
+                out,
+                "video id={} frames={} dur={:016x} name={}",
+                meta.id,
+                meta.frame_count,
+                meta.duration_secs().to_bits(),
+                meta.name
+            );
+        }
+        out
+    })
+}
+
+/// `xquery <text>`: one shard's contribution to a distributed query —
+/// a `mode=… kept=… k=… limit=…` header, then full-precision rows
+/// (`d=`/`ba=`/`oa=` are f64 bit patterns) the router re-merges with the
+/// exact `(distance, ShotKey)` tie-break the index uses.
+fn xquery(ctx: &WorkerCtx, text: &str) -> Result<String, String> {
+    let sharded = ctx
+        .store
+        .read(|db| db.query_str_sharded(text))
+        .map_err(|e| e.to_string())?;
+    use std::fmt::Write as _;
+    let dash = || "-".to_string();
+    let mut out = format!(
+        "mode={} kept={} k={} limit={}\n",
+        if sharded.k.is_some() { "topk" } else { "range" },
+        sharded.kept_total,
+        sharded.k.map(|v| v.to_string()).unwrap_or_else(dash),
+        sharded.limit.map(|v| v.to_string()).unwrap_or_else(dash),
+    );
+    for row in &sharded.rows {
+        let a = &row.answer;
+        let _ = writeln!(
+            out,
+            "row v={} s={} d={:016x} ba={:016x} oa={:016x} rep={} keep={} node={}",
+            a.key.video,
+            a.key.shot,
+            a.distance.to_bits(),
+            a.var_ba.to_bits(),
+            a.var_oa.to_bits(),
+            a.rep_frame,
+            row.keep as u8,
+            a.scene_name
+        );
+    }
+    Ok(out)
+}
+
+/// `export <id>`: the video's transfer record (analysis + catalog
+/// metadata, no pixels) as hex, for shard-to-shard rebalance moves.
+fn export(ctx: &WorkerCtx, rest: &str) -> Result<String, String> {
+    let id: u64 = rest
+        .trim()
+        .parse()
+        .map_err(|_| "usage: export <video-id>".to_string())?;
+    let record = ctx
+        .store
+        .read(|db| vdb_store::transfer::ExportedVideo::from_db(db, id).and_then(|e| e.encode()))
+        .map_err(|e| e.to_string())?;
+    let hex = vdb_store::transfer::to_hex(&record);
+    // The reply must fit the peer's frame cap (status byte + headroom).
+    if hex.len() + 64 > ctx.config.max_frame {
+        return Err(format!(
+            "export of video {id} ({} bytes) exceeds the frame limit",
+            record.len()
+        ));
+    }
+    Ok(hex)
+}
+
+/// `import <hex>`: re-create an exported video through the streaming
+/// ingest commit path; the reply mirrors a stream commit
+/// (`video=… shots=… frames=… durable=…`).
+fn import(ctx: &WorkerCtx, rest: &str, tctx: &TraceContext) -> Result<String, String> {
+    let bytes = vdb_store::transfer::from_hex(rest).map_err(|e| e.to_string())?;
+    let exported = vdb_store::transfer::ExportedVideo::decode(&bytes).map_err(|e| e.to_string())?;
+    let shots = exported.analysis.shots.len();
+    let frames = exported.analysis.signs_ba.len();
+    let (name, dims, fps, analysis, genres, forms) = exported.into_analysis();
+    let (id, ticket) = ctx
+        .store
+        .write(|backend| backend.commit_stream(name, dims, fps, analysis, genres, forms))
+        .map_err(|e| e.to_string())?;
+    let durable = ticket.is_pending();
+    // Wait outside the database lock so concurrent committers batch.
+    ticket
+        .wait_traced(tctx)
+        .map_err(|e| format!("journal sync failed: {e}"))?;
+    Ok(format!(
+        "video={id} shots={shots} frames={frames} durable={durable}"
+    ))
 }
 
 fn kind_of(cmd: &Command) -> CommandKind {

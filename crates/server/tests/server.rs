@@ -451,12 +451,109 @@ fn metrics_reports_core_pipeline_sections() {
 
     let stats = client.expect_ok("stats").unwrap();
     assert!(
-        stats.contains("stack:") && stats.contains("frames analyzed"),
+        stats.contains("stack.frames_analyzed") && stats.contains("stack.journal_appends"),
         "{stats}"
     );
 
     drop(client);
     handle.shutdown().unwrap();
+}
+
+/// Every `stats` line after the database summary follows one grammar —
+/// `  <dotted.key> <integer>` — so scripts (and the router's merge) can
+/// cut on whitespace without per-line special cases.
+#[test]
+fn stats_lines_follow_the_dotted_key_grammar() {
+    let handle = start_memory_server(2, 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stats = client.expect_ok("stats").unwrap();
+
+    let mut lines = stats.lines();
+    let db_line = lines.next().expect("db summary line");
+    assert!(db_line.contains("videos"), "{db_line}");
+    let mut seen = 0usize;
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        let (key, value, extra) = (parts.next(), parts.next(), parts.next());
+        assert_eq!(extra, None, "more than two fields: '{line}'");
+        let key = key.unwrap_or_default();
+        assert!(
+            key.contains('.') && !key.ends_with('.'),
+            "key '{key}' is not dotted: '{line}'"
+        );
+        assert!(
+            value.is_some_and(|v| v.parse::<u64>().is_ok()),
+            "value is not an integer: '{line}'"
+        );
+        seen += 1;
+    }
+    for key in [
+        "server.requests",
+        "server.stream.open",
+        "stack.frames_analyzed",
+    ] {
+        assert!(stats.contains(key), "stats missing '{key}':\n{stats}");
+    }
+    assert!(
+        seen >= 8,
+        "expected the full counter table, got {seen} lines"
+    );
+
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
+/// The router-facing wire extras: `shard-id` answers the configured
+/// identity, `xlist`/`xquery` emit machine rows, and `export`/`import`
+/// move one video's finished analysis between two live servers.
+#[test]
+fn wire_extras_identify_enumerate_and_transfer() {
+    let src = Server::bind(
+        ServerStore::memory(),
+        ServerConfig {
+            shard_id: Some("7".to_string()),
+            ..test_config(2)
+        },
+    )
+    .unwrap()
+    .serve();
+    let dst = start_memory_server(2, 0);
+    let mut from = Client::connect(src.addr()).unwrap();
+    let mut to = Client::connect(dst.addr()).unwrap();
+
+    assert_eq!(from.expect_ok("shard-id").unwrap(), "shard=7 proto=1");
+    assert_eq!(to.expect_ok("shard-id").unwrap(), "shard=? proto=1");
+
+    from.expect_ok("demo 2").unwrap();
+    let listing = from.expect_ok("xlist").unwrap();
+    assert_eq!(listing.lines().count(), 2, "{listing}");
+    assert!(
+        listing.lines().all(|l| l.starts_with("video id=")),
+        "{listing}"
+    );
+    let rows = from.expect_ok("xquery ba=0.4 oa=20").unwrap();
+    assert!(rows.starts_with("mode="), "{rows}");
+
+    // Transfer video 1 and confirm the copy answers queries on its own.
+    let hex = from.expect_ok("export 1").unwrap();
+    let imported = to.expect_ok(&format!("import {}", hex.trim())).unwrap();
+    assert!(imported.contains("video=0"), "{imported}");
+    let moved = to.expect_ok("xlist").unwrap();
+    assert_eq!(moved.lines().count(), 1, "{moved}");
+    let original = from.expect_ok("xlist").unwrap();
+    let name = |s: &str| {
+        s.lines()
+            .map(|l| l.split(" name=").nth(1).unwrap_or_default().to_string())
+            .collect::<Vec<_>>()
+    };
+    assert!(
+        name(&original).contains(&name(&moved)[0]),
+        "{original} vs {moved}"
+    );
+
+    drop((from, to));
+    src.shutdown().unwrap();
+    dst.shutdown().unwrap();
 }
 
 /// `explain` over the wire reports the planner's chosen plan with

@@ -186,6 +186,34 @@ pub struct QueryAnswer {
     pub rep_frame: usize,
 }
 
+/// Range-mode shards ship at most this many rows per query: a merged
+/// render shows at most 10 answers, and the global top 10 is always a
+/// subset of the union of per-shard top 10s.
+pub const SHARD_QUERY_ROW_CAP: usize = 10;
+
+/// One per-shard row of a distributed query (see
+/// [`VideoDatabase::query_str_sharded`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardQueryRow {
+    /// The answer; `distance` carries full precision for the global merge.
+    pub answer: QueryAnswer,
+    /// Whether the spec's genre/form predicate keeps this row.
+    pub keep: bool,
+}
+
+/// A shard's contribution to a distributed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardQueryAnswers {
+    /// `Some(k)` when the spec ran in top-k mode.
+    pub k: Option<usize>,
+    /// The spec's `limit`, to be applied globally by the coordinator.
+    pub limit: Option<usize>,
+    /// Rows for the merger (see [`VideoDatabase::query_str_sharded`]).
+    pub rows: Vec<ShardQueryRow>,
+    /// Rows surviving the filter on this shard, pre-limit (exact).
+    pub kept_total: usize,
+}
+
 /// Aggregate database statistics (see [`VideoDatabase::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DbStats {
@@ -534,6 +562,61 @@ impl VideoDatabase {
     /// identical to `query_str`: explain never changes what runs.
     pub fn query_str_explain(&self, text: &str) -> Result<(Vec<QueryAnswer>, Explain), DbError> {
         self.run_query_str(text, &TraceContext::disabled())
+    }
+
+    /// One shard's contribution to a distributed query (the `xquery` wire
+    /// extra). Unlike [`Self::query_str`], the genre/form filter and the
+    /// `limit` are *not* applied here — they must run globally, after the
+    /// coordinator has re-merged rows from every shard:
+    ///
+    /// - **range mode**: rows that pass the filter, nearest first,
+    ///   truncated to [`SHARD_QUERY_ROW_CAP`] (a render shows at most
+    ///   that many, and the global top rows are a subset of the per-shard
+    ///   top rows). `kept_total` carries the exact pre-limit count.
+    /// - **top-k mode**: the full pre-filter top-k with per-row `keep`
+    ///   flags, because single-node semantics take the *global* k nearest
+    ///   first and filter second — the coordinator must do the same.
+    pub fn query_str_sharded(&self, text: &str) -> Result<ShardQueryAnswers, DbError> {
+        let spec = crate::query::QuerySpec::parse(text, &self.taxonomy)?;
+        let keep_meta = |meta: &VideoMeta| {
+            let genre_ok = match spec.genre {
+                Some(g) => meta.genres.contains(&g),
+                None => true,
+            };
+            let form_ok = match spec.form {
+                Some(f) => meta.forms.contains(&f),
+                None => true,
+            };
+            genre_ok && form_ok
+        };
+        let matches = match spec.k {
+            Some(k) => self.index.query_topk(&spec.variance, k),
+            None => self.index.query(&spec.variance),
+        };
+        let answers = self.answers_from(matches, |_| true);
+        let mut rows = Vec::new();
+        let mut kept_total = 0usize;
+        for answer in answers {
+            let keep = self
+                .catalog
+                .get(answer.key.video)
+                .map(keep_meta)
+                .unwrap_or(false);
+            if keep {
+                kept_total += 1;
+            }
+            if spec.k.is_some() {
+                rows.push(ShardQueryRow { answer, keep });
+            } else if keep && rows.len() < SHARD_QUERY_ROW_CAP {
+                rows.push(ShardQueryRow { answer, keep: true });
+            }
+        }
+        Ok(ShardQueryAnswers {
+            k: spec.k,
+            limit: spec.limit,
+            rows,
+            kept_total,
+        })
     }
 
     /// One routing for `query_str` / `query_str_traced` /

@@ -11,9 +11,9 @@
 //!
 //! # Group commit
 //!
-//! Appends are two-phase: [`JournalWriter::stage`] copies the encoded
+//! Appends are two-phase: `JournalWriter::stage` copies the encoded
 //! record into a pending buffer under a short lock and hands back a
-//! monotonically increasing ticket; [`JournalWriter::wait_durable`] blocks
+//! monotonically increasing ticket; `JournalWriter::wait_durable` blocks
 //! until every byte staged at or before that ticket has reached the OS.
 //! The first waiter becomes the *leader*: it swaps the whole pending
 //! buffer out, writes it with one `write_all` **outside** the state lock,
@@ -392,7 +392,7 @@ impl JournaledDatabase {
     /// journal records *without* waiting for durability. The returned
     /// [`CommitTicket`] is waitable after the database lock is released,
     /// which is what lets K concurrent sessions share one write barrier
-    /// (see [`JournalWriter`]). The video is visible in memory
+    /// (see `JournalWriter`). The video is visible in memory
     /// immediately; callers must not acknowledge the commit until
     /// [`CommitTicket::wait`] returns.
     pub fn commit_stream(

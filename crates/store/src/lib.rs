@@ -32,11 +32,15 @@ pub mod pages;
 pub mod query;
 pub mod session;
 pub mod shell;
+pub mod transfer;
 
 pub use backend::{CommitTicket, DbBackend};
 pub use catalog::{Catalog, FormId, GenreId, Taxonomy, VideoMeta};
 pub use concurrent::SharedDatabase;
-pub use db::{DbError, QueryAnswer, StoredAnalysis, VideoDatabase};
+pub use db::{
+    DbError, QueryAnswer, ShardQueryAnswers, ShardQueryRow, StoredAnalysis, VideoDatabase,
+    SHARD_QUERY_ROW_CAP,
+};
 pub use journal::{JournalStats, JournaledDatabase};
 pub use query::{ParseError, QuerySpec};
 pub use session::{

@@ -1,0 +1,242 @@
+//! Shard-to-shard video transfer: a self-contained export record that
+//! carries everything needed to re-create a video on another shard
+//! through the streaming-ingest commit path.
+//!
+//! The record is the analyzed artifact set ([`StoredAnalysis`]) plus the
+//! catalog metadata (`name`, dims, fps, genres, forms) — *not* pixels, so
+//! a move costs O(analysis) bytes, not O(video). The router's `rebalance`
+//! command ships it over the text protocol as hex (`export <id>` →
+//! `import <hex>`), which keeps the frame codec untouched.
+
+use crate::catalog::{FormId, GenreId};
+use crate::codec::Codec;
+use crate::db::{DbError, StoredAnalysis, VideoDatabase};
+use vdb_core::analyzer::VideoAnalysis;
+use vdb_core::sbd::Segmentation;
+
+/// Format version of the export record (first byte of the payload).
+pub const TRANSFER_VERSION: u8 = 1;
+
+/// A video packaged for re-ingest on another shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportedVideo {
+    /// Display name (globally unique across the cluster by construction:
+    /// the router hashes on it).
+    pub name: String,
+    /// Frame dimensions.
+    pub dims: (u32, u32),
+    /// Analysis frame rate.
+    pub fps: f64,
+    /// Genre classifications.
+    pub genres: Vec<GenreId>,
+    /// Form classifications.
+    pub forms: Vec<FormId>,
+    /// The stored analysis (source-local `video` id; ignored on import).
+    pub analysis: StoredAnalysis,
+}
+
+impl ExportedVideo {
+    /// Package video `id` of `db` for transfer.
+    pub fn from_db(db: &VideoDatabase, id: u64) -> Result<Self, DbError> {
+        let meta = db.catalog().get(id).ok_or(DbError::UnknownVideo(id))?;
+        let analysis = db.analysis(id)?.clone();
+        Ok(ExportedVideo {
+            name: meta.name.clone(),
+            dims: meta.dims,
+            fps: meta.fps,
+            genres: meta.genres.clone(),
+            forms: meta.forms.clone(),
+            analysis,
+        })
+    }
+
+    /// Serialize to the versioned binary record.
+    pub fn encode(&self) -> Result<Vec<u8>, DbError> {
+        let mut buf = vec![TRANSFER_VERSION];
+        self.name.encode(&mut buf);
+        self.dims.0.encode(&mut buf);
+        self.dims.1.encode(&mut buf);
+        self.fps.encode(&mut buf);
+        let genres: Vec<u16> = self.genres.iter().map(|g| g.0).collect();
+        genres.encode(&mut buf);
+        let forms: Vec<u16> = self.forms.iter().map(|f| f.0).collect();
+        forms.encode(&mut buf);
+        let analysis = self.analysis.encode()?;
+        analysis.encode(&mut buf);
+        Ok(buf)
+    }
+
+    /// Parse a versioned binary record.
+    pub fn decode(buf: &[u8]) -> Result<Self, DbError> {
+        let (&version, rest) = buf
+            .split_first()
+            .ok_or(DbError::BadRecord("empty transfer record"))?;
+        if version != TRANSFER_VERSION {
+            return Err(DbError::BadRecord("unknown transfer version"));
+        }
+        let buf = &mut { rest };
+        let name = String::decode(buf)?;
+        let dims = (u32::decode(buf)?, u32::decode(buf)?);
+        let fps = f64::decode(buf)?;
+        let genres = Vec::<u16>::decode(buf)?.into_iter().map(GenreId).collect();
+        let forms = Vec::<u16>::decode(buf)?.into_iter().map(FormId).collect();
+        let analysis_bytes = Vec::<u8>::decode(buf)?;
+        if !buf.is_empty() {
+            return Err(DbError::BadRecord("trailing transfer bytes"));
+        }
+        let analysis = StoredAnalysis::decode(&analysis_bytes)?;
+        Ok(ExportedVideo {
+            name,
+            dims,
+            fps,
+            genres,
+            forms,
+            analysis,
+        })
+    }
+
+    /// Rebuild the [`VideoAnalysis`] that
+    /// [`crate::backend::DbBackend::commit_stream`] ingests. Shot
+    /// boundaries are re-derived from the shots (a partition of the
+    /// frame range); per-pair cascade decisions are not persisted, so
+    /// the rebuilt segmentation carries none — nothing downstream of
+    /// ingest reads them.
+    pub fn into_analysis(
+        self,
+    ) -> (
+        String,
+        (u32, u32),
+        f64,
+        VideoAnalysis,
+        Vec<GenreId>,
+        Vec<FormId>,
+    ) {
+        let StoredAnalysis {
+            shots,
+            features,
+            signs_ba,
+            signs_oa,
+            scene_tree,
+            stats,
+            ..
+        } = self.analysis;
+        let boundaries = shots.iter().skip(1).map(|s| s.start).collect();
+        let segmentation = Segmentation {
+            shots,
+            boundaries,
+            decisions: Vec::new(),
+            stats,
+        };
+        let analysis = VideoAnalysis {
+            signs_ba,
+            signs_oa,
+            segmentation,
+            scene_tree,
+            features,
+        };
+        (
+            self.name,
+            self.dims,
+            self.fps,
+            analysis,
+            self.genres,
+            self.forms,
+        )
+    }
+}
+
+/// Lowercase hex of `bytes` (the wire form of an export record).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Parse lowercase/uppercase hex back to bytes.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, DbError> {
+    let s = s.trim();
+    if s.len() % 2 != 0 {
+        return Err(DbError::BadRecord("odd-length hex payload"));
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or(DbError::BadRecord("invalid hex digit"))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or(DbError::BadRecord("invalid hex digit"))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DbBackend;
+    use vdb_synth::script::{generate, VideoScript};
+    use vdb_synth::ShotArchetype;
+
+    fn sample_db() -> VideoDatabase {
+        let mut rng = vdb_synth::rng::Srng::new(11);
+        let mut script = VideoScript::small(11);
+        let dims = (script.width, script.height);
+        script.push_shot(ShotArchetype::TalkingHeadCloseUp.to_spec(0, 10, dims, &mut rng));
+        script.push_shot(ShotArchetype::ActionPan.to_spec(1, 10, dims, &mut rng));
+        script.push_shot(ShotArchetype::StaticScenery.to_spec(2, 10, dims, &mut rng));
+        let video = generate(&script).video;
+        let mut db = VideoDatabase::new();
+        db.ingest("transfer sample", &video, vec![GenreId(3)], vec![FormId(1)])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn export_record_round_trips() {
+        let db = sample_db();
+        let exported = ExportedVideo::from_db(&db, 0).unwrap();
+        let bytes = exported.encode().unwrap();
+        let back = ExportedVideo::decode(&bytes).unwrap();
+        assert_eq!(back, exported);
+        let hexed = to_hex(&bytes);
+        assert_eq!(from_hex(&hexed).unwrap(), bytes);
+    }
+
+    #[test]
+    fn import_reproduces_query_results() {
+        let db = sample_db();
+        let exported = ExportedVideo::from_db(&db, 0).unwrap();
+        let record = exported.encode().unwrap();
+
+        let mut dst = VideoDatabase::new();
+        let decoded = ExportedVideo::decode(&record).unwrap();
+        let (name, dims, fps, analysis, genres, forms) = decoded.into_analysis();
+        let (id, ticket) = dst
+            .commit_stream(name, dims, fps, analysis, genres, forms)
+            .unwrap();
+        assert!(!ticket.is_pending());
+        assert_eq!(id, 0);
+
+        let q = "ba=0.4 oa=12 alpha=6 beta=6";
+        let src_answers = db.query_str(q).unwrap();
+        let dst_answers = dst.query_str(q).unwrap();
+        assert_eq!(src_answers, dst_answers);
+        assert_eq!(db.catalog().get(0).unwrap(), dst.catalog().get(0).unwrap());
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+        assert!(ExportedVideo::decode(&[]).is_err());
+        assert!(ExportedVideo::decode(&[9, 1, 2, 3]).is_err());
+        let db = sample_db();
+        let mut bytes = ExportedVideo::from_db(&db, 0).unwrap().encode().unwrap();
+        bytes.truncate(bytes.len() - 3);
+        assert!(ExportedVideo::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the sharded serving layer: boot two journaled
+# vdbd shards plus a vdb-router in front, stream a clip in through the
+# router, query it back, restart one shard on its same port, and verify
+# the cluster answers whole again. CI runs this after server_smoke.sh;
+# locally:
+#
+#   cargo build --bins && scripts/router_smoke.sh [target/debug]
+set -euo pipefail
+
+BIN_DIR="${1:-target/debug}"
+VDBD="$BIN_DIR/vdbd"
+VDBC="$BIN_DIR/vdbc"
+ROUTER="$BIN_DIR/vdb-router"
+[ -x "$VDBD" ] && [ -x "$VDBC" ] && [ -x "$ROUTER" ] || {
+    echo "router_smoke: $VDBD / $VDBC / $ROUTER not built (run: cargo build --bins)" >&2
+    exit 1
+}
+
+WORKDIR="$(mktemp -d)"
+PIDS=()
+# Every daemon must die no matter how this script exits: terminate the
+# lot, wait briefly, then escalate to KILL. The original exit status is
+# preserved so failures still fail the job.
+cleanup() {
+    status=$?
+    for pid in "${PIDS[@]:-}"; do
+        [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null || continue
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in "${PIDS[@]:-}"; do
+        [ -n "$pid" ] || continue
+        for _ in $(seq 1 20); do
+            kill -0 "$pid" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -0 "$pid" 2>/dev/null && kill -9 "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORKDIR"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+# start_shard <slot> [<addr>]: boots a journaled vdbd, sets SHARD_PID
+# and SHARD_ADDR once it reports its bound address.
+start_shard() {
+    local slot="$1" addr="${2:-127.0.0.1:0}"
+    "$VDBD" --addr "$addr" --metrics-interval 0 \
+        --shard-id "$slot" --journal "$WORKDIR/shard$slot.vdbj" \
+        >"$WORKDIR/shard$slot.out" 2>"$WORKDIR/shard$slot.err" &
+    SHARD_PID=$!
+    PIDS+=("$SHARD_PID")
+    SHARD_ADDR=""
+    for _ in $(seq 1 100); do
+        SHARD_ADDR="$(sed -n 's/^vdbd listening on //p' "$WORKDIR/shard$slot.out" | tail -n1)"
+        [ -n "$SHARD_ADDR" ] && break
+        kill -0 "$SHARD_PID" 2>/dev/null || {
+            echo "router_smoke: shard $slot died before binding:" >&2
+            cat "$WORKDIR/shard$slot.err" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    [ -n "$SHARD_ADDR" ] || { echo "router_smoke: shard $slot never bound" >&2; exit 1; }
+    echo "router_smoke: shard $slot up on $SHARD_ADDR"
+}
+
+expect_contains() { # <needle> <label> <<< haystack
+    local needle="$1" label="$2" out
+    out="$(cat)"
+    case "$out" in
+    *"$needle"*) ;;
+    *)
+        echo "router_smoke: $label output missing '$needle':" >&2
+        echo "$out" >&2
+        exit 1
+        ;;
+    esac
+}
+
+start_shard 0
+SHARD0_PID=$SHARD_PID
+SHARD0_ADDR=$SHARD_ADDR
+start_shard 1
+SHARD1_ADDR=$SHARD_ADDR
+
+"$ROUTER" --addr 127.0.0.1:0 --shard "$SHARD0_ADDR" --shard "$SHARD1_ADDR" \
+    >"$WORKDIR/router.out" 2>"$WORKDIR/router.err" &
+ROUTER_PID=$!
+PIDS+=("$ROUTER_PID")
+RADDR=""
+for _ in $(seq 1 100); do
+    RADDR="$(sed -n 's/^vdb-router listening on //p' "$WORKDIR/router.out")"
+    [ -n "$RADDR" ] && break
+    kill -0 "$ROUTER_PID" 2>/dev/null || {
+        echo "router_smoke: vdb-router died before binding:" >&2
+        cat "$WORKDIR/router.err" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -n "$RADDR" ] || { echo "router_smoke: vdb-router never bound" >&2; exit 1; }
+echo "router_smoke: router up on $RADDR over 2 shards"
+
+"$VDBC" "$RADDR" ping | expect_contains "pong" "ping"
+"$VDBC" "$RADDR" ring | expect_contains "vnodes" "ring"
+
+# Stream two clips in through the router; the binary protocol is proxied
+# to whichever shard owns each name, and the ack carries the global id.
+CLIP="$WORKDIR/clip.y4m"
+"$VDBC" --synth-y4m "$CLIP" 3 9 | expect_contains "wrote $CLIP" "synth-y4m"
+"$VDBC" "$RADDR" stream "$CLIP" as "routed alpha" | expect_contains "durable=true" "stream-alpha"
+"$VDBC" "$RADDR" stream "$CLIP" as "routed beta" | expect_contains "durable=true" "stream-beta"
+
+# Scatter-gather answers across both shards, whole-cluster stats, and
+# per-shard counters in the router metrics table.
+"$VDBC" "$RADDR" list | expect_contains "routed alpha" "list"
+"$VDBC" "$RADDR" list | expect_contains "routed beta" "list"
+"$VDBC" "$RADDR" query "ba=0.4 oa=14 limit=5" | expect_contains "answers" "query"
+"$VDBC" "$RADDR" stats | expect_contains "videos 2" "stats"
+"$VDBC" "$RADDR" stats | expect_contains "router.shards 2" "stats"
+"$VDBC" "$RADDR" metrics | expect_contains "router.shard.0.requests" "metrics"
+"$VDBC" "$RADDR" metrics | expect_contains "router.shard.1.requests" "metrics"
+# A healthy cluster must never mark an answer partial.
+"$VDBC" "$RADDR" list | { ! grep -q "partial="; } \
+    || { echo "router_smoke: healthy cluster answered 'list' partial" >&2; exit 1; }
+"$VDBC" "$RADDR" stats | { ! grep -q "partial="; } \
+    || { echo "router_smoke: healthy cluster answered 'stats' partial" >&2; exit 1; }
+
+# Restart shard 0: SIGTERM it, rebind the same port (SO_REUSEADDR), and
+# the cluster must answer whole again — same journal, no partial marker.
+kill "$SHARD0_PID"
+for _ in $(seq 1 100); do
+    kill -0 "$SHARD0_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$SHARD0_PID" 2>/dev/null && { echo "router_smoke: shard 0 ignored SIGTERM" >&2; exit 1; }
+wait "$SHARD0_PID" 2>/dev/null || true
+grep -q "clean shutdown" "$WORKDIR/shard0.err" || {
+    echo "router_smoke: shard 0 did not shut down cleanly:" >&2
+    cat "$WORKDIR/shard0.err" >&2
+    exit 1
+}
+start_shard 0 "$SHARD0_ADDR"
+[ "$SHARD_ADDR" = "$SHARD0_ADDR" ] || {
+    echo "router_smoke: restarted shard 0 on $SHARD_ADDR, wanted $SHARD0_ADDR" >&2
+    exit 1
+}
+
+"$VDBC" "$RADDR" list | expect_contains "routed alpha" "list-after-restart"
+"$VDBC" "$RADDR" stats | expect_contains "videos 2" "stats-after-restart"
+"$VDBC" "$RADDR" query "ba=0.4 oa=14 limit=5" | { ! grep -q "partial="; } || {
+    echo "router_smoke: cluster still partial after shard restart" >&2
+    exit 1
+}
+
+# Wire shutdown: the router drains and exits 0 on its own; the shards
+# are then shut down over their own wire.
+"$VDBC" "$RADDR" shutdown | expect_contains "shutting down" "router-shutdown"
+for _ in $(seq 1 100); do
+    kill -0 "$ROUTER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$ROUTER_PID" 2>/dev/null && { echo "router_smoke: router did not exit" >&2; exit 1; }
+wait "$ROUTER_PID" || {
+    echo "router_smoke: vdb-router exited non-zero:" >&2
+    cat "$WORKDIR/router.err" >&2
+    exit 1
+}
+grep -q "clean shutdown" "$WORKDIR/router.err" || {
+    echo "router_smoke: router did not report a clean shutdown:" >&2
+    cat "$WORKDIR/router.err" >&2
+    exit 1
+}
+"$VDBC" "$SHARD0_ADDR" shutdown | expect_contains "shutting down" "shard0-shutdown"
+"$VDBC" "$SHARD1_ADDR" shutdown | expect_contains "shutting down" "shard1-shutdown"
+echo "router_smoke: OK"

@@ -129,7 +129,8 @@ CLIP="$WORKDIR/clip.y4m"
 "$VDBC" "$ADDR" list | expect_contains "smoke stream" "list-after-stream"
 "$VDBC" "$ADDR" stats | expect_contains "videos 3" "stats-after-stream"
 # The session must be drained (0 open) and accounted for in the stats.
-"$VDBC" "$ADDR" stats | expect_contains "streams: 0 open, 1 committed" "stream-stats"
+"$VDBC" "$ADDR" stats | expect_contains "server.stream.open 0" "stream-stats"
+"$VDBC" "$ADDR" stats | expect_contains "server.stream.committed 1" "stream-stats"
 "$VDBC" "$ADDR" metrics | expect_contains "stream.commit" "stream-metrics"
 
 # A scripted multi-command session over one connection, ending in a wire
