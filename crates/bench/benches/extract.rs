@@ -1,0 +1,134 @@
+//! Extraction-kernel microbenchmarks: scalar vs fused vs each SIMD level.
+//!
+//! Three tiers, mirroring the structure of the hot path:
+//!
+//! * `gather` — the crop kernel (index-table gather), one shape per area;
+//!   always scalar (3-byte pixels defeat vector gathers), benched to keep
+//!   its share of the budget visible.
+//! * `reduce_rows5` — the vertical 5-tap kernel at every available
+//!   instruction set, on the real TBA/FOA row widths.
+//! * `frame` — the full per-frame extraction: the unfused crop-then-reduce
+//!   composition as the baseline, then the fused pass at every available
+//!   SIMD level (`fused-scalar` isolates the fusion win from the SIMD win).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_core::features::{FeatureExtractor, ScratchBuffers};
+use vdb_core::frame::FrameBuf;
+use vdb_core::geometry::AreaLayout;
+use vdb_core::kernels::{gather_pixels, reduce_rows5};
+use vdb_core::pixel::Rgb;
+use vdb_core::pyramid::{reduce_grid_to_signature, reduce_line_to_sign};
+use vdb_core::simd::{ResolvedIsa, SimdLevel};
+
+fn test_frame(w: u32, h: u32) -> FrameBuf {
+    FrameBuf::from_fn(w, h, |x, y| {
+        Rgb::new(
+            ((x * 3 + y * 17) % 253) as u8,
+            ((x * 11 + y * 5) % 251) as u8,
+            ((x + y * 23) % 241) as u8,
+        )
+    })
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract/gather");
+    for (w, h) in [(80u32, 60u32), (160, 120)] {
+        let frame = test_frame(w, h);
+        let layout = AreaLayout::for_frame(w, h).unwrap();
+        for (area, table, cols) in [
+            ("tba", layout.tba_index_table(), layout.l),
+            ("foa", layout.foa_index_table(), layout.b),
+        ] {
+            let mut out = vec![Rgb::BLACK; cols];
+            group.throughput(Throughput::Elements(table.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{w}x{h}/{area}")),
+                &table,
+                |b, table| {
+                    b.iter(|| {
+                        // One row at a time, like the fused pass does.
+                        for row in table.chunks_exact(cols) {
+                            gather_pixels(black_box(frame.pixels()), row, &mut out);
+                        }
+                        black_box(&out);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_reduce_rows5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract/reduce_rows5");
+    // Byte widths of the real signature rows: 125 px (80x60 frames) and
+    // 253 px (160x120) at 3 bytes/pixel.
+    for n in [375usize, 759] {
+        let rows: Vec<Vec<u8>> = (0..5)
+            .map(|r| (0..n).map(|i| ((i * 7 + r * 31) % 256) as u8).collect())
+            .collect();
+        let mut out = vec![0u8; n];
+        for isa in ResolvedIsa::available_levels() {
+            group.throughput(Throughput::Bytes(n as u64));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{n}B/{isa}")),
+                &isa,
+                |b, &isa| {
+                    b.iter(|| {
+                        let window: [&[u8]; 5] = std::array::from_fn(|k| rows[k].as_slice());
+                        reduce_rows5(isa, black_box(window), &mut out);
+                        black_box(&out);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract/frame");
+    for (w, h) in [(80u32, 60u32), (160, 120)] {
+        let frame = test_frame(w, h);
+        let pixels = u64::from(w) * u64::from(h);
+        let layout = AreaLayout::for_frame(w, h).unwrap();
+
+        // Baseline: the unfused crop-then-reduce composition.
+        group.throughput(Throughput::Elements(pixels));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}/composed-scalar")),
+            &frame,
+            |b, frame| {
+                b.iter(|| {
+                    let tba = layout.extract_tba(black_box(frame));
+                    let sig = reduce_grid_to_signature(&tba).unwrap();
+                    let sign_ba = reduce_line_to_sign(&sig).unwrap();
+                    let foa = layout.extract_foa(frame);
+                    let sig_oa = reduce_grid_to_signature(&foa).unwrap();
+                    let sign_oa = reduce_line_to_sign(&sig_oa).unwrap();
+                    black_box((sign_ba, sign_oa, sig));
+                });
+            },
+        );
+
+        // The fused pass at every level; "fused-scalar" vs
+        // "composed-scalar" isolates the fusion win from the SIMD win.
+        for level in SimdLevel::all_available() {
+            let ex = FeatureExtractor::with_simd(w, h, level).unwrap();
+            let mut scratch = ScratchBuffers::default();
+            group.throughput(Throughput::Elements(pixels));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{w}x{h}/fused-{level}")),
+                &frame,
+                |b, frame| {
+                    b.iter(|| ex.extract_with(black_box(frame), &mut scratch).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gather, bench_reduce_rows5, bench_frame);
+criterion_main!(benches);

@@ -22,15 +22,29 @@
 //! `chrome://tracing` or Perfetto to see the span tree of every ingest
 //! and probe.
 //!
+//! With `--simd <level>` the ingest pipeline runs its extraction kernels
+//! at an explicit SIMD level (`auto`, `scalar`, `sse2`, `avx2`, `neon`);
+//! the snapshot's `simd` block always records both the configured level
+//! and what `auto` resolved to on the host, so a checked-in snapshot is
+//! attributable to an instruction set.
+//!
+//! With `--simd-compare <path>` the run finishes with a scalar-vs-SIMD
+//! extraction shoot-out over the same corpus — every available level
+//! extracts every frame, outputs are cross-checked bit-identical, and the
+//! per-level frames/s land in `<path>` as a small JSON artifact (the CI
+//! perf-matrix upload).
+//!
 //! ```text
 //! perfsnap [--out BENCH_5.json] [--baseline BENCH_5.json]
 //!          [--max-regress 0.25] [--clips 6] [--shots 10] [--seed 5]
-//!          [--trace-out BENCH_TRACE.json]
+//!          [--trace-out BENCH_TRACE.json] [--simd LEVEL]
+//!          [--simd-compare SIMD_COMPARE.json]
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use vdb_core::analyzer::AnalyzerConfig;
+use vdb_core::simd::SimdLevel;
 use vdb_obs::Snapshot;
 use vdb_store::journal::JournaledDatabase;
 use vdb_synth::{build_script, generate, Genre};
@@ -43,6 +57,8 @@ struct Args {
     shots: usize,
     seed: u64,
     trace_out: Option<String>,
+    simd: SimdLevel,
+    simd_compare: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -54,6 +70,8 @@ fn parse_args() -> Args {
         shots: 30,
         seed: 5,
         trace_out: None,
+        simd: SimdLevel::Auto,
+        simd_compare: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -68,6 +86,17 @@ fn parse_args() -> Args {
             "--shots" => args.shots = grab("--shots").parse().expect("--shots: integer"),
             "--seed" => args.seed = grab("--seed").parse().expect("--seed: integer"),
             "--trace-out" => args.trace_out = Some(grab("--trace-out")),
+            "--simd" => {
+                let level: SimdLevel = grab("--simd")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--simd: {e}"));
+                // Fail loudly now, not mid-ingest.
+                level
+                    .try_resolve()
+                    .unwrap_or_else(|e| panic!("--simd: {e}"));
+                args.simd = level;
+            }
+            "--simd-compare" => args.simd_compare = Some(grab("--simd-compare")),
             other => panic!("unknown argument '{other}'"),
         }
     }
@@ -141,9 +170,17 @@ fn main() {
             vdb_obs::TraceContext::disabled()
         }
     };
+    let analyzer_config = AnalyzerConfig {
+        simd: args.simd,
+        ..AnalyzerConfig::default()
+    };
+    let resolved_isa = args.simd.try_resolve().expect("checked at parse time");
+    eprintln!(
+        "perfsnap: simd level {} (resolves to {resolved_isa})",
+        args.simd
+    );
     let wall = Instant::now();
-    let mut db =
-        JournaledDatabase::open(&journal_path, AnalyzerConfig::default()).expect("open journal");
+    let mut db = JournaledDatabase::open(&journal_path, analyzer_config).expect("open journal");
     for (name, video) in &videos {
         db.ingest_traced(name.clone(), video, vec![], vec![], &trace_root())
             .expect("ingest clip");
@@ -185,6 +222,20 @@ fn main() {
         "  \"corpus\": {{\"clips\": {}, \"shots_per_clip\": {}, \"seed\": {}, \"frames\": {}}},",
         args.clips, args.shots, args.seed, frames
     );
+    // The configured knob and the instruction set it actually ran as —
+    // `auto` is made explicit so snapshots are attributable to a host ISA.
+    let _ = write!(
+        json,
+        "  \"simd\": {{\"configured\": \"{}\", \"resolved\": \"{resolved_isa}\", \"available\": [",
+        args.simd
+    );
+    for (i, level) in SimdLevel::all_available().into_iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{level}\"");
+    }
+    json.push_str("]},\n");
     json.push_str("  \"wall_seconds\": ");
     push_f64(&mut json, wall_seconds);
     json.push_str(",\n  \"frames_per_sec\": {");
@@ -270,6 +321,13 @@ fn main() {
         );
     }
 
+    // --- Scalar-vs-SIMD extraction shoot-out. ---
+    if let Some(path) = &args.simd_compare {
+        let artifact = simd_compare(&videos);
+        std::fs::write(path, &artifact).expect("write simd comparison artifact");
+        eprintln!("perfsnap: wrote scalar-vs-SIMD comparison to {path}");
+    }
+
     // --- Regression gate. ---
     if let Some(path) = &args.baseline {
         let text =
@@ -290,6 +348,74 @@ fn main() {
              (floor {floor:.0})"
         );
     }
+}
+
+/// Run extraction-only over the corpus once per available SIMD level,
+/// cross-check the outputs bit-identical, and render the per-level
+/// frames/s as a small JSON artifact.
+fn simd_compare(videos: &[(String, vdb_core::frame::Video)]) -> String {
+    use vdb_core::features::{FeatureExtractor, FrameFeatures, ScratchBuffers};
+
+    let levels = SimdLevel::all_available();
+    let total: u64 = videos.iter().map(|(_, v)| v.len() as u64).sum();
+    let mut reference: Option<Vec<FrameFeatures>> = None;
+    let mut rows: Vec<(SimdLevel, f64)> = Vec::with_capacity(levels.len());
+    for &level in &levels {
+        let mut scratch = ScratchBuffers::default();
+        let mut features = Vec::with_capacity(total as usize);
+        let wall = Instant::now();
+        for (_, video) in videos {
+            let (w, h) = video.dims();
+            let ex = FeatureExtractor::with_simd(w, h, level).expect("level is available");
+            for frame in video.frames() {
+                features.push(ex.extract_with(frame, &mut scratch).expect("extract"));
+            }
+        }
+        let level_fps = fps(total, wall.elapsed().as_secs_f64());
+        eprintln!("perfsnap: simd-compare {level}: {level_fps:.0} frames/s extraction");
+        match &reference {
+            None => reference = Some(features),
+            Some(expected) => assert_eq!(
+                &features, expected,
+                "SIMD level {level} diverged from scalar output"
+            ),
+        }
+        rows.push((level, level_fps));
+    }
+    let scalar_fps = rows
+        .iter()
+        .find(|(l, _)| *l == SimdLevel::Scalar)
+        .map_or(0.0, |&(_, f)| f);
+    let mut json = String::from("{\n  \"schema\": \"vdb-simd-compare/v1\",\n");
+    let _ = write!(
+        json,
+        "  \"resolved_auto\": \"{}\",\n  \"frames\": {total},\n  \"extract_frames_per_sec\": {{",
+        SimdLevel::Auto.resolve()
+    );
+    for (i, (level, level_fps)) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{level}\": ");
+        push_f64(&mut json, *level_fps);
+    }
+    json.push_str("},\n  \"speedup_vs_scalar\": {");
+    for (i, (level, level_fps)) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{level}\": ");
+        push_f64(
+            &mut json,
+            if scalar_fps > 0.0 {
+                level_fps / scalar_fps
+            } else {
+                0.0
+            },
+        );
+    }
+    json.push_str("}\n}\n");
+    json
 }
 
 /// Pull `frames_per_sec.overall` out of a previous snapshot.

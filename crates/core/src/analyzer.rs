@@ -15,6 +15,7 @@ use crate::pixel::Rgb;
 use crate::sbd::{SbdConfig, Segmentation};
 use crate::scenetree::{SceneTree, SceneTreeConfig};
 use crate::shot::Shot;
+use crate::simd::SimdLevel;
 use crate::variance::ShotFeature;
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +30,10 @@ pub struct AnalyzerConfig {
     /// everything after it stay sequential, so the analysis is identical
     /// for every setting — this knob only changes wall-clock time.
     pub parallelism: Parallelism,
+    /// SIMD instruction set for the extraction kernels. Every level
+    /// produces bit-identical features — like [`AnalyzerConfig::parallelism`],
+    /// this knob only changes wall-clock time.
+    pub simd: SimdLevel,
 }
 
 /// Everything the pipeline derives from one video.
@@ -188,10 +193,29 @@ mod tests {
                 relationship_threshold_percent: 5.0,
             },
             parallelism: Parallelism::Threads(2),
+            simd: SimdLevel::Scalar,
         };
         let an = VideoAnalyzer::with_config(cfg);
         assert_eq!(an.config().sbd.track_min_score, 0.5);
         assert_eq!(an.config().scene_tree.relationship_threshold_percent, 5.0);
+        assert_eq!(an.config().simd, SimdLevel::Scalar);
         an.analyze(&two_scene_video()).unwrap();
+    }
+
+    #[test]
+    fn simd_config_yields_identical_analysis() {
+        let v = two_scene_video();
+        let reference = VideoAnalyzer::new().analyze(&v).unwrap();
+        for simd in SimdLevel::all_available() {
+            let cfg = AnalyzerConfig {
+                simd,
+                ..AnalyzerConfig::default()
+            };
+            assert_eq!(
+                VideoAnalyzer::with_config(cfg).analyze(&v).unwrap(),
+                reference,
+                "analysis must be bit-identical at {simd}"
+            );
+        }
     }
 }

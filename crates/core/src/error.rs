@@ -47,6 +47,14 @@ pub enum CoreError {
         /// The offending shot id.
         shot: usize,
     },
+    /// A forced SIMD level names an instruction set this host lacks.
+    ///
+    /// Only produced by [`crate::SimdLevel::Forced`] — `Auto` and `Scalar`
+    /// always resolve.
+    SimdUnavailable {
+        /// Name of the unavailable instruction set (e.g. `"avx2"`).
+        isa: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -75,6 +83,12 @@ impl fmt::Display for CoreError {
                 other.0, other.1, first.0, first.1
             ),
             CoreError::UnknownShot { shot } => write!(f, "unknown shot id {shot}"),
+            CoreError::SimdUnavailable { isa } => {
+                write!(
+                    f,
+                    "SIMD instruction set {isa} is not available on this host"
+                )
+            }
         }
     }
 }

@@ -8,24 +8,44 @@
 //!   by the stage-1 quick test, by RELATIONSHIP (Eq. 2), and by `Var^BA`;
 //! * `sign_oa` (`Sign_i^OA`) — the single-pixel reduction of the FOA, used
 //!   by `Var^OA`.
+//!
+//! # The fused hot path
+//!
+//! The textbook formulation crops the frame into a TBA/FOA grid and then
+//! reduces that grid — two passes, with the full grid materialized in
+//! between. This module fuses them: the crop is a precomputed index-table
+//! gather ([`AreaLayout::tba_index_table`]), and grid rows are gathered
+//! into a 5-row ring just in time for the first vertical reduction, so
+//! each source pixel is read exactly once and only `5 × cols` gathered
+//! pixels are ever live. Output row `i` consumes source rows
+//! `2i..2i+4`; the ring slot for row `r` is `r % 5`, collision-free
+//! because any kernel window spans 5 consecutive rows. The remaining
+//! (much smaller) levels collapse via
+//! [`crate::kernels::collapse_grid_to_row`] at the extractor's resolved
+//! SIMD level. Results are bit-identical to the unfused crop-then-reduce
+//! composition at every level — pinned by the proptests below and the
+//! scalar-vs-SIMD equivalence suite.
 
 use crate::error::Result;
 use crate::frame::{FrameBuf, Video};
-use crate::geometry::{AreaLayout, PixelGrid};
-use crate::pixel::Rgb;
-use crate::pyramid::{reduce_grid_to_signature_into, reduce_line_to_sign_with, ReduceScratch};
+use crate::geometry::AreaLayout;
+use crate::kernels;
+use crate::pixel::{rgb_as_bytes, rgb_as_bytes_mut, Rgb};
+use crate::pyramid::{ensure_capacity, reduce_line_to_sign_with, ReduceScratch};
 use crate::signature::Signature;
+use crate::simd::{ResolvedIsa, SimdLevel};
+use crate::sizeset::in_size_set;
 use serde::{Deserialize, Serialize};
 
 /// Reusable working memory for per-frame feature extraction.
 ///
-/// Extraction needs four temporaries per frame — the TBA and FOA pixel
-/// grids, the intermediate pyramid levels, and the FOA's throwaway
+/// Extraction needs a handful of temporaries per frame — the 5-row gather
+/// ring, the intermediate pyramid levels, and the FOA's throwaway
 /// signature. A `ScratchBuffers` owns all of them and is threaded through
 /// [`FeatureExtractor::extract_with`], so after the first frame (warm-up)
 /// the only per-frame allocation left is the returned [`FrameFeatures`]'s
-/// own `Signature` — the pyramid reductions themselves are allocation-free
-/// (asserted via [`crate::pyramid::reduction_allocs`]).
+/// own `Signature` — the crop gathers and pyramid reductions themselves
+/// are allocation-free (asserted via [`crate::pyramid::reduction_allocs`]).
 ///
 /// The buffers grow to the largest frame layout ever seen and carry no
 /// frame content between uses, so one scratch may be reused across clips
@@ -33,10 +53,31 @@ use serde::{Deserialize, Serialize};
 /// extraction worker owns its own.
 #[derive(Debug, Clone, Default)]
 pub struct ScratchBuffers {
-    tba: PixelGrid,
-    foa: PixelGrid,
+    grids: GridScratch,
     reduce: ReduceScratch,
     sig_oa: Vec<Rgb>,
+}
+
+/// Scratch for the fused crop-and-reduce grid pass: the 5-row gather ring
+/// plus the two ping-pong level buffers. Kept separate from
+/// [`ReduceScratch`] (the *line* pyramid's buffers) so the line
+/// reductions' clear/push length games never force the grid pass to
+/// re-initialize its full-length buffers.
+#[derive(Debug, Clone, Default)]
+struct GridScratch {
+    ring: [Vec<Rgb>; 5],
+    a: Vec<Rgb>,
+    b: Vec<Rgb>,
+}
+
+/// Grow `buf` to at least `len` initialized pixels, charging the reduction
+/// allocation counter only on true heap growth. Never shrinks, so warm
+/// slices stay valid across layout changes.
+fn grow_pixels(buf: &mut Vec<Rgb>, len: usize) {
+    if buf.len() < len {
+        ensure_capacity(buf, len);
+        buf.resize(len, Rgb::BLACK);
+    }
 }
 
 /// The features extracted from one frame.
@@ -54,23 +95,59 @@ pub struct FrameFeatures {
 /// Extracts [`FrameFeatures`] for frames of one fixed size.
 ///
 /// Construct once per video; the [`AreaLayout`] (and hence all pyramid
-/// shapes) is fixed by the frame dimensions.
+/// shapes), the crop index tables, and the resolved SIMD level are fixed
+/// by the frame dimensions and configuration. Shareable across parallel
+/// workers by `&self` (each worker brings its own [`ScratchBuffers`]).
 #[derive(Debug, Clone)]
 pub struct FeatureExtractor {
     layout: AreaLayout,
+    isa: ResolvedIsa,
+    /// `w × L` nearest-neighbor table: TBA cell → frame pixel index.
+    tba_table: Vec<u32>,
+    /// `h × b` nearest-neighbor table: FOA cell → frame pixel index.
+    foa_table: Vec<u32>,
 }
 
 impl FeatureExtractor {
-    /// Create an extractor for `width × height` frames.
+    /// Create an extractor for `width × height` frames, auto-detecting the
+    /// SIMD level ([`SimdLevel::Auto`]).
     pub fn new(width: u32, height: u32) -> Result<Self> {
+        Self::with_simd(width, height, SimdLevel::Auto)
+    }
+
+    /// Create an extractor for `width × height` frames at an explicit
+    /// [`SimdLevel`]. Every level extracts bit-identical features; the
+    /// knob only changes wall-clock time.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::FrameTooSmall`] for unusable dimensions;
+    /// [`crate::CoreError::SimdUnavailable`] if a forced level names an
+    /// instruction set this host lacks.
+    pub fn with_simd(width: u32, height: u32, simd: SimdLevel) -> Result<Self> {
+        Self::with_layout(AreaLayout::for_frame(width, height)?, simd)
+    }
+
+    /// Create an extractor for an explicit (possibly non-default)
+    /// [`AreaLayout`], e.g. one built with
+    /// [`AreaLayout::for_frame_with_fraction`].
+    pub fn with_layout(layout: AreaLayout, simd: SimdLevel) -> Result<Self> {
+        let isa = simd.try_resolve()?;
         Ok(FeatureExtractor {
-            layout: AreaLayout::for_frame(width, height)?,
+            layout,
+            isa,
+            tba_table: layout.tba_index_table(),
+            foa_table: layout.foa_index_table(),
         })
     }
 
     /// The geometry in use.
     pub fn layout(&self) -> &AreaLayout {
         &self.layout
+    }
+
+    /// The instruction set the extraction kernels run with.
+    pub fn simd(&self) -> ResolvedIsa {
+        self.isa
     }
 
     /// Extract features for a single frame.
@@ -87,22 +164,41 @@ impl FeatureExtractor {
 
     /// Extract features for a single frame, reusing `scratch` for every
     /// temporary. Bit-identical to [`FeatureExtractor::extract`]; after
-    /// warm-up the pyramid reductions allocate nothing and the only
-    /// per-frame allocation is the returned signature.
+    /// warm-up the crop gathers and pyramid reductions allocate nothing
+    /// and the only per-frame allocation is the returned signature.
     pub fn extract_with(
         &self,
         frame: &FrameBuf,
         scratch: &mut ScratchBuffers,
     ) -> Result<FrameFeatures> {
-        self.layout.extract_tba_into(frame, &mut scratch.tba);
+        debug_assert_eq!(
+            frame.dims(),
+            (self.layout.frame_width, self.layout.frame_height)
+        );
+        let pixels = frame.pixels();
         // The BA signature outlives the call inside `FrameFeatures`, so it
         // gets its own allocation — sized up front so the reduction never
         // grows it.
         let mut signature = Vec::with_capacity(self.layout.l);
-        reduce_grid_to_signature_into(&scratch.tba, &mut scratch.reduce, &mut signature)?;
+        fused_crop_signature(
+            pixels,
+            &self.tba_table,
+            self.layout.w,
+            self.layout.l,
+            self.isa,
+            &mut scratch.grids,
+            &mut signature,
+        )?;
         let sign_ba = reduce_line_to_sign_with(&signature, &mut scratch.reduce)?;
-        self.layout.extract_foa_into(frame, &mut scratch.foa);
-        reduce_grid_to_signature_into(&scratch.foa, &mut scratch.reduce, &mut scratch.sig_oa)?;
+        fused_crop_signature(
+            pixels,
+            &self.foa_table,
+            self.layout.h,
+            self.layout.b,
+            self.isa,
+            &mut scratch.grids,
+            &mut scratch.sig_oa,
+        )?;
         let sign_oa = reduce_line_to_sign_with(&scratch.sig_oa, &mut scratch.reduce)?;
         Ok(FrameFeatures {
             sign_ba,
@@ -117,6 +213,70 @@ impl FeatureExtractor {
     }
 }
 
+/// The fused crop + grid pyramid: gather `rows × cols` grid cells from
+/// `pixels` through `table` and collapse them to the one-row signature in
+/// `out` (cleared first), without ever materializing the full grid.
+///
+/// Rows are gathered into the 5-slot ring exactly when the first vertical
+/// reduction needs them (output row `i` consumes source rows `2i..2i+4`,
+/// so each source row is gathered exactly once), the level-1 grid lands in
+/// `grids.a`, and the remaining levels collapse in place. Bit-identical to
+/// `extract_*_into` + `reduce_grid_to_signature_into` at every SIMD level.
+fn fused_crop_signature(
+    pixels: &[Rgb],
+    table: &[u32],
+    rows: usize,
+    cols: usize,
+    isa: ResolvedIsa,
+    grids: &mut GridScratch,
+    out: &mut Vec<Rgb>,
+) -> Result<()> {
+    debug_assert_eq!(table.len(), rows * cols);
+    if !in_size_set(rows) {
+        return Err(crate::CoreError::NotInSizeSet { len: rows });
+    }
+    if !in_size_set(cols) {
+        return Err(crate::CoreError::NotInSizeSet { len: cols });
+    }
+    out.clear();
+    ensure_capacity(out, cols);
+    if rows == 1 {
+        // The grid already is a single line: the signature is the gather.
+        out.resize(cols, Rgb::BLACK);
+        kernels::gather_pixels(pixels, table, &mut out[..]);
+        return Ok(());
+    }
+    let out_rows = (rows - 3) / 2;
+    for slot in grids.ring.iter_mut() {
+        grow_pixels(slot, cols);
+    }
+    grow_pixels(&mut grids.a, out_rows * cols);
+    grow_pixels(&mut grids.b, out_rows * cols);
+    let mut gathered = 0usize;
+    for i in 0..out_rows {
+        // Pull in the source rows this window needs (2 new ones after the
+        // first window; 5 for it). Slot `r % 5` cannot collide within the
+        // 5-consecutive-row window.
+        while gathered <= 2 * i + 4 {
+            kernels::gather_pixels(
+                pixels,
+                &table[gathered * cols..(gathered + 1) * cols],
+                &mut grids.ring[gathered % 5][..cols],
+            );
+            gathered += 1;
+        }
+        let window: [&[u8]; 5] =
+            core::array::from_fn(|k| rgb_as_bytes(&grids.ring[(2 * i + k) % 5][..cols]));
+        kernels::reduce_rows5(
+            isa,
+            window,
+            rgb_as_bytes_mut(&mut grids.a[i * cols..(i + 1) * cols]),
+        );
+    }
+    kernels::collapse_grid_to_row(&mut grids.a, &mut grids.b, out_rows, cols, isa, out);
+    Ok(())
+}
+
 /// Convenience: build the extractor from the video itself and run it.
 pub fn extract_features(video: &Video) -> Result<Vec<FrameFeatures>> {
     let (w, h) = video.dims();
@@ -127,9 +287,27 @@ pub fn extract_features(video: &Video) -> Result<Vec<FrameFeatures>> {
 mod tests {
     use super::*;
     use crate::error::CoreError;
+    use crate::pyramid::{reduce_grid_to_signature, reduce_line_to_sign};
+    use proptest::prelude::*;
 
     fn uniform_video(n: usize, color: Rgb) -> Video {
         Video::new(vec![FrameBuf::filled(80, 60, color); n], 3.0).unwrap()
+    }
+
+    /// The unfused reference: crop-then-reduce composed from the closure
+    /// extractors and the scalar grid pyramid.
+    fn composed_reference(layout: &AreaLayout, frame: &FrameBuf) -> FrameFeatures {
+        let tba = layout.extract_tba(frame);
+        let signature = reduce_grid_to_signature(&tba).unwrap();
+        let sign_ba = reduce_line_to_sign(&signature).unwrap();
+        let foa = layout.extract_foa(frame);
+        let sig_oa = reduce_grid_to_signature(&foa).unwrap();
+        let sign_oa = reduce_line_to_sign(&sig_oa).unwrap();
+        FrameFeatures {
+            sign_ba,
+            sign_oa,
+            signature_ba: Signature::new(signature),
+        }
     }
 
     #[test]
@@ -229,5 +407,77 @@ mod tests {
         let a = ex.extract(&frame).unwrap();
         let b = ex.extract(&frame).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fused_matches_composed_at_every_level_on_fixed_dims() {
+        // Odd frame dims land the grids on non-lane-multiple byte widths;
+        // 160x120 is the paper layout.
+        for (w, h) in [(160u32, 120u32), (80, 60), (41, 31), (97, 73)] {
+            let frame = FrameBuf::from_fn(w, h, |x, y| {
+                Rgb::new(
+                    ((x * 3 + y * 17) % 253) as u8,
+                    ((x * 11 + y * 5) % 251) as u8,
+                    ((x + y * 23) % 241) as u8,
+                )
+            });
+            let layout = AreaLayout::for_frame(w, h).unwrap();
+            let expected = composed_reference(&layout, &frame);
+            for level in SimdLevel::all_available() {
+                let ex = FeatureExtractor::with_simd(w, h, level).unwrap();
+                assert_eq!(ex.extract(&frame).unwrap(), expected, "{w}x{h} at {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_unavailable_isa_is_an_error() {
+        // At least one of these is absent on any given host arch.
+        let mut saw_err = false;
+        for level in [
+            SimdLevel::Forced(crate::SimdIsa::Neon),
+            SimdLevel::Forced(crate::SimdIsa::Avx2),
+        ] {
+            if let Err(e) = FeatureExtractor::with_simd(80, 60, level) {
+                assert!(matches!(e, CoreError::SimdUnavailable { .. }));
+                saw_err = true;
+            }
+        }
+        // On x86_64 Neon always errors; on aarch64 Avx2 always errors.
+        if cfg!(any(target_arch = "x86_64", target_arch = "aarch64")) {
+            assert!(saw_err);
+        }
+    }
+
+    proptest! {
+        /// The tentpole invariant: fused crop+reduce equals crop-then-reduce
+        /// composed, for random frame dims, crop rectangles (border
+        /// fractions), and hence pyramid depths — at every available SIMD
+        /// level.
+        #[test]
+        fn prop_fused_equals_composed(
+            width in 20u32..260,
+            height in 20u32..260,
+            frac_pct in 5u32..45,
+            seed in any::<u8>(),
+        ) {
+            let fraction = frac_pct as f64 / 100.0;
+            if let Ok(layout) = AreaLayout::for_frame_with_fraction(width, height, fraction) {
+                let frame = FrameBuf::from_fn(width, height, |x, y| {
+                    Rgb::new(
+                        ((x * 7 + y * 3) as u8).wrapping_add(seed),
+                        ((x + y * 13) as u8).wrapping_mul(31),
+                        ((x * 5 + y * 11) as u8) ^ seed,
+                    )
+                });
+                let expected = composed_reference(&layout, &frame);
+                let mut scratch = ScratchBuffers::default();
+                for level in SimdLevel::all_available() {
+                    let ex = FeatureExtractor::with_layout(layout, level).unwrap();
+                    let got = ex.extract_with(&frame, &mut scratch).unwrap();
+                    prop_assert_eq!(&got, &expected, "{}x{} frac {} at {}", width, height, fraction, level);
+                }
+            }
+        }
     }
 }

@@ -50,11 +50,7 @@ impl FrameBuf {
     /// pixel. This is the payload format streaming-ingest clients push
     /// over the wire.
     pub fn to_rgb24(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.data.len() * 3);
-        for p in &self.data {
-            out.extend_from_slice(&p.0);
-        }
-        out
+        crate::pixel::rgb_as_bytes(&self.data).to_vec()
     }
 
     /// Rebuild a frame from raw RGB24 bytes (the inverse of

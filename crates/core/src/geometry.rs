@@ -221,6 +221,81 @@ impl AreaLayout {
         })
     }
 
+    /// Precompute the TBA crop as an index table: entry `t * L + u` is the
+    /// frame-pixel index (`y * frame_width + x`) that TBA grid cell
+    /// `(t, u)` samples.
+    ///
+    /// The table evaluates the *same* nearest-neighbor back-projection as
+    /// [`AreaLayout::extract_tba_into`] — same `f64` expressions, same
+    /// clamping — so gathering through it is bit-identical to the closure
+    /// path (pinned by tests). Crop geometry is a function of the layout
+    /// alone, so the `f64` math runs once per layout here instead of once
+    /// per pixel per frame; the per-frame crop becomes a pure gather
+    /// ([`crate::kernels::gather_pixels`]).
+    pub fn tba_index_table(&self) -> Vec<u32> {
+        let (w_raw, h_raw, l_raw) = (self.w_raw, self.h_raw, self.l_raw);
+        let c = i64::from(self.frame_width);
+        let r = i64::from(self.frame_height);
+        let mut table = Vec::with_capacity(self.w * self.l);
+        for t in 0..self.w {
+            let rt = ((t as f64 + 0.5) * w_raw as f64 / self.w as f64) as i64;
+            let rt = rt.clamp(0, w_raw as i64 - 1);
+            for u in 0..self.l {
+                let ru = ((u as f64 + 0.5) * l_raw as f64 / self.l as f64) as i64;
+                let ru = ru.clamp(0, l_raw as i64 - 1);
+                let (x, y) = if ru < h_raw as i64 {
+                    (rt, r - 1 - ru)
+                } else if ru < h_raw as i64 + c {
+                    (ru - h_raw as i64, rt)
+                } else {
+                    let v = ru - h_raw as i64 - c;
+                    (c - 1 - rt, w_raw as i64 + v)
+                };
+                table.push(Self::pixel_index(x, y, c, r));
+            }
+        }
+        table
+    }
+
+    /// Precompute the FOA crop as an index table: entry `row * b + col` is
+    /// the frame-pixel index FOA grid cell `(row, col)` samples. Same
+    /// contract as [`AreaLayout::tba_index_table`], mirroring
+    /// [`AreaLayout::extract_foa_into`].
+    pub fn foa_index_table(&self) -> Vec<u32> {
+        let (w_raw, h_raw, b_raw) = (self.w_raw, self.h_raw, self.b_raw);
+        let c = i64::from(self.frame_width);
+        let r = i64::from(self.frame_height);
+        let mut table = Vec::with_capacity(self.h * self.b);
+        for row in 0..self.h {
+            let rr = ((row as f64 + 0.5) * h_raw as f64 / self.h as f64) as i64;
+            let rr = rr.clamp(0, h_raw as i64 - 1);
+            for col in 0..self.b {
+                let rc = ((col as f64 + 0.5) * b_raw as f64 / self.b as f64) as i64;
+                let rc = rc.clamp(0, b_raw as i64 - 1);
+                table.push(Self::pixel_index(
+                    w_raw as i64 + rc,
+                    w_raw as i64 + rr,
+                    c,
+                    r,
+                ));
+            }
+        }
+        table
+    }
+
+    /// Frame coordinate → flat pixel index, with the same border clamp as
+    /// `FrameBuf::get_clamped` (a no-op for in-range layouts, kept for
+    /// exact behavioral parity with the closure-based extractors).
+    #[inline]
+    fn pixel_index(x: i64, y: i64, c: i64, r: i64) -> u32 {
+        let x = x.clamp(0, c - 1);
+        let y = y.clamp(0, r - 1);
+        // Frames larger than u32::MAX pixels would overflow the compact
+        // table entries; real frames are orders of magnitude smaller.
+        debug_assert!(y * c + x <= i64::from(u32::MAX));
+        (y * c + x) as u32
+    }
+
     /// Extract the fixed object area of `frame` as an `h × b` grid.
     ///
     /// The raw FOA occupies rows `w'..r` and columns `w'..c−w'` (the central
@@ -410,7 +485,69 @@ mod tests {
         );
     }
 
+    fn gather(frame: &FrameBuf, table: &[u32]) -> Vec<Rgb> {
+        table.iter().map(|&i| frame.pixels()[i as usize]).collect()
+    }
+
+    #[test]
+    fn index_tables_reproduce_closure_crops_exactly() {
+        // The tables must evaluate the identical nearest-neighbor mapping:
+        // gathering through them reproduces extract_tba/extract_foa bit for
+        // bit, including odd dims where snapping is far from the raw size.
+        for (w, h) in [
+            (160u32, 120u32),
+            (80, 60),
+            (41, 31),
+            (97, 73),
+            (59, 47),
+            (20, 20),
+        ] {
+            let lay = AreaLayout::for_frame(w, h).unwrap();
+            let frame = FrameBuf::from_fn(w, h, |x, y| {
+                Rgb::new(
+                    ((x * 7 + y * 3) % 251) as u8,
+                    ((x + y * 11) % 241) as u8,
+                    ((x * 13 + y) % 239) as u8,
+                )
+            });
+            let tba_table = lay.tba_index_table();
+            assert_eq!(tba_table.len(), lay.w * lay.l);
+            assert_eq!(
+                gather(&frame, &tba_table),
+                lay.extract_tba(&frame).data(),
+                "TBA table mismatch at {w}x{h}"
+            );
+            let foa_table = lay.foa_index_table();
+            assert_eq!(foa_table.len(), lay.h * lay.b);
+            assert_eq!(
+                gather(&frame, &foa_table),
+                lay.extract_foa(&frame).data(),
+                "FOA table mismatch at {w}x{h}"
+            );
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_index_tables_match_closure_crops(
+            width in 20u32..400,
+            height in 20u32..400,
+            seed in any::<u8>(),
+            // Sweep the crop rectangle too, not just the paper's 10%.
+            frac_pct in 5u32..45,
+        ) {
+            let fraction = frac_pct as f64 / 100.0;
+            if let Ok(lay) = AreaLayout::for_frame_with_fraction(width, height, fraction) {
+                let frame = FrameBuf::from_fn(width, height, |x, y| {
+                    Rgb::gray(((x * 3 + y * 5) as u8).wrapping_add(seed))
+                });
+                let tba = lay.extract_tba(&frame);
+                let foa = lay.extract_foa(&frame);
+                prop_assert_eq!(gather(&frame, &lay.tba_index_table()), tba.data());
+                prop_assert_eq!(gather(&frame, &lay.foa_index_table()), foa.data());
+            }
+        }
+
         #[test]
         fn prop_layout_dims_in_size_set(width in 20u32..1000, height in 20u32..1000) {
             if let Ok(lay) = AreaLayout::for_frame(width, height) {

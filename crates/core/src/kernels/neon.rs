@@ -1,0 +1,63 @@
+//! NEON body of the vertical 5-tap kernel (`aarch64`).
+//!
+//! Same arithmetic as the x86 variants: widen each 16-byte row load to two
+//! `u16x8` halves, accumulate `a + 4(b + d) + 6c + e + 8` with shifts,
+//! shift right 4, and narrow back. `vmovn_u16` (truncating narrow) is
+//! exact because every result is ≤ 255. Remainder bytes run the scalar
+//! reference loop.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use super::reduce_rows5_scalar_from;
+use core::arch::aarch64::*;
+
+/// NEON variant: 16 bytes per iteration.
+///
+/// # Safety
+/// Caller must guarantee the CPU supports NEON (baseline on `aarch64`,
+/// witnessed by `ResolvedIsa`) and that all six slices share one length.
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn reduce_rows5_neon(
+    r0: &[u8],
+    r1: &[u8],
+    r2: &[u8],
+    r3: &[u8],
+    r4: &[u8],
+    out: &mut [u8],
+) {
+    let n = out.len();
+    let mut j = 0usize;
+    // SAFETY: accesses cover bytes `j..j + 16` with `j + 16 <= n`, inside
+    // slices of length `n` (asserted by the dispatcher).
+    unsafe {
+        let eight = vdupq_n_u16(8);
+        while j + 16 <= n {
+            let a = vld1q_u8(r0.as_ptr().add(j));
+            let b = vld1q_u8(r1.as_ptr().add(j));
+            let c = vld1q_u8(r2.as_ptr().add(j));
+            let d = vld1q_u8(r3.as_ptr().add(j));
+            let e = vld1q_u8(r4.as_ptr().add(j));
+
+            let bd_lo = vaddl_u8(vget_low_u8(b), vget_low_u8(d));
+            let c_lo = vmovl_u8(vget_low_u8(c));
+            let mut lo = vaddl_u8(vget_low_u8(a), vget_low_u8(e));
+            lo = vaddq_u16(lo, vshlq_n_u16(bd_lo, 2));
+            lo = vaddq_u16(lo, vaddq_u16(vshlq_n_u16(c_lo, 2), vshlq_n_u16(c_lo, 1)));
+            lo = vshrq_n_u16(vaddq_u16(lo, eight), 4);
+
+            let bd_hi = vaddl_u8(vget_high_u8(b), vget_high_u8(d));
+            let c_hi = vmovl_u8(vget_high_u8(c));
+            let mut hi = vaddl_u8(vget_high_u8(a), vget_high_u8(e));
+            hi = vaddq_u16(hi, vshlq_n_u16(bd_hi, 2));
+            hi = vaddq_u16(hi, vaddq_u16(vshlq_n_u16(c_hi, 2), vshlq_n_u16(c_hi, 1)));
+            hi = vshrq_n_u16(vaddq_u16(hi, eight), 4);
+
+            vst1q_u8(
+                out.as_mut_ptr().add(j),
+                vcombine_u8(vmovn_u16(lo), vmovn_u16(hi)),
+            );
+            j += 16;
+        }
+    }
+    reduce_rows5_scalar_from(r0, r1, r2, r3, r4, out, j);
+}

@@ -1,0 +1,133 @@
+//! SSE2 and AVX2 bodies of the vertical 5-tap kernel.
+//!
+//! Both follow the same shape: load `LANES` bytes from each of the five
+//! rows, widen to `u16` half-vectors (zero-extension via unpack), build the
+//! accumulator with shifts (`4x = x << 2`, `6x = (x << 2) + (x << 1)` —
+//! no multiplies), add the rounding 8, shift right 4, and narrow back with
+//! a saturating pack that is exact because every result is ≤ 255. The
+//! remainder (`len % LANES`) runs the scalar reference loop.
+//!
+//! The unpack/pack pairing preserves byte order on AVX2 as well:
+//! `unpacklo/hi` and `packus` both operate per 128-bit lane, so bytes
+//! re-interleave into their original positions.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use super::reduce_rows5_scalar_from;
+use core::arch::x86_64::*;
+
+/// SSE2 variant: 16 bytes per iteration.
+///
+/// # Safety
+/// Caller must guarantee the CPU supports SSE2 (guaranteed on `x86_64`,
+/// witnessed by `ResolvedIsa`) and that all six slices share one length.
+#[target_feature(enable = "sse2")]
+pub(super) unsafe fn reduce_rows5_sse2(
+    r0: &[u8],
+    r1: &[u8],
+    r2: &[u8],
+    r3: &[u8],
+    r4: &[u8],
+    out: &mut [u8],
+) {
+    let n = out.len();
+    let mut j = 0usize;
+    // SAFETY: every pointer access below reads/writes bytes `j..j + 16`
+    // with `j + 16 <= n`, inside slices of length `n` (asserted by the
+    // dispatcher). The loads/stores are the unaligned variants.
+    unsafe {
+        let zero = _mm_setzero_si128();
+        let eight = _mm_set1_epi16(8);
+        while j + 16 <= n {
+            let a = _mm_loadu_si128(r0.as_ptr().add(j).cast());
+            let b = _mm_loadu_si128(r1.as_ptr().add(j).cast());
+            let c = _mm_loadu_si128(r2.as_ptr().add(j).cast());
+            let d = _mm_loadu_si128(r3.as_ptr().add(j).cast());
+            let e = _mm_loadu_si128(r4.as_ptr().add(j).cast());
+
+            let bd_lo = _mm_add_epi16(_mm_unpacklo_epi8(b, zero), _mm_unpacklo_epi8(d, zero));
+            let c_lo = _mm_unpacklo_epi8(c, zero);
+            let mut lo = _mm_add_epi16(_mm_unpacklo_epi8(a, zero), _mm_unpacklo_epi8(e, zero));
+            lo = _mm_add_epi16(lo, _mm_slli_epi16(bd_lo, 2));
+            lo = _mm_add_epi16(
+                lo,
+                _mm_add_epi16(_mm_slli_epi16(c_lo, 2), _mm_slli_epi16(c_lo, 1)),
+            );
+            lo = _mm_srli_epi16(_mm_add_epi16(lo, eight), 4);
+
+            let bd_hi = _mm_add_epi16(_mm_unpackhi_epi8(b, zero), _mm_unpackhi_epi8(d, zero));
+            let c_hi = _mm_unpackhi_epi8(c, zero);
+            let mut hi = _mm_add_epi16(_mm_unpackhi_epi8(a, zero), _mm_unpackhi_epi8(e, zero));
+            hi = _mm_add_epi16(hi, _mm_slli_epi16(bd_hi, 2));
+            hi = _mm_add_epi16(
+                hi,
+                _mm_add_epi16(_mm_slli_epi16(c_hi, 2), _mm_slli_epi16(c_hi, 1)),
+            );
+            hi = _mm_srli_epi16(_mm_add_epi16(hi, eight), 4);
+
+            _mm_storeu_si128(out.as_mut_ptr().add(j).cast(), _mm_packus_epi16(lo, hi));
+            j += 16;
+        }
+    }
+    reduce_rows5_scalar_from(r0, r1, r2, r3, r4, out, j);
+}
+
+/// AVX2 variant: 32 bytes per iteration.
+///
+/// # Safety
+/// Caller must guarantee the CPU supports AVX2 (witnessed by
+/// `ResolvedIsa`) and that all six slices share one length.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn reduce_rows5_avx2(
+    r0: &[u8],
+    r1: &[u8],
+    r2: &[u8],
+    r3: &[u8],
+    r4: &[u8],
+    out: &mut [u8],
+) {
+    let n = out.len();
+    let mut j = 0usize;
+    // SAFETY: accesses cover bytes `j..j + 32` with `j + 32 <= n`, inside
+    // slices of length `n` (asserted by the dispatcher); unaligned
+    // load/store variants throughout.
+    unsafe {
+        let zero = _mm256_setzero_si256();
+        let eight = _mm256_set1_epi16(8);
+        while j + 32 <= n {
+            let a = _mm256_loadu_si256(r0.as_ptr().add(j).cast());
+            let b = _mm256_loadu_si256(r1.as_ptr().add(j).cast());
+            let c = _mm256_loadu_si256(r2.as_ptr().add(j).cast());
+            let d = _mm256_loadu_si256(r3.as_ptr().add(j).cast());
+            let e = _mm256_loadu_si256(r4.as_ptr().add(j).cast());
+
+            let bd_lo =
+                _mm256_add_epi16(_mm256_unpacklo_epi8(b, zero), _mm256_unpacklo_epi8(d, zero));
+            let c_lo = _mm256_unpacklo_epi8(c, zero);
+            let mut lo =
+                _mm256_add_epi16(_mm256_unpacklo_epi8(a, zero), _mm256_unpacklo_epi8(e, zero));
+            lo = _mm256_add_epi16(lo, _mm256_slli_epi16(bd_lo, 2));
+            lo = _mm256_add_epi16(
+                lo,
+                _mm256_add_epi16(_mm256_slli_epi16(c_lo, 2), _mm256_slli_epi16(c_lo, 1)),
+            );
+            lo = _mm256_srli_epi16(_mm256_add_epi16(lo, eight), 4);
+
+            let bd_hi =
+                _mm256_add_epi16(_mm256_unpackhi_epi8(b, zero), _mm256_unpackhi_epi8(d, zero));
+            let c_hi = _mm256_unpackhi_epi8(c, zero);
+            let mut hi =
+                _mm256_add_epi16(_mm256_unpackhi_epi8(a, zero), _mm256_unpackhi_epi8(e, zero));
+            hi = _mm256_add_epi16(hi, _mm256_slli_epi16(bd_hi, 2));
+            hi = _mm256_add_epi16(
+                hi,
+                _mm256_add_epi16(_mm256_slli_epi16(c_hi, 2), _mm256_slli_epi16(c_hi, 1)),
+            );
+            hi = _mm256_srli_epi16(_mm256_add_epi16(hi, eight), 4);
+
+            _mm256_storeu_si256(out.as_mut_ptr().add(j).cast(), _mm256_packus_epi16(lo, hi));
+            j += 32;
+        }
+    }
+    reduce_rows5_scalar_from(r0, r1, r2, r3, r4, out, j);
+}

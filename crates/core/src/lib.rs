@@ -45,6 +45,7 @@ pub mod features;
 pub mod frame;
 pub mod geometry;
 pub mod index;
+pub mod kernels;
 pub mod parallel;
 pub mod pipeline;
 pub mod pixel;
@@ -54,6 +55,7 @@ pub mod sbd;
 pub mod scenetree;
 pub mod shot;
 pub mod signature;
+pub mod simd;
 pub mod sizeset;
 pub mod streaming;
 pub mod variance;
@@ -72,5 +74,6 @@ pub use pixel::Rgb;
 pub use sbd::{CameraTrackingDetector, SbdConfig, Segmentation};
 pub use scenetree::{build_scene_tree, SceneTree};
 pub use shot::Shot;
+pub use simd::{ResolvedIsa, SimdIsa, SimdLevel};
 pub use streaming::StreamingAnalyzer;
 pub use variance::ShotFeature;

@@ -191,6 +191,26 @@ mod tests {
     }
 
     #[test]
+    fn simd_by_threads_grid_is_bit_identical() {
+        // The two performance knobs must compose without perturbing output.
+        let frames = textured_frames(17, 97, 73);
+        let serial: Vec<FrameFeatures> = {
+            let ex = FeatureExtractor::new(97, 73).unwrap();
+            frames.iter().map(|f| ex.extract(f).unwrap()).collect()
+        };
+        for simd in crate::simd::SimdLevel::all_available() {
+            let ex = FeatureExtractor::with_simd(97, 73, simd).unwrap();
+            for threads in [1, 3, 8] {
+                assert_eq!(
+                    extract_features_parallel(&ex, &frames, threads).unwrap(),
+                    serial,
+                    "simd={simd} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallelism_serializes() {
         for p in [
             Parallelism::Serial,

@@ -453,7 +453,7 @@ impl AnalysisEngine {
     fn ensure_extractor(&mut self, frame: &FrameBuf) -> Result<()> {
         if self.extractor.is_none() {
             let (w, h) = frame.dims();
-            self.extractor = Some(FeatureExtractor::new(w, h)?);
+            self.extractor = Some(FeatureExtractor::with_simd(w, h, self.config.simd)?);
             self.dims = Some((w, h));
         }
         Ok(())

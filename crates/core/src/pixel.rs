@@ -12,8 +12,40 @@ use serde::{Deserialize, Serialize};
 /// This is the unit of every stage of the pipeline: raw frames, transformed
 /// background areas, signatures (rows of pixels), and signs (single pixels)
 /// are all built from `Rgb` values.
+///
+/// `#[repr(transparent)]` guarantees the layout is exactly `[u8; 3]`
+/// (size 3, align 1), which is what lets [`rgb_as_bytes`] /
+/// [`rgb_as_bytes_mut`] reinterpret pixel slices as byte slices for the
+/// SIMD extraction kernels without copying.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct Rgb(pub [u8; 3]);
+
+// The byte-view helpers below rely on this layout; `repr(transparent)`
+// already guarantees it, the assertions just make a violation unmissable.
+const _: () = assert!(std::mem::size_of::<Rgb>() == 3);
+const _: () = assert!(std::mem::align_of::<Rgb>() == 1);
+
+/// View a pixel slice as its raw channel bytes (`r g b r g b …`), without
+/// copying. The inverse view of `FrameBuf::from_rgb24`'s input format.
+#[inline]
+pub fn rgb_as_bytes(pixels: &[Rgb]) -> &[u8] {
+    // SAFETY: `Rgb` is `repr(transparent)` over `[u8; 3]` (size 3,
+    // align 1, asserted above), so `len` pixels are exactly `3 * len`
+    // initialized bytes at the same address; `u8` has no validity
+    // requirements and the lifetime is inherited from the input borrow.
+    unsafe { std::slice::from_raw_parts(pixels.as_ptr().cast::<u8>(), pixels.len() * 3) }
+}
+
+/// Mutable variant of [`rgb_as_bytes`]: view a pixel slice as its raw
+/// channel bytes for in-place writes.
+#[inline]
+pub fn rgb_as_bytes_mut(pixels: &mut [Rgb]) -> &mut [u8] {
+    // SAFETY: as in `rgb_as_bytes`; the `&mut` borrow is unique, so the
+    // byte view is the only live alias for its lifetime, and any byte
+    // pattern is a valid `[u8; 3]`.
+    unsafe { std::slice::from_raw_parts_mut(pixels.as_mut_ptr().cast::<u8>(), pixels.len() * 3) }
+}
 
 impl Rgb {
     /// Black (all channels zero).
@@ -205,6 +237,15 @@ impl RgbAccumulator {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn byte_views_round_trip() {
+        let mut px = vec![Rgb::new(1, 2, 3), Rgb::new(4, 5, 6), Rgb::new(7, 8, 9)];
+        assert_eq!(rgb_as_bytes(&px), &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        rgb_as_bytes_mut(&mut px)[4] = 99;
+        assert_eq!(px[1], Rgb::new(4, 99, 6));
+        assert_eq!(rgb_as_bytes(&[]), &[] as &[u8]);
+    }
 
     #[test]
     fn max_channel_diff_picks_largest() {

@@ -21,6 +21,7 @@
 use crate::error::{CoreError, Result};
 use crate::geometry::PixelGrid;
 use crate::pixel::Rgb;
+use crate::simd::{ResolvedIsa, SimdLevel};
 use crate::sizeset::in_size_set;
 use std::cell::Cell;
 
@@ -46,8 +47,10 @@ pub fn reduction_allocs() -> u64 {
 }
 
 /// Make sure `buf` can hold `cap` pixels without reallocating mid-loop,
-/// charging the counter only when actual heap growth happens.
-fn ensure_capacity(buf: &mut Vec<Rgb>, cap: usize) {
+/// charging the counter only when actual heap growth happens. Shared with
+/// the fused extraction path in [`crate::features`], so one counter
+/// observes every reduction-related buffer.
+pub(crate) fn ensure_capacity(buf: &mut Vec<Rgb>, cap: usize) {
     if buf.capacity() < cap {
         REDUCTION_ALLOCS.with(|c| c.set(c.get() + 1));
         buf.reserve(cap - buf.len());
@@ -153,6 +156,19 @@ pub fn reduce_grid_to_signature_into(
     scratch: &mut ReduceScratch,
     out: &mut Vec<Rgb>,
 ) -> Result<()> {
+    reduce_grid_to_signature_into_isa(grid, scratch, out, SimdLevel::Auto.resolve())
+}
+
+/// [`reduce_grid_to_signature_into`] running the column reduction at an
+/// explicit SIMD level. Every level is bit-identical (the knob only picks
+/// lane width, see [`crate::kernels`]); this entry point exists so the
+/// equivalence suites and benches can pin one.
+pub fn reduce_grid_to_signature_into_isa(
+    grid: &PixelGrid,
+    scratch: &mut ReduceScratch,
+    out: &mut Vec<Rgb>,
+    isa: ResolvedIsa,
+) -> Result<()> {
     let rows = grid.rows();
     let cols = grid.cols();
     if !in_size_set(rows) {
@@ -169,37 +185,24 @@ pub fn reduce_grid_to_signature_into(
         return Ok(());
     }
     // Reduce all columns in lock-step, operating on whole rows for cache
-    // friendliness: repeatedly produce a flat `(rows-3)/2 × cols` grid,
-    // ping-ponging between the two scratch buffers. Both buffers are grown
-    // to the full grid up front: the ping-pong swaps (here and in
-    // `reduce_line_to_sign_with`) migrate capacity between `a` and `b`, so
-    // sizing only the buffer a step is about to use would re-grow one of
-    // them on a later call depending on swap parity.
+    // friendliness (and so each level is one call into the row kernel):
+    // `collapse_grid_to_row` ping-pongs flat `(rows-3)/2 × cols` levels
+    // between the two scratch buffers. Both buffers are grown to the full
+    // grid up front: the ping-pong swaps in `reduce_line_to_sign_with`
+    // migrate capacity between `a` and `b`, so sizing only the buffer a
+    // step is about to use would re-grow one of them on a later call
+    // depending on swap parity.
     scratch.a.clear();
     ensure_capacity(&mut scratch.a, rows * cols);
     ensure_capacity(&mut scratch.b, rows * cols);
     scratch.a.extend_from_slice(grid.data());
-    let mut cur_rows = rows;
-    while cur_rows > 1 {
-        let out_rows = (cur_rows - 3) / 2;
-        scratch.b.clear();
-        ensure_capacity(&mut scratch.b, out_rows * cols);
-        for i in 0..out_rows {
-            for c in 0..cols {
-                let window = [
-                    scratch.a[2 * i * cols + c],
-                    scratch.a[(2 * i + 1) * cols + c],
-                    scratch.a[(2 * i + 2) * cols + c],
-                    scratch.a[(2 * i + 3) * cols + c],
-                    scratch.a[(2 * i + 4) * cols + c],
-                ];
-                scratch.b.push(kernel_reduce(&window));
-            }
-        }
-        std::mem::swap(&mut scratch.a, &mut scratch.b);
-        cur_rows = out_rows;
+    // The collapse works on slices, so `b` needs *length* (not just
+    // capacity) for the first level; contents are fully overwritten.
+    let b_len = ((rows - 3) / 2) * cols;
+    if scratch.b.len() < b_len {
+        scratch.b.resize(b_len, Rgb::BLACK);
     }
-    out.extend_from_slice(&scratch.a[..cols]);
+    crate::kernels::collapse_grid_to_row(&mut scratch.a, &mut scratch.b, rows, cols, isa, out);
     Ok(())
 }
 
@@ -319,6 +322,19 @@ mod tests {
             before,
             "warm reductions must not allocate"
         );
+    }
+
+    #[test]
+    fn grid_reduction_is_bit_identical_at_every_simd_level() {
+        let grid = PixelGrid::from_fn(13, 253, |r, c| Rgb::gray(((r * 37 + c * 11) % 256) as u8));
+        let reference = reduce_grid_to_signature(&grid).unwrap();
+        for level in SimdLevel::all_available() {
+            let mut scratch = ReduceScratch::default();
+            let mut sig = Vec::new();
+            reduce_grid_to_signature_into_isa(&grid, &mut scratch, &mut sig, level.resolve())
+                .unwrap();
+            assert_eq!(sig, reference, "level {level}");
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N]
 //!      [--idle-timeout SECS] [--metrics-interval SECS]
 //!      [--slow-query-ms MILLIS] [--max-sessions N] [--stream-credits N]
-//!      [--shard-id LABEL]
+//!      [--shard-id LABEL] [--simd LEVEL]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port), prints `vdbd listening on
@@ -15,8 +15,10 @@
 use std::process::exit;
 use std::time::Duration;
 use vdb_core::analyzer::AnalyzerConfig;
+use vdb_core::simd::SimdLevel;
 use vdb_server::server::{Server, ServerConfig, ServerStore};
 use vdb_store::shell::{self, Command};
+use vdb_store::SharedDatabase;
 
 #[cfg(unix)]
 mod sig {
@@ -56,7 +58,7 @@ mod sig {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N] [--idle-timeout SECS] [--metrics-interval SECS] [--slow-query-ms MILLIS] [--max-sessions N] [--stream-credits N] [--shard-id LABEL]"
+        "usage: vdbd [--addr HOST:PORT] [--journal PATH] [--workers N] [--demo N] [--idle-timeout SECS] [--metrics-interval SECS] [--slow-query-ms MILLIS] [--max-sessions N] [--stream-credits N] [--shard-id LABEL] [--simd auto|scalar|sse2|avx2|neon]"
     );
     exit(2);
 }
@@ -65,6 +67,7 @@ struct Args {
     config: ServerConfig,
     journal: Option<String>,
     demo: usize,
+    analyzer: AnalyzerConfig,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +77,7 @@ fn parse_args() -> Args {
     };
     let mut journal = None;
     let mut demo = 0;
+    let mut analyzer = AnalyzerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |what: &str| {
@@ -115,6 +119,19 @@ fn parse_args() -> Args {
                 _ => usage(),
             },
             "--shard-id" => config.shard_id = Some(value("a label")),
+            "--simd" => match value("a level").parse::<SimdLevel>() {
+                Ok(level) => match level.try_resolve() {
+                    Ok(_) => analyzer.simd = level,
+                    Err(e) => {
+                        eprintln!("vdbd: {e}");
+                        exit(1);
+                    }
+                },
+                Err(e) => {
+                    eprintln!("vdbd: --simd: {e}");
+                    usage()
+                }
+            },
             "--help" | "-h" => usage(),
             _ => {
                 eprintln!("vdbd: unknown flag '{flag}'");
@@ -126,6 +143,7 @@ fn parse_args() -> Args {
         config,
         journal,
         demo,
+        analyzer,
     }
 }
 
@@ -134,10 +152,11 @@ fn main() {
         config,
         journal,
         demo,
+        analyzer,
     } = parse_args();
 
     let store = match &journal {
-        Some(path) => match ServerStore::open_journal(path, AnalyzerConfig::default()) {
+        Some(path) => match ServerStore::open_journal(path, analyzer) {
             Ok(store) => {
                 eprintln!("vdbd: journal {path}: {} videos", store.read(|db| db.len()));
                 store
@@ -147,7 +166,12 @@ fn main() {
                 exit(1);
             }
         },
-        None => ServerStore::memory(),
+        None => {
+            let shared = SharedDatabase::new();
+            shared.set_simd(analyzer.simd);
+            shared.set_parallelism(analyzer.parallelism);
+            ServerStore::from_shared(shared)
+        }
     };
     if demo > 0 {
         let out = store.write(|backend| {

@@ -108,6 +108,12 @@ impl SharedDatabase {
         self.inner.write().set_parallelism(parallelism);
     }
 
+    /// Set the ingest-time extraction SIMD level (takes the write lock
+    /// briefly; applies to subsequent ingests).
+    pub fn set_simd(&self, simd: vdb_core::simd::SimdLevel) {
+        self.inner.write().set_simd(simd);
+    }
+
     /// Number of videos.
     pub fn len(&self) -> usize {
         self.inner.read().len()

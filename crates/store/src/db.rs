@@ -22,6 +22,7 @@ use vdb_core::pixel::Rgb;
 use vdb_core::sbd::SbdStats;
 use vdb_core::scenetree::{NodeId, SceneTree};
 use vdb_core::shot::Shot;
+use vdb_core::simd::SimdLevel;
 use vdb_core::variance::ShotFeature;
 use vdb_obs::{global_tracer, TraceContext};
 
@@ -336,6 +337,14 @@ impl VideoDatabase {
     /// bit-equivalent to serial); only ingest latency changes.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         self.config.parallelism = parallelism;
+        self.engine.set_config(self.config);
+    }
+
+    /// Set the SIMD level for ingest-time feature extraction. Like
+    /// [`VideoDatabase::set_parallelism`], every level produces
+    /// bit-identical analyses; only ingest latency changes.
+    pub fn set_simd(&mut self, simd: SimdLevel) {
+        self.config.simd = simd;
         self.engine.set_config(self.config);
     }
 

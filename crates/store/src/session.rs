@@ -612,6 +612,31 @@ mod tests {
     }
 
     #[test]
+    fn stream_ingest_honors_configured_simd_level() {
+        // The session must inherit the database's SimdLevel (not rebuild a
+        // default config), and every level must stream to the same analysis.
+        let video = stream_clip(72);
+        let mut reference_db = crate::db::VideoDatabase::new();
+        let ref_id = reference_db.ingest("clip", &video, vec![], vec![]).unwrap();
+        for simd in vdb_core::simd::SimdLevel::all_available() {
+            let mut db = crate::db::VideoDatabase::new();
+            db.set_simd(simd);
+            assert_eq!(db.config().simd, simd, "set_simd must stick");
+            let mut s = StreamIngest::new("clip", video.dims(), video.fps(), db.config());
+            for f in video.frames() {
+                s.push(f).unwrap();
+            }
+            let (id, ticket) = s.finish().unwrap().commit(&mut db).unwrap();
+            ticket.wait().unwrap();
+            assert_eq!(
+                db.analysis(id).unwrap(),
+                reference_db.analysis(ref_id).unwrap(),
+                "streamed analysis must be bit-identical at {simd}"
+            );
+        }
+    }
+
+    #[test]
     fn stream_ingest_rejects_mismatched_dims_without_consuming() {
         let video = stream_clip(71);
         let (w, h) = video.dims();

@@ -1,0 +1,114 @@
+//! Scalar-vs-SIMD equivalence: every available SIMD level must produce
+//! **bit-identical** analysis artifacts — signs, signatures, cascade
+//! decisions, boundaries, scene trees, variances — on every genre and on
+//! frame shapes chosen to stress the kernels' tail handling.
+//!
+//! This is the lock on the vectorized fused extraction path. The kernels
+//! process 16/32-byte blocks with a scalar remainder loop; odd widths and
+//! heights land the signature rows on non-lane-multiple byte counts
+//! (e.g. 41 px → 123 bytes = 7×16 + 11), and non-default border fractions
+//! move the crop rectangles off any alignment sweet spot. Equality is
+//! asserted on the whole [`vdb_core::analyzer::VideoAnalysis`].
+//!
+//! Skipped levels don't exist here: the grid only iterates levels this
+//! host can run ([`SimdLevel::all_available`]); CI additionally forces
+//! each level process-wide via `VDB_SIMD` on hosts known to support it.
+
+use proptest::prelude::*;
+use vdb_core::analyzer::{AnalyzerConfig, VideoAnalyzer};
+use vdb_core::features::{FeatureExtractor, ScratchBuffers};
+use vdb_core::frame::FrameBuf;
+use vdb_core::pixel::Rgb;
+use vdb_core::simd::SimdLevel;
+use vdb_synth::script::generate;
+use vdb_synth::{build_script, Genre};
+
+const GENRES: [Genre; 3] = [Genre::Sitcom, Genre::Sports, Genre::Commercials];
+
+/// Odd widths/heights: every one lands the TBA/FOA rows on byte lengths
+/// with a non-empty SIMD tail. (80×60 and 160×120 are covered by the main
+/// equivalence suite and the core unit tests.)
+const ODD_SIZES: [(u32, u32); 4] = [(41, 31), (97, 73), (59, 47), (127, 89)];
+
+fn simd_config(simd: SimdLevel) -> AnalyzerConfig {
+    AnalyzerConfig {
+        simd,
+        ..AnalyzerConfig::default()
+    }
+}
+
+/// The full grid: 3 genres × 4 odd frame shapes × every available level,
+/// asserted against the scalar reference analysis.
+#[test]
+fn analysis_is_bit_identical_at_every_level_across_genres_and_odd_dims() {
+    let levels = SimdLevel::all_available();
+    assert!(
+        levels.contains(&SimdLevel::Scalar),
+        "scalar must always be available"
+    );
+    for (gi, &genre) in GENRES.iter().enumerate() {
+        for (si, &dims) in ODD_SIZES.iter().enumerate() {
+            let seed = 7000 + (gi * ODD_SIZES.len() + si) as u64;
+            let script = build_script(genre, 8, Some(6.0), dims, seed);
+            let video = generate(&script).video;
+            let reference = VideoAnalyzer::with_config(simd_config(SimdLevel::Scalar))
+                .analyze(&video)
+                .unwrap();
+            assert!(
+                reference.shots().len() >= 2,
+                "{genre} {dims:?}: degenerate clip, test has no power"
+            );
+            for &level in &levels {
+                let got = VideoAnalyzer::with_config(simd_config(level))
+                    .analyze(&video)
+                    .unwrap();
+                assert_eq!(got, reference, "{genre} {dims:?} diverged at {level}");
+            }
+        }
+    }
+}
+
+/// Auto must agree with whatever it resolved to — and hence with scalar.
+#[test]
+fn auto_matches_scalar() {
+    let script = build_script(Genre::Sitcom, 6, Some(5.0), (97, 73), 7100);
+    let video = generate(&script).video;
+    let scalar = VideoAnalyzer::with_config(simd_config(SimdLevel::Scalar))
+        .analyze(&video)
+        .unwrap();
+    let auto = VideoAnalyzer::with_config(simd_config(SimdLevel::Auto))
+        .analyze(&video)
+        .unwrap();
+    assert_eq!(auto, scalar);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: random frame shapes (including non-lane-multiple crop
+    /// rectangles via random border fractions) extract identically at
+    /// every available level.
+    #[test]
+    fn random_shapes_extract_identically_at_every_level(
+        width in 20u32..200,
+        height in 20u32..200,
+        seed in any::<u8>(),
+    ) {
+        let frame = FrameBuf::from_fn(width, height, |x, y| {
+            Rgb::new(
+                ((x * 7 + y * 3) as u8).wrapping_add(seed),
+                ((x + y * 13) as u8).wrapping_mul(31),
+                ((x * 5 + y * 11) as u8) ^ seed,
+            )
+        });
+        if let Ok(reference_ex) = FeatureExtractor::with_simd(width, height, SimdLevel::Scalar) {
+            let reference = reference_ex.extract(&frame).unwrap();
+            let mut scratch = ScratchBuffers::default();
+            for level in SimdLevel::all_available() {
+                let ex = FeatureExtractor::with_simd(width, height, level).unwrap();
+                let got = ex.extract_with(&frame, &mut scratch).unwrap();
+                prop_assert_eq!(&got, &reference, "{}x{} diverged at {}", width, height, level);
+            }
+        }
+    }
+}
